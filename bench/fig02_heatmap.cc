@@ -1,0 +1,62 @@
+/**
+ * @file
+ * Fig 2: spatial structure of a CI-DNN imap — ASCII heatmaps of the
+ * raw values, the X-axis deltas, and the effectual-term content of
+ * both streams, for DnCNN's third convolutional layer on the textured
+ * "barbara"-analogue scene, plus the summary statistics the paper
+ * quotes (mean terms per activation vs per delta).
+ */
+
+#include <cstdio>
+
+#include "analysis/heatmap.hh"
+#include "analysis/terms.hh"
+#include "common/table.hh"
+#include "core/experiment.hh"
+
+using namespace diffy;
+
+int
+main(int argc, char **argv)
+{
+    ExperimentParams params = ExperimentParams::fromCli(argc, argv);
+    TraceCache cache(params.cacheDir);
+
+    NetworkSpec net = makeDnCnn();
+    SceneParams barbara = barbaraScene(params.crop);
+    NetworkTrace trace = cache.get(net, barbara);
+
+    const LayerTrace &layer = trace.layers[2]; // conv_3
+    std::printf("DnCNN %s on the textured scene (%dx%d crop)\n\n",
+                layer.spec.name.c_str(), params.crop, params.crop);
+
+    const int art_h = 24, art_w = 48;
+    std::printf("(a) raw imap |value| (channel mean):\n%s\n",
+                renderAscii(rawMagnitudeHeatmap(layer.imap), art_h,
+                            art_w)
+                    .c_str());
+    std::printf("(b) |delta| along X (channel mean):\n%s\n",
+                renderAscii(deltaMagnitudeHeatmap(layer.imap), art_h,
+                            art_w)
+                    .c_str());
+    std::printf("(c) effectual terms of the differential stream:\n%s\n",
+                renderAscii(deltaTermsHeatmap(layer.imap), art_h, art_w)
+                    .c_str());
+
+    TermStats raw = rawTermStats(layer.imap);
+    TermStats delta = deltaTermStats(layer.imap);
+    TextTable table("Fig 2 summary: terms per value");
+    table.setHeader({"Stream", "Mean terms", "Sparsity"});
+    table.addRow({"raw activations", TextTable::num(raw.meanTerms()),
+                  TextTable::percent(raw.sparsity())});
+    table.addRow({"X-deltas", TextTable::num(delta.meanTerms()),
+                  TextTable::percent(delta.sparsity())});
+    table.addRow({"reduction",
+                  TextTable::factor(raw.meanTerms() /
+                                    std::max(1e-9, delta.meanTerms())),
+                  ""});
+    table.print();
+    std::printf("Paper shape: ~3.65 terms/activation vs ~1.9 per delta "
+                "(~1.9x) on DnCNN conv_3; deltas peak only at edges.\n");
+    return 0;
+}

@@ -1,0 +1,65 @@
+/**
+ * @file
+ * Fig 11: performance of PRA and Diffy normalized to VAA at HD over a
+ * DDR4-3200 interface, under four off-chip compression assumptions:
+ * NoCompression, Profiled, DeltaD16 and Ideal (infinite bandwidth).
+ */
+
+#include <cstdio>
+
+#include "common/stats.hh"
+#include "common/table.hh"
+#include "core/experiment.hh"
+
+using namespace diffy;
+
+int
+main(int argc, char **argv)
+{
+    ExperimentParams params = ExperimentParams::fromCli(argc, argv);
+    auto traced = traceSuite(ciDnnSuite(), params);
+    MemTech mem = experimentMemTech(params);
+
+    const Compression schemes[] = {Compression::None,
+                                   Compression::Profiled,
+                                   Compression::DeltaD16,
+                                   Compression::Ideal};
+
+    AcceleratorConfig vaa = defaultVaaConfig();
+
+    for (Design design : {Design::Pra, Design::Diffy}) {
+        TextTable table("Fig 11: " + to_string(design) +
+                        " speedup over VAA (" + mem.label() + ", " +
+                        std::to_string(params.frameWidth) + "x" +
+                        std::to_string(params.frameHeight) + ")");
+        std::vector<std::string> header = {"Network"};
+        for (auto s : schemes)
+            header.push_back(to_string(s));
+        table.setHeader(header);
+
+        std::vector<std::vector<double>> columns(std::size(schemes));
+        for (const auto &net : traced) {
+            std::vector<std::string> row = {net.spec.name};
+            for (std::size_t si = 0; si < std::size(schemes); ++si) {
+                AcceleratorConfig cfg =
+                    design == Design::Pra ? defaultPraConfig()
+                                          : defaultDiffyConfig();
+                cfg.compression = schemes[si];
+                double speedup = speedupOver(net, cfg, vaa, mem, params);
+                row.push_back(TextTable::factor(speedup));
+                columns[si].push_back(speedup);
+            }
+            table.addRow(row);
+        }
+        std::vector<std::string> mean_row = {"geomean"};
+        for (auto &col : columns)
+            mean_row.push_back(TextTable::factor(geometricMean(col)));
+        table.addRow(mean_row);
+        table.print();
+    }
+
+    std::printf("Paper shape: PRA ~5x and Diffy ~7.1x over VAA with "
+                "DeltaD16; compression is needed to reach the Ideal "
+                "speedups; VDSR gains the most.\n");
+    return 0;
+}

@@ -1,0 +1,56 @@
+/**
+ * @file
+ * Fig 13: absolute HD (1920x1080) frame rates of VAA, PRA and Diffy
+ * under each off-chip compression scheme.
+ */
+
+#include <cstdio>
+
+#include "common/table.hh"
+#include "core/experiment.hh"
+
+using namespace diffy;
+
+int
+main(int argc, char **argv)
+{
+    ExperimentParams params = ExperimentParams::fromCli(argc, argv);
+    auto traced = traceSuite(ciDnnSuite(), params);
+    MemTech mem = experimentMemTech(params);
+
+    const Compression schemes[] = {Compression::None,
+                                   Compression::Profiled,
+                                   Compression::DeltaD16};
+
+    TextTable table("Fig 13: FPS at " + std::to_string(params.frameWidth)
+                    + "x" + std::to_string(params.frameHeight) + " (" +
+                    mem.label() + ")");
+    std::vector<std::string> header = {"Network"};
+    for (Design d : {Design::Vaa, Design::Pra, Design::Diffy}) {
+        for (auto s : schemes)
+            header.push_back(to_string(d) + "/" + to_string(s));
+    }
+    table.setHeader(header);
+
+    for (const auto &net : traced) {
+        std::vector<std::string> row = {net.spec.name};
+        for (Design design : {Design::Vaa, Design::Pra, Design::Diffy}) {
+            for (auto scheme : schemes) {
+                AcceleratorConfig cfg =
+                    design == Design::Vaa   ? defaultVaaConfig()
+                    : design == Design::Pra ? defaultPraConfig()
+                                            : defaultDiffyConfig();
+                cfg.compression = scheme;
+                row.push_back(TextTable::num(
+                    averageFps(net, cfg, mem, params), 2));
+            }
+        }
+        table.addRow(row);
+    }
+    table.print();
+
+    std::printf("Paper shape: VAA 0.7-3.9 FPS, PRA 2.6-18.9, Diffy "
+                "3.9-28.5 with DeltaD16; only JointNet approaches "
+                "real-time 30 FPS at this configuration.\n");
+    return 0;
+}

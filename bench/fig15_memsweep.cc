@@ -1,0 +1,66 @@
+/**
+ * @file
+ * Fig 15: Diffy speedup over VAA as the off-chip memory technology
+ * sweeps from LPDDR3-1600 to HBM2, for each compression scheme —
+ * demonstrating that delta compression sustains the gains on weaker
+ * memory nodes.
+ */
+
+#include <cstdio>
+
+#include "common/table.hh"
+#include "core/experiment.hh"
+
+using namespace diffy;
+
+int
+main(int argc, char **argv)
+{
+    ExperimentParams params = ExperimentParams::fromCli(argc, argv);
+    auto traced = traceSuite(ciDnnSuite(), params);
+
+    const Compression schemes[] = {Compression::None,
+                                   Compression::Profiled,
+                                   Compression::DeltaD16};
+
+    for (const auto &net : traced) {
+        TextTable table("Fig 15: Diffy speedup over VAA, " +
+                        net.spec.name);
+        std::vector<std::string> header = {"Memory"};
+        for (auto s : schemes)
+            header.push_back(to_string(s));
+        header.push_back("of max (DeltaD16)");
+        table.setHeader(header);
+
+        // VAA reference on the same memory node; max-possible uses
+        // ideal bandwidth.
+        AcceleratorConfig ideal_cfg = defaultDiffyConfig();
+        ideal_cfg.compression = Compression::Ideal;
+        double ideal_fps = averageFps(
+            net, ideal_cfg, memTechByName("HBM2"), params);
+
+        for (const auto &mem : fig15MemorySweep()) {
+            std::vector<std::string> row = {mem.label()};
+            AcceleratorConfig vaa = defaultVaaConfig();
+            double delta_fps = 0.0;
+            for (auto scheme : schemes) {
+                AcceleratorConfig cfg = defaultDiffyConfig();
+                cfg.compression = scheme;
+                double speedup =
+                    speedupOver(net, cfg, vaa, mem, params);
+                if (scheme == Compression::DeltaD16)
+                    delta_fps = averageFps(net, cfg, mem, params);
+                row.push_back(TextTable::factor(speedup));
+            }
+            row.push_back(TextTable::percent(delta_fps / ideal_fps));
+            table.addRow(row);
+        }
+        table.print();
+    }
+
+    std::printf("Paper shape: without compression only HBM2 avoids "
+                "slowdowns; DeltaD16 keeps every network near its "
+                "maximum from LPDDR4-3200 up, and within ~2%% for most "
+                "already at LPDDR3E-2133.\n");
+    return 0;
+}

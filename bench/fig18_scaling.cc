@@ -1,0 +1,66 @@
+/**
+ * @file
+ * Fig 18: scaling for real-time HD — the minimum number of Diffy
+ * tiles and the weakest memory configuration that reach 30 FPS at
+ * 1920x1080, per network and per compression scheme.
+ */
+
+#include <cstdio>
+
+#include "common/table.hh"
+#include "core/experiment.hh"
+
+using namespace diffy;
+
+int
+main(int argc, char **argv)
+{
+    ExperimentParams params = ExperimentParams::fromCli(argc, argv);
+    auto traced = traceSuite(ciDnnSuite(), params);
+    const double target_fps = 30.0;
+
+    const Compression schemes[] = {Compression::None,
+                                   Compression::Profiled,
+                                   Compression::DeltaD16};
+    const int tile_ladder[] = {4, 8, 12, 16, 24, 32, 48, 64};
+    auto mem_ladder = fig18MemoryLadder();
+
+    TextTable table("Fig 18: minimum Diffy configuration for 30 FPS HD");
+    table.setHeader({"Network", "Scheme", "Tiles", "Memory"});
+
+    for (const auto &net : traced) {
+        for (auto scheme : schemes) {
+            bool found = false;
+            for (int tiles : tile_ladder) {
+                for (const auto &mem : mem_ladder) {
+                    AcceleratorConfig cfg = defaultDiffyConfig();
+                    cfg.tiles = tiles;
+                    cfg.compression = scheme;
+                    cfg.spatialWorkSharing = true; // scaled-up configs
+                    double fps = averageFps(net, cfg, mem, params);
+                    if (fps >= target_fps) {
+                        table.addRow({net.spec.name, to_string(scheme),
+                                      std::to_string(tiles),
+                                      mem.label()});
+                        found = true;
+                        break;
+                    }
+                }
+                if (found)
+                    break;
+            }
+            if (!found) {
+                table.addRow({net.spec.name, to_string(scheme), ">64",
+                              "beyond HBM3"});
+            }
+        }
+    }
+    table.print();
+
+    std::printf("Paper shape: DnCNN is the most demanding (32 tiles + "
+                "HBM-class memory); FFDNet and JointNet reach 30 FPS "
+                "with 8 tiles on dual-channel DDR3-class nodes under "
+                "DeltaD16; compression lowers the memory bar at every "
+                "tile count.\n");
+    return 0;
+}

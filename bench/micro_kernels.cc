@@ -1,0 +1,134 @@
+/**
+ * @file
+ * google-benchmark microbenchmarks of the hot kernels: Booth-term
+ * counting, the activation codecs, the direct and differential
+ * fixed-point convolutions, and the PRA/Diffy pallet walk.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "common/bitops.hh"
+#include "common/rng.hh"
+#include "core/differential_conv.hh"
+#include "encode/schemes.hh"
+#include "image/synth.hh"
+#include "nn/executor.hh"
+#include "nn/models.hh"
+#include "sim/diffy_sim.hh"
+#include "sim/pra.hh"
+
+namespace
+{
+
+using namespace diffy;
+
+TensorI16
+correlatedTensor(int c, int h, int w)
+{
+    Rng rng(1234);
+    TensorI16 t(c, h, w);
+    for (int ch = 0; ch < c; ++ch) {
+        for (int y = 0; y < h; ++y) {
+            std::int32_t level = 500;
+            for (int x = 0; x < w; ++x) {
+                level += static_cast<std::int32_t>(rng.below(17)) - 8;
+                t.at(ch, y, x) = static_cast<std::int16_t>(
+                    std::max(0, level));
+            }
+        }
+    }
+    return t;
+}
+
+void
+BM_BoothTerms(benchmark::State &state)
+{
+    Rng rng(7);
+    std::vector<std::int16_t> values(4096);
+    for (auto &v : values)
+        v = static_cast<std::int16_t>(rng.below(65536) - 32768);
+    for (auto _ : state) {
+        std::int64_t total = 0;
+        for (auto v : values)
+            total += boothTerms(v);
+        benchmark::DoNotOptimize(total);
+    }
+    state.SetItemsProcessed(state.iterations() *
+                            static_cast<std::int64_t>(values.size()));
+}
+BENCHMARK(BM_BoothTerms);
+
+void
+BM_CodecEncode(benchmark::State &state)
+{
+    auto scheme = static_cast<Compression>(state.range(0));
+    auto codec = makeCodec(scheme, 11);
+    TensorI16 t = correlatedTensor(16, 32, 32);
+    for (auto _ : state) {
+        auto enc = codec->encode(t);
+        benchmark::DoNotOptimize(enc.bits);
+    }
+    state.SetItemsProcessed(state.iterations() *
+                            static_cast<std::int64_t>(t.size()));
+    state.SetLabel(codec->name());
+}
+BENCHMARK(BM_CodecEncode)
+    ->Arg(static_cast<int>(Compression::Rlez))
+    ->Arg(static_cast<int>(Compression::Rle))
+    ->Arg(static_cast<int>(Compression::Profiled))
+    ->Arg(static_cast<int>(Compression::RawD16))
+    ->Arg(static_cast<int>(Compression::DeltaD16));
+
+void
+BM_ConvDirect(benchmark::State &state)
+{
+    TensorI16 imap = correlatedTensor(16, 32, 32);
+    Rng rng(3);
+    FilterBankI16 bank(16, 16, 3, 3);
+    for (std::size_t i = 0; i < bank.size(); ++i)
+        bank.data()[i] = static_cast<std::int16_t>(rng.below(512) - 256);
+    for (auto _ : state) {
+        auto out = convolveDirect(imap, bank, 1, 1);
+        benchmark::DoNotOptimize(out.data());
+    }
+}
+BENCHMARK(BM_ConvDirect);
+
+void
+BM_ConvDifferential(benchmark::State &state)
+{
+    TensorI16 imap = correlatedTensor(16, 32, 32);
+    Rng rng(3);
+    FilterBankI16 bank(16, 16, 3, 3);
+    for (std::size_t i = 0; i < bank.size(); ++i)
+        bank.data()[i] = static_cast<std::int16_t>(rng.below(512) - 256);
+    for (auto _ : state) {
+        auto out = convolveDifferential(imap, bank, 1, 1);
+        benchmark::DoNotOptimize(out.data());
+    }
+}
+BENCHMARK(BM_ConvDifferential);
+
+void
+BM_PalletWalk(benchmark::State &state)
+{
+    const bool differential = state.range(0) != 0;
+    LayerTrace lt;
+    lt.spec.name = "bench";
+    lt.spec.inChannels = 64;
+    lt.spec.outChannels = 64;
+    lt.spec.kernel = 3;
+    lt.imap = correlatedTensor(64, 32, 32);
+    lt.weights = FilterBankI16(64, 64, 3, 3, 1);
+    AcceleratorConfig cfg = defaultDiffyConfig();
+    for (auto _ : state) {
+        auto stats = simulateTermSerialLayer(lt, cfg, differential);
+        benchmark::DoNotOptimize(stats.computeCycles);
+    }
+    state.SetLabel(differential ? "diffy" : "pra");
+}
+BENCHMARK(BM_PalletWalk)->Arg(0)->Arg(1);
+
+} // namespace
+
+BENCHMARK_MAIN();

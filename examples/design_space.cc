@@ -1,0 +1,84 @@
+/**
+ * @file
+ * Example: design-space exploration with the public API.
+ *
+ * Sweeps Diffy tile counts and memory technologies for a chosen model
+ * and prints the performance/area Pareto candidates for a target
+ * frame rate — the kind of study an SoC architect would run before
+ * committing to a configuration.
+ *
+ *   ./examples/design_space [--net FFDNet] [--target-fps 30]
+ *                           [--frame-w 1920 --frame-h 1080]
+ */
+
+#include <cstdio>
+
+#include "common/cli.hh"
+#include "common/table.hh"
+#include "core/experiment.hh"
+#include "energy/model.hh"
+
+using namespace diffy;
+
+int
+main(int argc, char **argv)
+{
+    CliArgs args(argc, argv);
+    ExperimentParams params = ExperimentParams::fromCli(argc, argv);
+    const std::string net_name = args.getString("net", "FFDNet");
+    const double target_fps = args.getDouble("target-fps", 30.0);
+
+    NetworkSpec net = makeNetwork(net_name);
+    auto traced = traceSuite({net}, params);
+    const TracedNetwork &tn = traced.front();
+
+    std::printf("Design space for %s at %dx%d, target %.0f FPS\n\n",
+                net.name.c_str(), params.frameWidth, params.frameHeight,
+                target_fps);
+
+    TextTable table("Diffy configurations (DeltaD16)");
+    table.setHeader({"Tiles", "Memory", "FPS", "Area (mm^2)", "Power (W)",
+                     "Meets target"});
+
+    for (int tiles : {2, 4, 8, 16, 32}) {
+        for (const auto &mem : fig18MemoryLadder()) {
+            AcceleratorConfig cfg = defaultDiffyConfig();
+            cfg.tiles = tiles;
+            cfg.spatialWorkSharing = true;
+            double fps = averageFps(tn, cfg, mem, params);
+            // Skip clearly dominated rows to keep the table readable:
+            // report the weakest memory that still feeds this tile
+            // count (within 2%) plus every configuration that meets
+            // the target.
+            AcceleratorConfig ideal = cfg;
+            ideal.compression = Compression::Ideal;
+            double roof = averageFps(tn, ideal, mem, params);
+            bool fed = fps >= 0.98 * roof;
+            bool meets = fps >= target_fps;
+            if (!fed && !meets)
+                continue;
+
+            const auto &trace = tn.traces.front();
+            auto compute = simulateCompute(trace, cfg);
+            auto perf =
+                combineWithMemory(trace, compute, cfg, mem,
+                                  params.frameHeight, params.frameWidth);
+            auto rep = buildEnergyReport(trace, compute, perf, cfg);
+            // Scale area/power crudely with tile count relative to the
+            // 4-tile reference model.
+            double tile_scale = static_cast<double>(tiles) / 4.0;
+            table.addRow({std::to_string(tiles), mem.label(),
+                          TextTable::num(fps, 1),
+                          TextTable::num(rep.totalMm2 * tile_scale, 1),
+                          TextTable::num(rep.totalWatts * tile_scale, 2),
+                          meets ? "yes" : "no"});
+            break; // weakest adequate memory found for this tile count
+        }
+    }
+    table.print();
+
+    std::printf("Reading: pick the first row that meets the target; "
+                "rows above it show what weaker configurations "
+                "deliver.\n");
+    return 0;
+}

@@ -1,0 +1,97 @@
+/**
+ * @file
+ * Quickstart: trace one CI-DNN on a synthetic scene and compare the
+ * three accelerator designs end to end.
+ *
+ *   ./examples/quickstart [--net DnCNN] [--crop 64] [--frame-h 1080]
+ *                         [--frame-w 1920] [--mem DDR4-3200]
+ *
+ * Prints the per-design frame rate and speedups at the target
+ * resolution, plus the differential-convolution exactness check on
+ * the first layer.
+ */
+
+#include <cstdio>
+
+#include "common/cli.hh"
+#include "common/table.hh"
+#include "core/differential_conv.hh"
+#include "core/experiment.hh"
+
+using namespace diffy;
+
+int
+main(int argc, char **argv)
+{
+    CliArgs args(argc, argv);
+    ExperimentParams params = ExperimentParams::fromCli(argc, argv);
+    const std::string net_name = args.getString("net", "DnCNN");
+
+    NetworkSpec net = makeNetwork(net_name);
+    std::printf("Network: %s (%d conv layers, %zu KB max layer weights)\n",
+                net.name.c_str(), net.convLayerCount(),
+                net.maxLayerWeightBytes() / 1024);
+
+    // Trace one scene.
+    TraceCache cache(params.cacheDir);
+    SceneParams scene = defaultEvalScenes(1, params.crop).front();
+    NetworkTrace trace = cache.get(net, scene);
+    std::printf("Traced %zu layers at %dx%d crop.\n\n",
+                trace.layers.size(), params.crop, params.crop);
+
+    // Differential convolution is exact: check layer 1.
+    const LayerTrace &l0 = trace.layers.front();
+    TensorI32 direct = convolveDirect(l0.imap, l0.weights, l0.spec.stride,
+                                      l0.spec.dilation);
+    TensorI32 differential = convolveDifferential(
+        l0.imap, l0.weights, l0.spec.stride, l0.spec.dilation);
+    std::printf("Differential convolution bit-exact on %s: %s\n",
+                l0.spec.name.c_str(),
+                direct == differential ? "YES" : "NO");
+
+    ConvWorkCount wd = countDirectWork(l0.imap, l0.weights, l0.spec.stride,
+                                       l0.spec.dilation);
+    ConvWorkCount wf = countDifferentialWork(l0.imap, l0.weights,
+                                             l0.spec.stride,
+                                             l0.spec.dilation);
+    std::printf("Effectual terms, direct vs differential: %.2f vs %.2f "
+                "per MAC (%.2fx less work)\n\n",
+                static_cast<double>(wd.multiplierTerms) / wd.macs,
+                static_cast<double>(wf.multiplierTerms) / wf.macs,
+                static_cast<double>(wd.multiplierTerms) /
+                    static_cast<double>(wf.multiplierTerms));
+
+    // Frame-level comparison of the three designs.
+    MemTech mem = experimentMemTech(params);
+    AcceleratorConfig vaa = defaultVaaConfig();
+    AcceleratorConfig pra = defaultPraConfig();
+    AcceleratorConfig dfy = defaultDiffyConfig();
+    pra.compression = Compression::DeltaD16;
+
+    FramePerf perf_vaa = simulateFrame(trace, vaa, mem,
+                                       params.frameHeight,
+                                       params.frameWidth);
+    FramePerf perf_pra = simulateFrame(trace, pra, mem,
+                                       params.frameHeight,
+                                       params.frameWidth);
+    FramePerf perf_dfy = simulateFrame(trace, dfy, mem,
+                                       params.frameHeight,
+                                       params.frameWidth);
+
+    TextTable table("Frame performance at " +
+                    std::to_string(params.frameWidth) + "x" +
+                    std::to_string(params.frameHeight) + " (" +
+                    mem.label() + ")");
+    table.setHeader({"Design", "Cycles/frame", "FPS", "vs VAA"});
+    auto row = [&](const char *name, const FramePerf &perf) {
+        table.addRow({name, TextTable::num(perf.totalCycles, 0),
+                      TextTable::num(perf.fps(1e9), 2),
+                      TextTable::factor(perf_vaa.totalCycles /
+                                        perf.totalCycles)});
+    };
+    row("VAA", perf_vaa);
+    row("PRA", perf_pra);
+    row("Diffy", perf_dfy);
+    table.print();
+    return 0;
+}

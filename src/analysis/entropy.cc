@@ -1,0 +1,53 @@
+#include "analysis/entropy.hh"
+
+namespace diffy
+{
+
+void
+EntropyAccumulator::addTensor(const TensorI16 &t)
+{
+    for (int c = 0; c < t.channels(); ++c) {
+        for (int y = 0; y < t.height(); ++y) {
+            for (int x = 0; x < t.width(); ++x) {
+                std::int32_t cur = t.at(c, y, x);
+                values_.add(cur);
+                if (x > 0) {
+                    std::int32_t prev = t.at(c, y, x - 1);
+                    joint_.add(cur, prev);
+                    deltas_.add(cur - prev);
+                }
+            }
+        }
+    }
+}
+
+void
+EntropyAccumulator::addTrace(const NetworkTrace &trace)
+{
+    for (const auto &layer : trace.layers)
+        addTensor(layer.imap);
+}
+
+void
+EntropyAccumulator::merge(const EntropyAccumulator &other)
+{
+    values_.merge(other.values_);
+    deltas_.merge(other.deltas_);
+    joint_.merge(other.joint_);
+}
+
+double
+EntropyAccumulator::conditionalRatio() const
+{
+    double cond = conditionalEntropy();
+    return cond > 0.0 ? valueEntropy() / cond : 0.0;
+}
+
+double
+EntropyAccumulator::deltaRatio() const
+{
+    double d = deltaEntropy();
+    return d > 0.0 ? valueEntropy() / d : 0.0;
+}
+
+} // namespace diffy

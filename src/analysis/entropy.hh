@@ -1,0 +1,59 @@
+/**
+ * @file
+ * Information-content measurements of activation streams (paper Fig 1):
+ * the entropy H(A) of the raw activations, the conditional entropy
+ * H(A|A') given the X-adjacent activation, and the entropy H(D) of the
+ * X-axis deltas. The ratios H(A)/H(A|A') and H(A)/H(D) bound the
+ * compression attainable by exploiting spatial correlation.
+ */
+
+#ifndef DIFFY_ANALYSIS_ENTROPY_HH
+#define DIFFY_ANALYSIS_ENTROPY_HH
+
+#include "common/stats.hh"
+#include "nn/trace.hh"
+#include "tensor/tensor.hh"
+
+namespace diffy
+{
+
+/** Accumulated entropy measurements over one or more value streams. */
+class EntropyAccumulator
+{
+  public:
+    /** Add every (value, left-neighbour) pair of a tensor. */
+    void addTensor(const TensorI16 &t);
+
+    /** Add all imaps of a network trace. */
+    void addTrace(const NetworkTrace &trace);
+
+    /** Merge another accumulator (e.g. from a different input). */
+    void merge(const EntropyAccumulator &other);
+
+    /** H(A): entropy of the raw activation values, bits/value. */
+    double valueEntropy() const { return values_.entropyBits(); }
+
+    /** H(A|A'): new information given the X-adjacent value. */
+    double conditionalEntropy() const
+    {
+        return joint_.conditionalEntropyBits();
+    }
+
+    /** H(D): entropy of the X-axis delta stream. */
+    double deltaEntropy() const { return deltas_.entropyBits(); }
+
+    /** Compression potential H(A)/H(A|A'). */
+    double conditionalRatio() const;
+
+    /** Compression potential H(A)/H(D). */
+    double deltaRatio() const;
+
+  private:
+    Histogram values_;
+    Histogram deltas_;
+    JointHistogram joint_;
+};
+
+} // namespace diffy
+
+#endif // DIFFY_ANALYSIS_ENTROPY_HH

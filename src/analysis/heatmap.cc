@@ -1,0 +1,112 @@
+#include "analysis/heatmap.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/bitops.hh"
+
+namespace diffy
+{
+
+namespace
+{
+
+template <typename Fn>
+Heatmap
+channelMean(const TensorI16 &imap, Fn &&per_value)
+{
+    Heatmap map;
+    map.height = imap.height();
+    map.width = imap.width();
+    map.values.assign(static_cast<std::size_t>(map.height) * map.width, 0.0);
+    const double inv_c = 1.0 / std::max(1, imap.channels());
+    for (int c = 0; c < imap.channels(); ++c) {
+        for (int y = 0; y < imap.height(); ++y) {
+            std::int32_t prev = 0;
+            for (int x = 0; x < imap.width(); ++x) {
+                std::int32_t cur = imap.at(c, y, x);
+                map.at(y, x) += per_value(cur, prev, x) * inv_c;
+                prev = cur;
+            }
+        }
+    }
+    return map;
+}
+
+} // namespace
+
+Heatmap
+rawMagnitudeHeatmap(const TensorI16 &imap)
+{
+    return channelMean(imap, [](std::int32_t cur, std::int32_t, int) {
+        return std::abs(static_cast<double>(cur));
+    });
+}
+
+Heatmap
+deltaMagnitudeHeatmap(const TensorI16 &imap)
+{
+    return channelMean(imap, [](std::int32_t cur, std::int32_t prev, int x) {
+        std::int32_t v = x == 0 ? cur : cur - prev;
+        return std::abs(static_cast<double>(v));
+    });
+}
+
+Heatmap
+rawTermsHeatmap(const TensorI16 &imap)
+{
+    return channelMean(imap, [](std::int32_t cur, std::int32_t, int) {
+        return static_cast<double>(boothTerms(cur));
+    });
+}
+
+Heatmap
+deltaTermsHeatmap(const TensorI16 &imap)
+{
+    return channelMean(imap, [](std::int32_t cur, std::int32_t prev, int x) {
+        std::int32_t v = x == 0 ? cur : cur - prev;
+        return static_cast<double>(boothTerms(v));
+    });
+}
+
+std::string
+renderAscii(const Heatmap &map, int out_h, int out_w)
+{
+    static const char kRamp[] = " .:-=+*#%@";
+    const int levels = static_cast<int>(sizeof(kRamp)) - 2;
+
+    double lo = 1e300, hi = -1e300;
+    for (double v : map.values) {
+        lo = std::min(lo, v);
+        hi = std::max(hi, v);
+    }
+    if (map.values.empty() || hi <= lo)
+        return "";
+
+    std::string out;
+    out.reserve(static_cast<std::size_t>(out_h) * (out_w + 1));
+    for (int oy = 0; oy < out_h; ++oy) {
+        int y0 = oy * map.height / out_h;
+        int y1 = std::max(y0 + 1, (oy + 1) * map.height / out_h);
+        for (int ox = 0; ox < out_w; ++ox) {
+            int x0 = ox * map.width / out_w;
+            int x1 = std::max(x0 + 1, (ox + 1) * map.width / out_w);
+            double acc = 0.0;
+            int n = 0;
+            for (int y = y0; y < y1; ++y) {
+                for (int x = x0; x < x1; ++x) {
+                    acc += map.at(y, x);
+                    ++n;
+                }
+            }
+            double norm = (acc / n - lo) / (hi - lo);
+            int idx = static_cast<int>(std::lround(norm * levels));
+            idx = std::clamp(idx, 0, levels);
+            out.push_back(kRamp[idx]);
+        }
+        out.push_back('\n');
+    }
+    return out;
+}
+
+} // namespace diffy

@@ -1,0 +1,53 @@
+/**
+ * @file
+ * Spatial heatmap extraction for Fig 2: per-(y, x) summaries over the
+ * channel dimension of a layer's imap, for the raw values, the X-axis
+ * deltas, and the effectual-term reduction of the differential stream.
+ * The bench renders these as coarse ASCII intensity maps plus the
+ * aggregate statistics the paper quotes (mean terms per activation vs
+ * per delta).
+ */
+
+#ifndef DIFFY_ANALYSIS_HEATMAP_HH
+#define DIFFY_ANALYSIS_HEATMAP_HH
+
+#include <string>
+#include <vector>
+
+#include "tensor/tensor.hh"
+
+namespace diffy
+{
+
+/** One 2D scalar field summarized over channels. */
+struct Heatmap
+{
+    int height = 0;
+    int width = 0;
+    std::vector<double> values; ///< row-major (y, x)
+
+    double at(int y, int x) const { return values[std::size_t(y) * width + x]; }
+    double &at(int y, int x) { return values[std::size_t(y) * width + x]; }
+};
+
+/** Mean |value| over channels at each position. */
+Heatmap rawMagnitudeHeatmap(const TensorI16 &imap);
+
+/** Mean |X-delta| over channels at each position. */
+Heatmap deltaMagnitudeHeatmap(const TensorI16 &imap);
+
+/** Mean Booth terms of the raw value over channels at each position. */
+Heatmap rawTermsHeatmap(const TensorI16 &imap);
+
+/** Mean Booth terms of the differential stream at each position. */
+Heatmap deltaTermsHeatmap(const TensorI16 &imap);
+
+/**
+ * Render a heatmap as ASCII art with the given output resolution
+ * (block-averaged), darker glyphs meaning larger values.
+ */
+std::string renderAscii(const Heatmap &map, int out_h, int out_w);
+
+} // namespace diffy
+
+#endif // DIFFY_ANALYSIS_HEATMAP_HH

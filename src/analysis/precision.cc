@@ -1,0 +1,90 @@
+#include "analysis/precision.hh"
+
+#include "common/bitops.hh"
+
+namespace diffy
+{
+
+void
+PrecisionProfiler::addLayer(std::size_t layer_index, const TensorI16 &imap)
+{
+    if (perLayer_.size() <= layer_index)
+        perLayer_.resize(layer_index + 1);
+    Histogram &hist = perLayer_[layer_index];
+    const std::int16_t *data = imap.data();
+    for (std::size_t i = 0; i < imap.size(); ++i)
+        hist.add(bitsNeeded(data[i]));
+}
+
+void
+PrecisionProfiler::addTrace(const NetworkTrace &trace)
+{
+    for (std::size_t i = 0; i < trace.layers.size(); ++i)
+        addLayer(i, trace.layers[i].imap);
+}
+
+void
+PrecisionProfiler::merge(const PrecisionProfiler &other)
+{
+    if (perLayer_.size() < other.perLayer_.size())
+        perLayer_.resize(other.perLayer_.size());
+    for (std::size_t i = 0; i < other.perLayer_.size(); ++i)
+        perLayer_[i].merge(other.perLayer_[i]);
+}
+
+int
+PrecisionProfiler::layerPrecision(std::size_t layer_index,
+                                  double coverage) const
+{
+    if (layer_index >= perLayer_.size() ||
+        perLayer_[layer_index].total() == 0) {
+        return 16;
+    }
+    int bits = static_cast<int>(perLayer_[layer_index].quantile(coverage));
+    return bits < 1 ? 1 : (bits > 16 ? 16 : bits);
+}
+
+std::vector<int>
+PrecisionProfiler::profile(double coverage) const
+{
+    std::vector<int> out(perLayer_.size());
+    for (std::size_t i = 0; i < perLayer_.size(); ++i)
+        out[i] = layerPrecision(i, coverage);
+    return out;
+}
+
+namespace
+{
+
+double
+groupBitsOf(const std::int16_t *data, std::size_t n, int group_size)
+{
+    if (n == 0)
+        return 0.0;
+    double total_bits = 0.0;
+    for (std::size_t start = 0; start < n;
+         start += static_cast<std::size_t>(group_size)) {
+        std::size_t len =
+            std::min(static_cast<std::size_t>(group_size), n - start);
+        int bits = groupBitsNeeded(data + start, len);
+        total_bits += static_cast<double>(bits) * static_cast<double>(len);
+    }
+    return total_bits / static_cast<double>(n);
+}
+
+} // namespace
+
+double
+dynamicGroupBits(const TensorI16 &t, int group_size)
+{
+    return groupBitsOf(t.data(), t.size(), group_size);
+}
+
+double
+dynamicGroupBitsDeltas(const TensorI16 &t, int group_size)
+{
+    TensorI16 deltas = xDeltas(t);
+    return groupBitsOf(deltas.data(), deltas.size(), group_size);
+}
+
+} // namespace diffy

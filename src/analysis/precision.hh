@@ -1,0 +1,68 @@
+/**
+ * @file
+ * Activation precision profiling (paper Table III and the Profiled /
+ * RawD / DeltaD storage schemes).
+ *
+ * The paper derives one activation precision per layer by profiling,
+ * tolerating a negligible output-quality loss. Our substitute keeps a
+ * per-layer histogram of minimum two's complement widths and picks the
+ * smallest precision covering a configurable fraction of the values
+ * (outliers saturate, mirroring quality-preserving truncation).
+ */
+
+#ifndef DIFFY_ANALYSIS_PRECISION_HH
+#define DIFFY_ANALYSIS_PRECISION_HH
+
+#include <vector>
+
+#include "common/stats.hh"
+#include "nn/trace.hh"
+#include "tensor/tensor.hh"
+
+namespace diffy
+{
+
+/** Coverage used for profiled precisions throughout the repo. */
+constexpr double kProfiledCoverage = 0.999;
+
+/** Per-layer profiled precision accumulator. */
+class PrecisionProfiler
+{
+  public:
+    /** Record the bit-width of every value of a layer's imap. */
+    void addLayer(std::size_t layer_index, const TensorI16 &imap);
+
+    /** Record a whole network trace. */
+    void addTrace(const NetworkTrace &trace);
+
+    void merge(const PrecisionProfiler &other);
+
+    /**
+     * Profiled precision of layer @p layer_index: the smallest width
+     * covering @p coverage of the observed values.
+     */
+    int layerPrecision(std::size_t layer_index,
+                       double coverage = kProfiledCoverage) const;
+
+    /** All per-layer precisions in layer order. */
+    std::vector<int> profile(double coverage = kProfiledCoverage) const;
+
+    std::size_t layerCount() const { return perLayer_.size(); }
+
+  private:
+    std::vector<Histogram> perLayer_; ///< width histogram per layer
+};
+
+/**
+ * Dynamic per-group precision statistics (Dynamic Stripes style):
+ * average bits/value when each group of @p group_size activations is
+ * stored at the group's own minimum width, excluding metadata.
+ */
+double dynamicGroupBits(const TensorI16 &t, int group_size);
+
+/** Same, over the X-axis delta representation of the tensor. */
+double dynamicGroupBitsDeltas(const TensorI16 &t, int group_size);
+
+} // namespace diffy
+
+#endif // DIFFY_ANALYSIS_PRECISION_HH

@@ -1,0 +1,99 @@
+#include "analysis/terms.hh"
+
+#include "common/bitops.hh"
+
+namespace diffy
+{
+
+void
+TermStats::merge(const TermStats &other)
+{
+    termHistogram.merge(other.termHistogram);
+    values += other.values;
+    zeroValues += other.zeroValues;
+    totalTerms += other.totalTerms;
+}
+
+TermStats
+rawTermStats(const TensorI16 &t)
+{
+    TermStats stats;
+    const std::int16_t *data = t.data();
+    for (std::size_t i = 0; i < t.size(); ++i) {
+        int terms = boothTerms(data[i]);
+        stats.termHistogram.add(terms);
+        ++stats.values;
+        stats.zeroValues += data[i] == 0;
+        stats.totalTerms += static_cast<std::uint64_t>(terms);
+    }
+    return stats;
+}
+
+TermStats
+deltaTermStats(const TensorI16 &t)
+{
+    TermStats stats;
+    for (int c = 0; c < t.channels(); ++c) {
+        for (int y = 0; y < t.height(); ++y) {
+            std::int32_t prev = 0;
+            for (int x = 0; x < t.width(); ++x) {
+                std::int32_t cur = t.at(c, y, x);
+                std::int32_t v = (x == 0) ? cur : cur - prev;
+                int terms = boothTerms(v);
+                stats.termHistogram.add(terms);
+                ++stats.values;
+                stats.zeroValues += v == 0;
+                stats.totalTerms += static_cast<std::uint64_t>(terms);
+                prev = cur;
+            }
+        }
+    }
+    return stats;
+}
+
+void
+WorkPotential::merge(const WorkPotential &other)
+{
+    allTerms += other.allTerms;
+    rawTerms += other.rawTerms;
+    deltaTerms += other.deltaTerms;
+}
+
+WorkPotential
+layerWorkPotential(const LayerTrace &layer, int baseline_bits)
+{
+    // Every activation at (c, y, x) is consumed by up to k*k windows
+    // (same-padding, stride 1); with stride s only every s-th window
+    // row/column uses it. For the work *ratio* the per-activation reuse
+    // multiplier is approximately uniform, so we weight every
+    // activation by the average reuse factor, which cancels in the
+    // speedup ratios and keeps totals proportional to true work.
+    const auto &spec = layer.spec;
+    const double reuse =
+        static_cast<double>(spec.kernel * spec.kernel) /
+        (static_cast<double>(spec.stride) * spec.stride);
+    const double filters = spec.outChannels;
+
+    TermStats raw = rawTermStats(layer.imap);
+    TermStats delta = deltaTermStats(layer.imap);
+
+    WorkPotential wp;
+    wp.allTerms = static_cast<double>(raw.values) * baseline_bits * reuse *
+                  filters;
+    wp.rawTerms =
+        static_cast<double>(raw.totalTerms) * reuse * filters;
+    wp.deltaTerms =
+        static_cast<double>(delta.totalTerms) * reuse * filters;
+    return wp;
+}
+
+WorkPotential
+networkWorkPotential(const NetworkTrace &trace, int baseline_bits)
+{
+    WorkPotential total;
+    for (const auto &layer : trace.layers)
+        total.merge(layerWorkPotential(layer, baseline_bits));
+    return total;
+}
+
+} // namespace diffy

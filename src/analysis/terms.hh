@@ -1,0 +1,97 @@
+/**
+ * @file
+ * Effectual-term and sparsity analysis of activation streams.
+ *
+ * "Effectual terms" are the nonzero signed digits of a value under the
+ * modified-Booth recoding used by PRA-style serial accelerators: a
+ * value with t terms costs t cycles in a term-serial lane. Comparing
+ * the term content of raw activations against their X-axis deltas
+ * quantifies the work reduction differential convolution can deliver
+ * (paper Figs 2c, 3 and 4).
+ */
+
+#ifndef DIFFY_ANALYSIS_TERMS_HH
+#define DIFFY_ANALYSIS_TERMS_HH
+
+#include <cstdint>
+
+#include "common/stats.hh"
+#include "nn/trace.hh"
+#include "tensor/tensor.hh"
+
+namespace diffy
+{
+
+/** Term/sparsity statistics of one value stream. */
+struct TermStats
+{
+    Histogram termHistogram; ///< Booth terms per value
+    std::uint64_t values = 0;
+    std::uint64_t zeroValues = 0;
+    std::uint64_t totalTerms = 0;
+
+    double meanTerms() const
+    {
+        return values ? static_cast<double>(totalTerms) /
+                            static_cast<double>(values)
+                      : 0.0;
+    }
+
+    double sparsity() const
+    {
+        return values ? static_cast<double>(zeroValues) /
+                            static_cast<double>(values)
+                      : 0.0;
+    }
+
+    void merge(const TermStats &other);
+};
+
+/** Term statistics of the raw values of a tensor. */
+TermStats rawTermStats(const TensorI16 &t);
+
+/**
+ * Term statistics of the X-axis delta stream of a tensor, counting the
+ * leftmost element of each row raw — exactly the value stream Diffy's
+ * row dataflow processes.
+ */
+TermStats deltaTermStats(const TensorI16 &t);
+
+/**
+ * Work model of Fig 4. Counts for one layer the total term-processing
+ * work of three schemes, in units of "term slots":
+ *  - ALL  : value-agnostic, 16 slots per activation use;
+ *  - RawE : effectual terms of the raw activations;
+ *  - DeltaE: effectual terms of the differential stream.
+ * Each activation is weighted by the number of windows (filter taps)
+ * that consume it, so the totals are proportional to execution work.
+ */
+struct WorkPotential
+{
+    double allTerms = 0.0;
+    double rawTerms = 0.0;
+    double deltaTerms = 0.0;
+
+    double rawSpeedup() const
+    {
+        return rawTerms > 0.0 ? allTerms / rawTerms : 0.0;
+    }
+    double deltaSpeedup() const
+    {
+        return deltaTerms > 0.0 ? allTerms / deltaTerms : 0.0;
+    }
+
+    void merge(const WorkPotential &other);
+};
+
+/** Work potential of one traced layer (weighted by window reuse). */
+WorkPotential layerWorkPotential(const LayerTrace &layer,
+                                 int baseline_bits = 16);
+
+/** Work potential accumulated over a whole network trace. */
+WorkPotential networkWorkPotential(const NetworkTrace &trace,
+                                   int baseline_bits = 16);
+
+} // namespace diffy
+
+#endif // DIFFY_ANALYSIS_TERMS_HH

@@ -1,0 +1,122 @@
+#include "arch/config.hh"
+
+#include <algorithm>
+#include <sstream>
+
+namespace diffy
+{
+
+std::string
+to_string(Design d)
+{
+    switch (d) {
+      case Design::Vaa:
+        return "VAA";
+      case Design::Pra:
+        return "PRA";
+      case Design::Diffy:
+        return "Diffy";
+    }
+    return "?";
+}
+
+std::string
+to_string(Compression c)
+{
+    switch (c) {
+      case Compression::None:
+        return "NoCompression";
+      case Compression::Rlez:
+        return "RLEz";
+      case Compression::Rle:
+        return "RLE";
+      case Compression::Profiled:
+        return "Profiled";
+      case Compression::RawD8:
+        return "RawD8";
+      case Compression::RawD16:
+        return "RawD16";
+      case Compression::RawD256:
+        return "RawD256";
+      case Compression::DeltaD8:
+        return "DeltaD8";
+      case Compression::DeltaD16:
+        return "DeltaD16";
+      case Compression::DeltaD256:
+        return "DeltaD256";
+      case Compression::Ideal:
+        return "Ideal";
+    }
+    return "?";
+}
+
+int
+AcceleratorConfig::filterGroups(int out_channels) const
+{
+    int tiles_for_filters =
+        (out_channels + filtersPerTile - 1) / filtersPerTile;
+    return (tiles_for_filters + tiles - 1) / tiles;
+}
+
+int
+AcceleratorConfig::spatialSplit(int out_channels) const
+{
+    if (!spatialWorkSharing)
+        return 1;
+    int tiles_for_filters =
+        (out_channels + filtersPerTile - 1) / filtersPerTile;
+    return std::max(1, tiles / tiles_for_filters);
+}
+
+std::string
+AcceleratorConfig::describe() const
+{
+    std::ostringstream os;
+    os << to_string(design) << ": " << tiles << " tiles x "
+       << filtersPerTile << " filters x " << lanesPerFilter << " lanes";
+    if (design != Design::Vaa)
+        os << " x " << windowColumns << " window columns"
+           << ", T" << termsPerFilter;
+    os << ", AM " << (amBytes >> 10) << "KB, WM " << (wmBytes >> 10)
+       << "KB, " << to_string(compression);
+    return os.str();
+}
+
+AcceleratorConfig
+defaultVaaConfig()
+{
+    AcceleratorConfig cfg;
+    cfg.design = Design::Vaa;
+    cfg.tiles = 4;
+    cfg.filtersPerTile = 16;
+    cfg.lanesPerFilter = 16;
+    cfg.windowColumns = 1;
+    cfg.termsPerFilter = 16;
+    cfg.amBytes = std::size_t{1} << 20; // 1MB uncompressed
+    cfg.wmBytes = std::size_t{1} << 19; // 512KB
+    cfg.compression = Compression::None;
+    return cfg;
+}
+
+AcceleratorConfig
+defaultPraConfig()
+{
+    AcceleratorConfig cfg = defaultVaaConfig();
+    cfg.design = Design::Pra;
+    cfg.windowColumns = 16;
+    cfg.compression = Compression::Profiled;
+    return cfg;
+}
+
+AcceleratorConfig
+defaultDiffyConfig()
+{
+    AcceleratorConfig cfg = defaultVaaConfig();
+    cfg.design = Design::Diffy;
+    cfg.windowColumns = 16;
+    cfg.amBytes = std::size_t{1} << 19; // 512KB thanks to DeltaD16
+    cfg.compression = Compression::DeltaD16;
+    return cfg;
+}
+
+} // namespace diffy

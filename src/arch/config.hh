@@ -1,0 +1,129 @@
+/**
+ * @file
+ * Accelerator configuration descriptors (paper Table IV).
+ *
+ * All three designs are normalized to the same peak compute
+ * throughput: the equivalent of 1K 16x16b multiply-accumulate
+ * operations per cycle at 1 GHz.
+ *
+ *  - VAA  (DaDianNao-like): value-agnostic tiles of 16 inner-product
+ *    units x 16 activation lanes; 4 tiles = 1024 MACs/cycle.
+ *  - PRA  (Bit-Pragmatic): term-serial SIP grid of 16 window columns x
+ *    16 filter rows per tile, 16 activation lanes per SIP; matches VAA
+ *    throughput when activations average 16 effectual terms and
+ *    exceeds it otherwise.
+ *  - Diffy: PRA plus per-SIP Differential Reconstruction engines and a
+ *    per-tile Delta-out engine.
+ */
+
+#ifndef DIFFY_ARCH_CONFIG_HH
+#define DIFFY_ARCH_CONFIG_HH
+
+#include <cstdint>
+#include <string>
+
+namespace diffy
+{
+
+/** Which timing model a configuration drives. */
+enum class Design
+{
+    Vaa,
+    Pra,
+    Diffy
+};
+
+/** Off-chip activation compression schemes studied by the paper. */
+enum class Compression
+{
+    None,     ///< 16b fixed for every value
+    Rlez,     ///< run-length on zeros
+    Rle,      ///< run-length on repeated values
+    Profiled, ///< per-layer profiled precision
+    RawD8,    ///< dynamic per-group precision, raw values, group 8
+    RawD16,   ///< group 16
+    RawD256,  ///< group 256
+    DeltaD8,  ///< dynamic per-group precision on deltas, group 8
+    DeltaD16, ///< group 16 (Diffy's scheme)
+    DeltaD256,///< group 256
+    Ideal     ///< infinite off-chip bandwidth
+};
+
+std::string to_string(Design d);
+std::string to_string(Compression c);
+
+/** One accelerator configuration. */
+struct AcceleratorConfig
+{
+    Design design = Design::Diffy;
+    /** Number of processing tiles. */
+    int tiles = 4;
+    /** Filters processed concurrently per tile. */
+    int filtersPerTile = 16;
+    /** Activation (channel) lanes per inner product / SIP. */
+    int lanesPerFilter = 16;
+    /**
+     * Window columns processed concurrently per tile (PRA/Diffy SIP
+     * grid width). VAA has a single column.
+     */
+    int windowColumns = 16;
+    /**
+     * Terms processed concurrently per filter: the T_x knob of
+     * Fig 16. Equals lanesPerFilter in the default T16 configuration;
+     * T1 serializes one term per filter per cycle.
+     */
+    int termsPerFilter = 16;
+    /** Clock frequency in Hz (1 GHz per the paper). */
+    double clockHz = 1e9;
+    /** Activation memory capacity in bytes. */
+    std::size_t amBytes = std::size_t{1} << 20;
+    /** Weight memory capacity in bytes. */
+    std::size_t wmBytes = std::size_t{1} << 19;
+    /** Off-chip compression scheme for activations. */
+    Compression compression = Compression::DeltaD16;
+    /**
+     * Allow surplus tiles to work-share output rows when the filter
+     * lanes are already covered. The paper's default dataflow
+     * partitions only across filters (so few-filter layers idle most
+     * lanes — Fig 12); its scaled-up configurations of Fig 18
+     * necessarily distribute the frame across tiles, which this flag
+     * enables.
+     */
+    bool spatialWorkSharing = false;
+
+    /** Peak multiply-accumulate throughput per cycle (16b MACs). */
+    double peakMacsPerCycle() const
+    {
+        return static_cast<double>(tiles) * filtersPerTile * lanesPerFilter;
+    }
+
+    /**
+     * Sequential filter passes needed for a layer with @p out_channels
+     * filters once the tiles' filter lanes are accounted for.
+     */
+    int filterGroups(int out_channels) const;
+
+    /**
+     * Spatial work-sharing factor: when the tile array covers every
+     * filter in one pass with tiles to spare, the surplus tiles split
+     * the output rows (how the paper's scaled-up configurations of
+     * Fig 18 deploy extra tiles).
+     */
+    int spatialSplit(int out_channels) const;
+
+    /** Human-readable one-line summary. */
+    std::string describe() const;
+};
+
+/** The paper's default VAA configuration (Table IV). */
+AcceleratorConfig defaultVaaConfig();
+
+/** The paper's default PRA configuration (Table IV). */
+AcceleratorConfig defaultPraConfig();
+
+/** The paper's default Diffy configuration (Table IV). */
+AcceleratorConfig defaultDiffyConfig();
+
+} // namespace diffy
+
+#endif // DIFFY_ARCH_CONFIG_HH

@@ -1,0 +1,69 @@
+#include "arch/memtech.hh"
+
+#include <stdexcept>
+
+namespace diffy
+{
+
+namespace
+{
+
+/**
+ * Peak interface bandwidths (GB/s per channel), derated to 80%
+ * sustainable for the streaming access patterns of the dataflow.
+ */
+const struct { const char *name; double peak; } kTechs[] = {
+    {"LPDDR3-1600", 12.8},
+    {"LPDDR3E-2133", 17.0},
+    {"LPDDR4-3200", 25.6},
+    {"LPDDR4X-3733", 29.9},
+    {"LPDDR4X-4267", 34.1},
+    {"DDR4-3200", 25.6},
+    {"HBM2", 256.0},
+    {"HBM3", 409.6},
+};
+
+constexpr double kDerate = 0.8;
+
+} // namespace
+
+std::string
+MemTech::label() const
+{
+    if (channels == 1)
+        return name;
+    return name + "-x" + std::to_string(channels);
+}
+
+MemTech
+memTechByName(const std::string &name, int channels)
+{
+    for (const auto &t : kTechs) {
+        if (name == t.name)
+            return MemTech{t.name, t.peak * kDerate, channels};
+    }
+    throw std::invalid_argument("unknown memory technology: " + name);
+}
+
+std::vector<MemTech>
+fig15MemorySweep()
+{
+    return {
+        memTechByName("LPDDR3-1600"),  memTechByName("LPDDR3E-2133"),
+        memTechByName("LPDDR4-3200"),  memTechByName("LPDDR4X-3733"),
+        memTechByName("LPDDR4X-4267"), memTechByName("HBM2"),
+    };
+}
+
+std::vector<MemTech>
+fig18MemoryLadder()
+{
+    return {
+        memTechByName("LPDDR3-1600", 1),  memTechByName("LPDDR3-1600", 2),
+        memTechByName("LPDDR3E-2133", 2), memTechByName("LPDDR4-3200", 2),
+        memTechByName("LPDDR4X-3733", 2), memTechByName("LPDDR4X-4267", 2),
+        memTechByName("HBM2", 1),         memTechByName("HBM3", 1),
+    };
+}
+
+} // namespace diffy

@@ -1,0 +1,48 @@
+/**
+ * @file
+ * Off-chip memory technology table for the Fig 15 / Fig 18 sweeps.
+ *
+ * Each entry models a DRAM interface as an aggregate sustained
+ * bandwidth (per channel x channels). The paper sweeps from
+ * LPDDR3-1600 to HBM2; we add HBM3 for the Fig 18 scaling study.
+ */
+
+#ifndef DIFFY_ARCH_MEMTECH_HH
+#define DIFFY_ARCH_MEMTECH_HH
+
+#include <string>
+#include <vector>
+
+namespace diffy
+{
+
+/** One off-chip memory configuration. */
+struct MemTech
+{
+    std::string name;          ///< e.g. "LPDDR4-3200"
+    double gbPerSecPerChannel; ///< sustained GB/s per channel
+    int channels = 1;
+
+    double totalGBs() const { return gbPerSecPerChannel * channels; }
+
+    /** Bytes deliverable per accelerator cycle at @p clock_hz. */
+    double bytesPerCycle(double clock_hz) const
+    {
+        return totalGBs() * 1e9 / clock_hz;
+    }
+
+    std::string label() const;
+};
+
+/** Named lookup; throws on unknown names. */
+MemTech memTechByName(const std::string &name, int channels = 1);
+
+/** The Fig 15 sweep: LPDDR3-1600 up to HBM2, single channel. */
+std::vector<MemTech> fig15MemorySweep();
+
+/** The Fig 18 ladder: LPDDR nodes at 1-2 channels, then HBM2/HBM3. */
+std::vector<MemTech> fig18MemoryLadder();
+
+} // namespace diffy
+
+#endif // DIFFY_ARCH_MEMTECH_HH

@@ -1,0 +1,121 @@
+#include "common/bitops.hh"
+
+#include <cstdlib>
+
+namespace diffy
+{
+
+int
+boothTerms(std::int64_t v)
+{
+    // Non-adjacent form: strip one signed digit per iteration.
+    int count = 0;
+    while (v != 0) {
+        if (v & 1) {
+            // d in {+1, -1} chosen so that (v - d) is divisible by 4,
+            // which guarantees non-adjacency of the produced digits.
+            std::int64_t d = 2 - (v & 3);
+            v -= d;
+            ++count;
+        }
+        v >>= 1;
+    }
+    return count;
+}
+
+std::vector<int>
+boothDecompose(std::int64_t v)
+{
+    std::vector<int> terms;
+    int exponent = 0;
+    while (v != 0) {
+        if (v & 1) {
+            std::int64_t d = 2 - (v & 3);
+            if (d > 0)
+                terms.push_back(exponent);
+            else
+                terms.push_back(-(exponent + 1));
+            v -= d;
+        }
+        v >>= 1;
+        ++exponent;
+    }
+    return terms;
+}
+
+std::int64_t
+boothReconstruct(const std::vector<int> &terms)
+{
+    std::int64_t v = 0;
+    for (int t : terms) {
+        if (t >= 0)
+            v += std::int64_t{1} << t;
+        else
+            v -= std::int64_t{1} << (-t - 1);
+    }
+    return v;
+}
+
+int
+onesTerms(std::int64_t v)
+{
+    std::uint64_t mag = static_cast<std::uint64_t>(v < 0 ? -v : v);
+    int count = 0;
+    while (mag) {
+        count += mag & 1;
+        mag >>= 1;
+    }
+    return count;
+}
+
+int
+bitsNeeded(std::int64_t v)
+{
+    // Width of the shortest two's complement representation.
+    if (v == 0)
+        return 1;
+    int bits = 1; // sign bit
+    if (v > 0) {
+        while (v) {
+            ++bits;
+            v >>= 1;
+        }
+        return bits;
+    }
+    // Negative: -2^(n-1) fits in n bits.
+    std::int64_t mag = -v;
+    int magBits = 0;
+    while (mag) {
+        ++magBits;
+        mag >>= 1;
+    }
+    if (-v == (std::int64_t{1} << (magBits - 1)))
+        return magBits; // exactly -2^(k-1) fits in k bits
+    return magBits + 1;
+}
+
+std::uint64_t
+contentHash64(const void *data, std::size_t bytes, std::uint64_t seed)
+{
+    const auto *p = static_cast<const unsigned char *>(data);
+    std::uint64_t h = seed;
+    for (std::size_t i = 0; i < bytes; ++i) {
+        h ^= p[i];
+        h *= 0x100000001B3ULL;
+    }
+    return h;
+}
+
+int
+groupBitsNeeded(const std::int16_t *group, std::size_t n)
+{
+    int bits = 1;
+    for (std::size_t i = 0; i < n; ++i) {
+        int b = bitsNeeded(group[i]);
+        if (b > bits)
+            bits = b;
+    }
+    return bits;
+}
+
+} // namespace diffy

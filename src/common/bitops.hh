@@ -1,0 +1,77 @@
+/**
+ * @file
+ * Bit-level utilities shared across the Diffy code base.
+ *
+ * The central primitive is boothTerms(), which counts the number of
+ * effectual terms of a value under the modified-Booth / canonical
+ * signed-digit recoding used by Bit-Pragmatic style accelerators
+ * (PRA, and by extension Diffy). A term-serial inner-product unit
+ * spends one cycle per effectual term, so these counts directly
+ * drive the cycle-level timing models in src/sim.
+ */
+
+#ifndef DIFFY_COMMON_BITOPS_HH
+#define DIFFY_COMMON_BITOPS_HH
+
+#include <cstdint>
+#include <vector>
+
+namespace diffy
+{
+
+/**
+ * Count the effectual terms of @p v under canonical-signed-digit
+ * (non-adjacent form) recoding. This is the number of +/- powers of
+ * two a PRA-style serial inner product unit must process. Zero has
+ * zero terms. The count is symmetric: boothTerms(v) == boothTerms(-v).
+ *
+ * @param v Two's complement value (any 16-bit quantity fits).
+ * @return Number of nonzero signed digits in the NAF of v.
+ */
+int boothTerms(std::int64_t v);
+
+/**
+ * Decompose @p v into its canonical-signed-digit terms.
+ *
+ * Each element encodes one effectual term as (exponent, sign):
+ * positive entries e mean +2^e, negative entries -(e+1) mean -2^e.
+ * Summing the decoded terms reconstructs v exactly; tests rely on
+ * this round-trip.
+ *
+ * @param v Value to decompose.
+ * @return Encoded term list, most significant first.
+ */
+std::vector<int> boothDecompose(std::int64_t v);
+
+/** Reconstruct a value from the encoding produced by boothDecompose(). */
+std::int64_t boothReconstruct(const std::vector<int> &terms);
+
+/**
+ * Count the set bits of the magnitude of @p v — the effectual terms
+ * of a plain (non-Booth) bit-serial design.
+ */
+int onesTerms(std::int64_t v);
+
+/**
+ * Minimum two's complement width able to represent @p v,
+ * including the sign bit. bitsNeeded(0) == 1.
+ */
+int bitsNeeded(std::int64_t v);
+
+/**
+ * Minimum two's complement width able to represent every element of
+ * @p group. Used by the dynamic per-group precision detectors
+ * (RawD16 / DeltaD16 style schemes). Empty groups need 1 bit.
+ */
+int groupBitsNeeded(const std::int16_t *group, std::size_t n);
+
+/**
+ * 64-bit FNV-1a content hash. Used by the simulation and footprint
+ * memo caches to identify identical value streams cheaply.
+ */
+std::uint64_t contentHash64(const void *data, std::size_t bytes,
+                            std::uint64_t seed = 0xCBF29CE484222325ULL);
+
+} // namespace diffy
+
+#endif // DIFFY_COMMON_BITOPS_HH

@@ -1,0 +1,62 @@
+#include "common/cli.hh"
+
+#include <cstdlib>
+
+namespace diffy
+{
+
+CliArgs::CliArgs(int argc, const char *const *argv)
+{
+    for (int i = 1; i < argc; ++i) {
+        std::string arg = argv[i];
+        if (arg.rfind("--", 0) != 0)
+            continue;
+        arg = arg.substr(2);
+        auto eq = arg.find('=');
+        if (eq != std::string::npos) {
+            values_[arg.substr(0, eq)] = arg.substr(eq + 1);
+        } else if (i + 1 < argc && std::string(argv[i + 1]).rfind("--", 0)) {
+            values_[arg] = argv[++i];
+        } else {
+            values_[arg] = "true";
+        }
+    }
+}
+
+bool
+CliArgs::has(const std::string &name) const
+{
+    return values_.count(name) > 0;
+}
+
+std::string
+CliArgs::getString(const std::string &name, const std::string &fallback) const
+{
+    auto it = values_.find(name);
+    return it == values_.end() ? fallback : it->second;
+}
+
+std::int64_t
+CliArgs::getInt(const std::string &name, std::int64_t fallback) const
+{
+    auto it = values_.find(name);
+    return it == values_.end() ? fallback : std::atoll(it->second.c_str());
+}
+
+double
+CliArgs::getDouble(const std::string &name, double fallback) const
+{
+    auto it = values_.find(name);
+    return it == values_.end() ? fallback : std::atof(it->second.c_str());
+}
+
+bool
+CliArgs::getBool(const std::string &name, bool fallback) const
+{
+    auto it = values_.find(name);
+    if (it == values_.end())
+        return fallback;
+    return it->second == "true" || it->second == "1" || it->second == "yes";
+}
+
+} // namespace diffy

@@ -1,0 +1,36 @@
+/**
+ * @file
+ * Minimal command-line flag parsing for the bench and example
+ * binaries. Supports "--name value" and "--name=value" forms.
+ */
+
+#ifndef DIFFY_COMMON_CLI_HH
+#define DIFFY_COMMON_CLI_HH
+
+#include <cstdint>
+#include <map>
+#include <string>
+
+namespace diffy
+{
+
+/** Parsed command line; unknown flags are collected, not rejected. */
+class CliArgs
+{
+  public:
+    CliArgs(int argc, const char *const *argv);
+
+    bool has(const std::string &name) const;
+    std::string getString(const std::string &name,
+                          const std::string &fallback) const;
+    std::int64_t getInt(const std::string &name, std::int64_t fallback) const;
+    double getDouble(const std::string &name, double fallback) const;
+    bool getBool(const std::string &name, bool fallback) const;
+
+  private:
+    std::map<std::string, std::string> values_;
+};
+
+} // namespace diffy
+
+#endif // DIFFY_COMMON_CLI_HH

@@ -1,0 +1,55 @@
+/**
+ * @file
+ * Deterministic pseudo-random number generation.
+ *
+ * Every stochastic element of the reproduction (synthetic weights,
+ * procedural images, SCNN weight sparsification) draws from this
+ * splitmix64/xoshiro256** generator so that all experiments are exactly
+ * reproducible from a named seed.
+ */
+
+#ifndef DIFFY_COMMON_RNG_HH
+#define DIFFY_COMMON_RNG_HH
+
+#include <cstdint>
+#include <string>
+
+namespace diffy
+{
+
+/** Small, fast, seedable PRNG (xoshiro256**). */
+class Rng
+{
+  public:
+    explicit Rng(std::uint64_t seed);
+
+    /** Derive a deterministic seed from a label, e.g. a layer name. */
+    static std::uint64_t seedFromString(const std::string &label);
+
+    /** Next raw 64-bit draw. */
+    std::uint64_t next();
+
+    /** Uniform double in [0, 1). */
+    double uniform();
+
+    /** Uniform double in [lo, hi). */
+    double uniform(double lo, double hi);
+
+    /** Uniform integer in [0, n). @p n must be nonzero. */
+    std::uint64_t below(std::uint64_t n);
+
+    /** Standard normal draw (Box-Muller, cached pair). */
+    double gaussian();
+
+    /** Normal draw with the given moments. */
+    double gaussian(double mean, double stddev);
+
+  private:
+    std::uint64_t s_[4];
+    bool haveSpare_ = false;
+    double spare_ = 0.0;
+};
+
+} // namespace diffy
+
+#endif // DIFFY_COMMON_RNG_HH

@@ -1,0 +1,224 @@
+#include "common/stats.hh"
+
+#include <cmath>
+
+namespace diffy
+{
+
+void
+RunningStat::add(double x)
+{
+    if (n_ == 0) {
+        min_ = max_ = x;
+    } else {
+        if (x < min_)
+            min_ = x;
+        if (x > max_)
+            max_ = x;
+    }
+    ++n_;
+    double delta = x - mean_;
+    mean_ += delta / static_cast<double>(n_);
+    m2_ += delta * (x - mean_);
+}
+
+void
+RunningStat::merge(const RunningStat &other)
+{
+    if (other.n_ == 0)
+        return;
+    if (n_ == 0) {
+        *this = other;
+        return;
+    }
+    double delta = other.mean_ - mean_;
+    std::uint64_t n = n_ + other.n_;
+    double na = static_cast<double>(n_);
+    double nb = static_cast<double>(other.n_);
+    mean_ += delta * nb / (na + nb);
+    m2_ += other.m2_ + delta * delta * na * nb / (na + nb);
+    n_ = n;
+    if (other.min_ < min_)
+        min_ = other.min_;
+    if (other.max_ > max_)
+        max_ = other.max_;
+}
+
+double
+RunningStat::variance() const
+{
+    if (n_ < 2)
+        return 0.0;
+    return m2_ / static_cast<double>(n_ - 1);
+}
+
+double
+RunningStat::stddev() const
+{
+    return std::sqrt(variance());
+}
+
+void
+Histogram::add(std::int64_t symbol, std::uint64_t weight)
+{
+    bins_[symbol] += weight;
+    total_ += weight;
+}
+
+void
+Histogram::merge(const Histogram &other)
+{
+    for (const auto &[sym, cnt] : other.bins_) {
+        bins_[sym] += cnt;
+    }
+    total_ += other.total_;
+}
+
+std::uint64_t
+Histogram::countOf(std::int64_t symbol) const
+{
+    auto it = bins_.find(symbol);
+    return it == bins_.end() ? 0 : it->second;
+}
+
+double
+Histogram::entropyBits() const
+{
+    if (total_ == 0)
+        return 0.0;
+    double h = 0.0;
+    double n = static_cast<double>(total_);
+    for (const auto &[sym, cnt] : bins_) {
+        double p = static_cast<double>(cnt) / n;
+        h -= p * std::log2(p);
+    }
+    return h;
+}
+
+double
+Histogram::fractionAt(std::int64_t symbol) const
+{
+    if (total_ == 0)
+        return 0.0;
+    return static_cast<double>(countOf(symbol)) /
+           static_cast<double>(total_);
+}
+
+std::int64_t
+Histogram::quantile(double q) const
+{
+    if (total_ == 0)
+        return 0;
+    double target = q * static_cast<double>(total_);
+    double acc = 0.0;
+    std::int64_t last = bins_.begin()->first;
+    for (const auto &[sym, cnt] : bins_) {
+        acc += static_cast<double>(cnt);
+        last = sym;
+        if (acc >= target)
+            return sym;
+    }
+    return last;
+}
+
+double
+Histogram::mean() const
+{
+    if (total_ == 0)
+        return 0.0;
+    double acc = 0.0;
+    for (const auto &[sym, cnt] : bins_)
+        acc += static_cast<double>(sym) * static_cast<double>(cnt);
+    return acc / static_cast<double>(total_);
+}
+
+std::vector<std::pair<std::int64_t, double>>
+Histogram::cdf() const
+{
+    std::vector<std::pair<std::int64_t, double>> out;
+    out.reserve(bins_.size());
+    double acc = 0.0;
+    double n = static_cast<double>(total_ ? total_ : 1);
+    for (const auto &[sym, cnt] : bins_) {
+        acc += static_cast<double>(cnt);
+        out.emplace_back(sym, acc / n);
+    }
+    return out;
+}
+
+namespace
+{
+
+std::uint64_t
+pairKey(std::int32_t a, std::int32_t b)
+{
+    return (static_cast<std::uint64_t>(static_cast<std::uint32_t>(a)) << 32) |
+           static_cast<std::uint64_t>(static_cast<std::uint32_t>(b));
+}
+
+} // namespace
+
+void
+JointHistogram::add(std::int32_t a, std::int32_t b, std::uint64_t weight)
+{
+    joint_[pairKey(a, b)] += weight;
+    marginalB_[b] += weight;
+    total_ += weight;
+}
+
+void
+JointHistogram::merge(const JointHistogram &other)
+{
+    for (const auto &[key, cnt] : other.joint_)
+        joint_[key] += cnt;
+    for (const auto &[key, cnt] : other.marginalB_)
+        marginalB_[key] += cnt;
+    total_ += other.total_;
+}
+
+double
+JointHistogram::jointEntropyBits() const
+{
+    if (total_ == 0)
+        return 0.0;
+    double h = 0.0;
+    double n = static_cast<double>(total_);
+    for (const auto &[key, cnt] : joint_) {
+        double p = static_cast<double>(cnt) / n;
+        h -= p * std::log2(p);
+    }
+    return h;
+}
+
+double
+JointHistogram::marginalEntropyBBits() const
+{
+    if (total_ == 0)
+        return 0.0;
+    double h = 0.0;
+    double n = static_cast<double>(total_);
+    for (const auto &[key, cnt] : marginalB_) {
+        double p = static_cast<double>(cnt) / n;
+        h -= p * std::log2(p);
+    }
+    return h;
+}
+
+double
+JointHistogram::conditionalEntropyBits() const
+{
+    return jointEntropyBits() - marginalEntropyBBits();
+}
+
+double
+geometricMean(const std::vector<double> &values)
+{
+    if (values.empty())
+        return 0.0;
+    double acc = 0.0;
+    for (double v : values)
+        acc += std::log(v);
+    return std::exp(acc / static_cast<double>(values.size()));
+}
+
+} // namespace diffy

@@ -1,0 +1,113 @@
+/**
+ * @file
+ * Lightweight statistics helpers used by the analysis and simulation
+ * modules: running moments, integer histograms with entropy and
+ * quantile queries, and a joint histogram for conditional entropy.
+ */
+
+#ifndef DIFFY_COMMON_STATS_HH
+#define DIFFY_COMMON_STATS_HH
+
+#include <cstdint>
+#include <map>
+#include <unordered_map>
+#include <vector>
+
+namespace diffy
+{
+
+/** Streaming mean / variance / min / max accumulator (Welford). */
+class RunningStat
+{
+  public:
+    void add(double x);
+    void merge(const RunningStat &other);
+
+    std::uint64_t count() const { return n_; }
+    double mean() const { return n_ ? mean_ : 0.0; }
+    double variance() const;
+    double stddev() const;
+    double min() const { return n_ ? min_ : 0.0; }
+    double max() const { return n_ ? max_ : 0.0; }
+    double sum() const { return n_ ? mean_ * static_cast<double>(n_) : 0.0; }
+
+  private:
+    std::uint64_t n_ = 0;
+    double mean_ = 0.0;
+    double m2_ = 0.0;
+    double min_ = 0.0;
+    double max_ = 0.0;
+};
+
+/**
+ * Histogram over integer symbols. Dense within a small range, used
+ * for both value-entropy measurements (Fig 1) and effectual-term
+ * distributions (Fig 3).
+ */
+class Histogram
+{
+  public:
+    void add(std::int64_t symbol, std::uint64_t weight = 1);
+    void merge(const Histogram &other);
+
+    std::uint64_t total() const { return total_; }
+    std::uint64_t countOf(std::int64_t symbol) const;
+
+    /** Shannon entropy in bits per symbol. */
+    double entropyBits() const;
+
+    /** Fraction of mass at exactly @p symbol (e.g. sparsity at 0). */
+    double fractionAt(std::int64_t symbol) const;
+
+    /** Smallest symbol s such that P(X <= s) >= q. */
+    std::int64_t quantile(double q) const;
+
+    /** Mean symbol value. */
+    double mean() const;
+
+    /** Cumulative distribution as (symbol, P(X <= symbol)) pairs. */
+    std::vector<std::pair<std::int64_t, double>> cdf() const;
+
+    const std::map<std::int64_t, std::uint64_t> &bins() const
+    {
+        return bins_;
+    }
+
+  private:
+    std::map<std::int64_t, std::uint64_t> bins_;
+    std::uint64_t total_ = 0;
+};
+
+/**
+ * Joint histogram over pairs of integer symbols, supporting the
+ * conditional entropy H(A|A') measurement of Fig 1.
+ */
+class JointHistogram
+{
+  public:
+    void add(std::int32_t a, std::int32_t b, std::uint64_t weight = 1);
+    void merge(const JointHistogram &other);
+
+    std::uint64_t total() const { return total_; }
+
+    /** H(A, B) in bits. */
+    double jointEntropyBits() const;
+
+    /** H(A | B) = H(A, B) - H(B), in bits. */
+    double conditionalEntropyBits() const;
+
+    /** Marginal entropy of the second (conditioning) variable. */
+    double marginalEntropyBBits() const;
+
+  private:
+    std::unordered_map<std::uint64_t, std::uint64_t> joint_;
+    std::unordered_map<std::int32_t, std::uint64_t> marginalB_;
+    std::uint64_t total_ = 0;
+};
+
+/** Geometric mean of a list of strictly positive values. */
+double geometricMean(const std::vector<double> &values);
+
+} // namespace diffy
+
+#endif // DIFFY_COMMON_STATS_HH

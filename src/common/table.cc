@@ -1,0 +1,90 @@
+#include "common/table.hh"
+
+#include <cstdio>
+#include <sstream>
+
+namespace diffy
+{
+
+TextTable::TextTable(std::string title) : title_(std::move(title)) {}
+
+void
+TextTable::setHeader(std::vector<std::string> header)
+{
+    header_ = std::move(header);
+}
+
+void
+TextTable::addRow(std::vector<std::string> row)
+{
+    rows_.push_back(std::move(row));
+}
+
+std::string
+TextTable::num(double v, int precision)
+{
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.*f", precision, v);
+    return buf;
+}
+
+std::string
+TextTable::factor(double v, int precision)
+{
+    return num(v, precision) + "x";
+}
+
+std::string
+TextTable::percent(double v, int precision)
+{
+    return num(v * 100.0, precision) + "%";
+}
+
+std::string
+TextTable::render() const
+{
+    // Column widths over header + all rows.
+    std::vector<std::size_t> widths;
+    auto grow = [&](const std::vector<std::string> &row) {
+        if (widths.size() < row.size())
+            widths.resize(row.size(), 0);
+        for (std::size_t i = 0; i < row.size(); ++i) {
+            if (row[i].size() > widths[i])
+                widths[i] = row[i].size();
+        }
+    };
+    grow(header_);
+    for (const auto &r : rows_)
+        grow(r);
+
+    std::ostringstream os;
+    os << "== " << title_ << " ==\n";
+    auto emit = [&](const std::vector<std::string> &row) {
+        for (std::size_t i = 0; i < widths.size(); ++i) {
+            std::string cell = i < row.size() ? row[i] : "";
+            os << cell;
+            if (i + 1 < widths.size())
+                os << std::string(widths[i] - cell.size() + 2, ' ');
+        }
+        os << "\n";
+    };
+    if (!header_.empty()) {
+        emit(header_);
+        std::size_t line = 0;
+        for (std::size_t i = 0; i < widths.size(); ++i)
+            line += widths[i] + (i + 1 < widths.size() ? 2 : 0);
+        os << std::string(line, '-') << "\n";
+    }
+    for (const auto &r : rows_)
+        emit(r);
+    return os.str();
+}
+
+void
+TextTable::print() const
+{
+    std::fputs(render().c_str(), stdout);
+    std::fputc('\n', stdout);
+}
+
+} // namespace diffy

@@ -1,0 +1,48 @@
+/**
+ * @file
+ * Plain-text table renderer used by the bench binaries to print
+ * paper-style tables and figure series to stdout.
+ */
+
+#ifndef DIFFY_COMMON_TABLE_HH
+#define DIFFY_COMMON_TABLE_HH
+
+#include <string>
+#include <vector>
+
+namespace diffy
+{
+
+/** Column-aligned text table with a title and a header row. */
+class TextTable
+{
+  public:
+    explicit TextTable(std::string title);
+
+    void setHeader(std::vector<std::string> header);
+    void addRow(std::vector<std::string> row);
+
+    /** Convenience: format a double with @p precision decimals. */
+    static std::string num(double v, int precision = 2);
+
+    /** Convenience: format as a multiplicative factor, e.g. "7.10x". */
+    static std::string factor(double v, int precision = 2);
+
+    /** Convenience: format as a percentage, e.g. "55.0%". */
+    static std::string percent(double v, int precision = 1);
+
+    /** Render to a string (also see print()). */
+    std::string render() const;
+
+    /** Render to stdout. */
+    void print() const;
+
+  private:
+    std::string title_;
+    std::vector<std::string> header_;
+    std::vector<std::vector<std::string>> rows_;
+};
+
+} // namespace diffy
+
+#endif // DIFFY_COMMON_TABLE_HH

@@ -1,0 +1,110 @@
+#include "core/experiment.hh"
+
+#include <algorithm>
+
+#include "common/cli.hh"
+
+namespace diffy
+{
+
+ExperimentParams
+ExperimentParams::fromCli(int argc, const char *const *argv)
+{
+    CliArgs args(argc, argv);
+    ExperimentParams params;
+    params.crop = static_cast<int>(args.getInt("crop", params.crop));
+    params.scenes = static_cast<int>(args.getInt("scenes", params.scenes));
+    params.frameHeight =
+        static_cast<int>(args.getInt("frame-h", params.frameHeight));
+    params.frameWidth =
+        static_cast<int>(args.getInt("frame-w", params.frameWidth));
+    params.memTech = args.getString("mem", params.memTech);
+    params.memChannels =
+        static_cast<int>(args.getInt("mem-channels", params.memChannels));
+    params.classificationCropDivisor = static_cast<int>(args.getInt(
+        "class-crop-div", params.classificationCropDivisor));
+    params.cacheDir = args.getString("cache", params.cacheDir);
+    return params;
+}
+
+std::vector<TracedNetwork>
+traceSuite(const std::vector<NetworkSpec> &suite,
+           const ExperimentParams &params, const ExecutorOptions &opts)
+{
+    TraceCache cache(params.cacheDir);
+    std::vector<SceneParams> scenes =
+        defaultEvalScenes(params.scenes, params.crop);
+
+    std::vector<TracedNetwork> traced;
+    traced.reserve(suite.size());
+    for (const auto &net : suite) {
+        TracedNetwork tn;
+        tn.spec = net;
+        for (auto scene : scenes) {
+            // Classification models run at (a crop of) their native
+            // resolution; CI-DNNs use the experiment crop.
+            if (net.nativeResolution > 0) {
+                int crop = net.nativeResolution /
+                           std::max(1, params.classificationCropDivisor);
+                // Keep the deepest backbone stage (divisor 32) at a
+                // nonzero spatial extent.
+                crop = std::max(crop, 64);
+                scene.width = crop;
+                scene.height = crop;
+            }
+            tn.traces.push_back(cache.get(net, scene, opts));
+        }
+        traced.push_back(std::move(tn));
+    }
+    return traced;
+}
+
+MemTech
+experimentMemTech(const ExperimentParams &params)
+{
+    return memTechByName(params.memTech, params.memChannels);
+}
+
+namespace
+{
+
+/** Frame height/width for a network under the experiment parameters. */
+std::pair<int, int>
+frameFor(const TracedNetwork &net, const ExperimentParams &params)
+{
+    if (net.spec.nativeResolution > 0)
+        return {net.spec.nativeResolution, net.spec.nativeResolution};
+    return {params.frameHeight, params.frameWidth};
+}
+
+} // namespace
+
+double
+averageFps(const TracedNetwork &net, const AcceleratorConfig &cfg,
+           const MemTech &mem, const ExperimentParams &params,
+           DiffyMode mode)
+{
+    auto [fh, fw] = frameFor(net, params);
+    double total_cycles = 0.0;
+    for (const auto &trace : net.traces) {
+        total_cycles +=
+            simulateFrame(trace, cfg, mem, fh, fw, mode).totalCycles;
+    }
+    if (total_cycles <= 0.0)
+        return 0.0;
+    double mean_cycles =
+        total_cycles / static_cast<double>(net.traces.size());
+    return cfg.clockHz / mean_cycles;
+}
+
+double
+speedupOver(const TracedNetwork &net, const AcceleratorConfig &cfg,
+            const AcceleratorConfig &baseline, const MemTech &mem,
+            const ExperimentParams &params, DiffyMode mode)
+{
+    double fps_cfg = averageFps(net, cfg, mem, params, mode);
+    double fps_base = averageFps(net, baseline, mem, params, mode);
+    return fps_base > 0.0 ? fps_cfg / fps_base : 0.0;
+}
+
+} // namespace diffy

@@ -1,0 +1,89 @@
+/**
+ * @file
+ * Shared experiment driver for the bench binaries.
+ *
+ * Wraps the common pattern of every evaluation figure: trace the five
+ * CI-DNNs (or the Fig 19 suite) over a set of scenes, run one or more
+ * accelerator configurations, and aggregate speedups / FPS / traffic
+ * across inputs. Bench binaries stay thin — they pick parameters and
+ * print tables.
+ */
+
+#ifndef DIFFY_CORE_EXPERIMENT_HH
+#define DIFFY_CORE_EXPERIMENT_HH
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "arch/config.hh"
+#include "arch/memtech.hh"
+#include "core/trace_cache.hh"
+#include "image/catalog.hh"
+#include "nn/models.hh"
+#include "sim/runner.hh"
+
+namespace diffy
+{
+
+/** Common command-line-derived parameters of an experiment run. */
+struct ExperimentParams
+{
+    /** Crop resolution for CI-DNN traces. */
+    int crop = 64;
+    /** Number of evaluation scenes. */
+    int scenes = 3;
+    /** Target frame for scaled results (HD by default). */
+    int frameHeight = 1080;
+    int frameWidth = 1920;
+    /** Off-chip memory for performance experiments. */
+    std::string memTech = "DDR4-3200";
+    int memChannels = 1;
+    /**
+     * Divisor applied to a classification model's native resolution
+     * when tracing (simulation still targets the native frame); keeps
+     * the Fig 19 suite tractable on one core. 1 = trace at native.
+     */
+    int classificationCropDivisor = 2;
+    /** Trace cache directory ("" disables). */
+    std::string cacheDir = "traces";
+
+    /** Build from argc/argv (--crop, --scenes, --frame-h, ...). */
+    static ExperimentParams fromCli(int argc, const char *const *argv);
+};
+
+/** Traces of one network over several scenes. */
+struct TracedNetwork
+{
+    NetworkSpec spec;
+    std::vector<NetworkTrace> traces;
+};
+
+/** Trace every network of @p suite over the default evaluation scenes. */
+std::vector<TracedNetwork> traceSuite(const std::vector<NetworkSpec> &suite,
+                                      const ExperimentParams &params,
+                                      const ExecutorOptions &opts = {});
+
+/**
+ * Average FPS of @p cfg over the traces of one network at the
+ * experiment's frame resolution.
+ */
+double averageFps(const TracedNetwork &net, const AcceleratorConfig &cfg,
+                  const MemTech &mem, const ExperimentParams &params,
+                  DiffyMode mode = DiffyMode::Differential);
+
+/**
+ * Speedup of @p cfg over @p baseline for one network (ratio of average
+ * frame times over the same scenes).
+ */
+double speedupOver(const TracedNetwork &net, const AcceleratorConfig &cfg,
+                   const AcceleratorConfig &baseline, const MemTech &mem,
+                   const ExperimentParams &params,
+                   DiffyMode mode = DiffyMode::Differential);
+
+/** The memory technology selected by the experiment parameters. */
+MemTech experimentMemTech(const ExperimentParams &params);
+
+} // namespace diffy
+
+#endif // DIFFY_CORE_EXPERIMENT_HH

@@ -1,0 +1,64 @@
+#include "core/trace_cache.hh"
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+namespace diffy
+{
+
+TraceCache::TraceCache(std::string directory)
+    : directory_(std::move(directory))
+{}
+
+std::string
+TraceCache::cacheKey(const NetworkSpec &net, const SceneParams &scene,
+                     const ExecutorOptions &opts)
+{
+    std::ostringstream os;
+    os << net.name << "_" << to_string(scene.kind) << "_" << scene.width
+       << "x" << scene.height << "_s" << std::hex << scene.seed << "_r"
+       << static_cast<int>(scene.roughness * 1000) << "_n"
+       << static_cast<int>(scene.noiseSigma * 1000) << "_w" << std::hex
+       << opts.weightSeed << "_p"
+       << static_cast<int>(opts.weightSparsity * 1000) << "_m" << std::hex
+       << opts.sparsitySeed << "_q" << std::dec
+       << static_cast<int>(opts.activationRelError * 100000);
+    return os.str();
+}
+
+NetworkTrace
+TraceCache::get(const NetworkSpec &net, const SceneParams &scene,
+                const ExecutorOptions &opts)
+{
+    std::filesystem::path path;
+    if (!directory_.empty()) {
+        path = std::filesystem::path(directory_) /
+               (cacheKey(net, scene, opts) + ".trace");
+        if (std::filesystem::exists(path)) {
+            std::ifstream in(path, std::ios::binary);
+            try {
+                return loadTrace(in);
+            } catch (const std::exception &) {
+                // Corrupt or stale cache entry: fall through and
+                // recompute; the store below overwrites it.
+            }
+        }
+    }
+
+    Tensor3<float> rgb = renderScene(scene);
+    NetworkTrace trace = runNetwork(net, rgb, opts);
+
+    if (!directory_.empty()) {
+        std::error_code ec;
+        std::filesystem::create_directories(directory_, ec);
+        if (!ec) {
+            std::ofstream out(path, std::ios::binary);
+            saveTrace(trace, out);
+        }
+    }
+    return trace;
+}
+
+} // namespace diffy

@@ -1,0 +1,52 @@
+/**
+ * @file
+ * On-disk cache of forward-pass traces.
+ *
+ * Several bench binaries consume the same (network, scene, crop)
+ * forward passes; the cache keys traces by those parameters plus the
+ * executor options and stores them under a cache directory (default
+ * "traces/" beneath the working directory) so repeated runs skip the
+ * float convolutions.
+ */
+
+#ifndef DIFFY_CORE_TRACE_CACHE_HH
+#define DIFFY_CORE_TRACE_CACHE_HH
+
+#include <string>
+
+#include "image/synth.hh"
+#include "nn/executor.hh"
+#include "nn/trace.hh"
+
+namespace diffy
+{
+
+/** Load-or-compute cache of network traces. */
+class TraceCache
+{
+  public:
+    /**
+     * @param directory cache directory; created on first store. An
+     *                  empty string disables disk caching entirely.
+     */
+    explicit TraceCache(std::string directory = "traces");
+
+    /**
+     * Return the trace of @p net on the scene, computing and caching
+     * it if absent.
+     */
+    NetworkTrace get(const NetworkSpec &net, const SceneParams &scene,
+                     const ExecutorOptions &opts = {});
+
+    /** Cache key for a (network, scene, options) combination. */
+    static std::string cacheKey(const NetworkSpec &net,
+                                const SceneParams &scene,
+                                const ExecutorOptions &opts);
+
+  private:
+    std::string directory_;
+};
+
+} // namespace diffy
+
+#endif // DIFFY_CORE_TRACE_CACHE_HH

@@ -1,0 +1,58 @@
+#include "encode/bitstream.hh"
+
+#include <stdexcept>
+
+namespace diffy
+{
+
+void
+BitWriter::write(std::uint32_t value, int bits)
+{
+    if (bits < 1 || bits > 32)
+        throw std::invalid_argument("BitWriter: bits out of range");
+    for (int i = 0; i < bits; ++i) {
+        std::size_t bit_index = bitCount_ + i;
+        if (bit_index / 8 >= bytes_.size())
+            bytes_.push_back(0);
+        if ((value >> i) & 1)
+            bytes_[bit_index / 8] |=
+                static_cast<std::uint8_t>(1u << (bit_index % 8));
+    }
+    bitCount_ += static_cast<std::size_t>(bits);
+}
+
+void
+BitWriter::writeSigned(std::int32_t value, int bits)
+{
+    write(static_cast<std::uint32_t>(value) &
+              (bits == 32 ? 0xFFFFFFFFu : ((1u << bits) - 1u)),
+          bits);
+}
+
+std::uint32_t
+BitReader::read(int bits)
+{
+    if (bits < 1 || bits > 32)
+        throw std::invalid_argument("BitReader: bits out of range");
+    if (!hasBits(static_cast<std::size_t>(bits)))
+        throw std::out_of_range("BitReader: stream exhausted");
+    std::uint32_t value = 0;
+    for (int i = 0; i < bits; ++i) {
+        std::size_t bit_index = pos_ + i;
+        if ((bytes_[bit_index / 8] >> (bit_index % 8)) & 1)
+            value |= 1u << i;
+    }
+    pos_ += static_cast<std::size_t>(bits);
+    return value;
+}
+
+std::int32_t
+BitReader::readSigned(int bits)
+{
+    std::uint32_t raw = read(bits);
+    if (bits < 32 && (raw & (1u << (bits - 1))))
+        raw |= ~((1u << bits) - 1u); // sign extend
+    return static_cast<std::int32_t>(raw);
+}
+
+} // namespace diffy

@@ -1,0 +1,68 @@
+/**
+ * @file
+ * Bit-granular stream writer/reader used by the activation codecs.
+ * Fields are packed LSB-first; signed fields use two's complement at
+ * the stated width.
+ */
+
+#ifndef DIFFY_ENCODE_BITSTREAM_HH
+#define DIFFY_ENCODE_BITSTREAM_HH
+
+#include <cstdint>
+#include <vector>
+
+namespace diffy
+{
+
+/** Append-only bit stream. */
+class BitWriter
+{
+  public:
+    /** Append the low @p bits of @p value (1..32 bits). */
+    void write(std::uint32_t value, int bits);
+
+    /** Append a signed value in two's complement at @p bits width. */
+    void writeSigned(std::int32_t value, int bits);
+
+    /** Number of bits written so far. */
+    std::size_t bitCount() const { return bitCount_; }
+
+    /** Finalized byte buffer (zero-padded to a byte boundary). */
+    const std::vector<std::uint8_t> &bytes() const { return bytes_; }
+
+  private:
+    std::vector<std::uint8_t> bytes_;
+    std::size_t bitCount_ = 0;
+};
+
+/** Sequential reader over a BitWriter's buffer. */
+class BitReader
+{
+  public:
+    explicit BitReader(const std::vector<std::uint8_t> &bytes)
+        : bytes_(bytes)
+    {}
+
+    /** Read @p bits (1..32) as an unsigned value. */
+    std::uint32_t read(int bits);
+
+    /** Read @p bits as a sign-extended two's complement value. */
+    std::int32_t readSigned(int bits);
+
+    /** Bits consumed so far. */
+    std::size_t bitPosition() const { return pos_; }
+
+    /** True if at least @p bits remain. */
+    bool hasBits(std::size_t bits) const
+    {
+        return pos_ + bits <= bytes_.size() * 8;
+    }
+
+  private:
+    const std::vector<std::uint8_t> &bytes_;
+    std::size_t pos_ = 0;
+};
+
+} // namespace diffy
+
+#endif // DIFFY_ENCODE_BITSTREAM_HH

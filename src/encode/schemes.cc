@@ -1,0 +1,409 @@
+#include "encode/schemes.hh"
+
+#include <stdexcept>
+
+#include "common/bitops.hh"
+#include "common/fixed_point.hh"
+#include "encode/bitstream.hh"
+
+namespace diffy
+{
+
+double
+ActivationCodec::bitsPerValue(const TensorI16 &t) const
+{
+    if (t.size() == 0)
+        return 0.0;
+    return static_cast<double>(encode(t).bits) /
+           static_cast<double>(t.size());
+}
+
+namespace
+{
+
+/** 16 bits per value, no metadata. */
+class NoCompressionCodec : public ActivationCodec
+{
+  public:
+    std::string name() const override { return "NoCompression"; }
+
+    EncodedTensor
+    encode(const TensorI16 &t) const override
+    {
+        BitWriter bw;
+        const std::int16_t *data = t.data();
+        for (std::size_t i = 0; i < t.size(); ++i)
+            bw.writeSigned(data[i], 16);
+        return {t.shape(), bw.bitCount(), bw.bytes()};
+    }
+
+    TensorI16
+    decode(const EncodedTensor &enc) const override
+    {
+        TensorI16 t(enc.shape);
+        BitReader br(enc.bytes);
+        for (std::size_t i = 0; i < t.size(); ++i)
+            t.data()[i] = static_cast<std::int16_t>(br.readSigned(16));
+        return t;
+    }
+};
+
+/**
+ * Zero run-length coding: entries of (4b zero-run, 16b value). A run
+ * of more than 15 zeros is carried by entries whose value is itself
+ * zero. The trailing run is carried by a final entry pair as needed.
+ */
+class RlezCodec : public ActivationCodec
+{
+  public:
+    std::string name() const override { return "RLEz"; }
+
+    EncodedTensor
+    encode(const TensorI16 &t) const override
+    {
+        BitWriter bw;
+        const std::int16_t *data = t.data();
+        std::size_t i = 0;
+        while (i < t.size()) {
+            int run = 0;
+            while (i < t.size() && data[i] == 0 && run < 15) {
+                ++run;
+                ++i;
+            }
+            if (i < t.size()) {
+                bw.write(static_cast<std::uint32_t>(run), 4);
+                bw.writeSigned(data[i], 16);
+                ++i;
+            } else {
+                // Trailing zeros: emit them as an explicit zero value.
+                bw.write(static_cast<std::uint32_t>(run - 1), 4);
+                bw.writeSigned(0, 16);
+            }
+        }
+        return {t.shape(), bw.bitCount(), bw.bytes()};
+    }
+
+    TensorI16
+    decode(const EncodedTensor &enc) const override
+    {
+        TensorI16 t(enc.shape);
+        BitReader br(enc.bytes);
+        std::size_t i = 0;
+        while (i < t.size()) {
+            int run = static_cast<int>(br.read(4));
+            std::int16_t value =
+                static_cast<std::int16_t>(br.readSigned(16));
+            for (int z = 0; z < run && i < t.size(); ++z)
+                t.data()[i++] = 0;
+            if (i < t.size())
+                t.data()[i++] = value;
+        }
+        return t;
+    }
+};
+
+/** Repeat run-length coding: entries of (4b run-1, 16b value). */
+class RleCodec : public ActivationCodec
+{
+  public:
+    std::string name() const override { return "RLE"; }
+
+    EncodedTensor
+    encode(const TensorI16 &t) const override
+    {
+        BitWriter bw;
+        const std::int16_t *data = t.data();
+        std::size_t i = 0;
+        while (i < t.size()) {
+            std::int16_t value = data[i];
+            int run = 1;
+            while (i + run < t.size() && data[i + run] == value &&
+                   run < 16) {
+                ++run;
+            }
+            bw.write(static_cast<std::uint32_t>(run - 1), 4);
+            bw.writeSigned(value, 16);
+            i += static_cast<std::size_t>(run);
+        }
+        return {t.shape(), bw.bitCount(), bw.bytes()};
+    }
+
+    TensorI16
+    decode(const EncodedTensor &enc) const override
+    {
+        TensorI16 t(enc.shape);
+        BitReader br(enc.bytes);
+        std::size_t i = 0;
+        while (i < t.size()) {
+            int run = static_cast<int>(br.read(4)) + 1;
+            std::int16_t value =
+                static_cast<std::int16_t>(br.readSigned(16));
+            for (int r = 0; r < run && i < t.size(); ++r)
+                t.data()[i++] = value;
+        }
+        return t;
+    }
+};
+
+/** Fixed-precision coding with saturation. */
+class ProfiledCodec : public ActivationCodec
+{
+  public:
+    explicit ProfiledCodec(int precision) : precision_(precision)
+    {
+        if (precision < 1 || precision > 16)
+            throw std::invalid_argument("ProfiledCodec: bad precision");
+    }
+
+    std::string
+    name() const override
+    {
+        return "Profiled" + std::to_string(precision_);
+    }
+
+    EncodedTensor
+    encode(const TensorI16 &t) const override
+    {
+        const std::int32_t lo = -(1 << (precision_ - 1));
+        const std::int32_t hi = (1 << (precision_ - 1)) - 1;
+        BitWriter bw;
+        const std::int16_t *data = t.data();
+        for (std::size_t i = 0; i < t.size(); ++i) {
+            std::int32_t v = data[i];
+            v = v < lo ? lo : (v > hi ? hi : v);
+            bw.writeSigned(v, precision_);
+        }
+        return {t.shape(), bw.bitCount(), bw.bytes()};
+    }
+
+    TensorI16
+    decode(const EncodedTensor &enc) const override
+    {
+        TensorI16 t(enc.shape);
+        BitReader br(enc.bytes);
+        for (std::size_t i = 0; i < t.size(); ++i) {
+            t.data()[i] =
+                static_cast<std::int16_t>(br.readSigned(precision_));
+        }
+        return t;
+    }
+
+  private:
+    int precision_;
+};
+
+/** Dynamic per-group precision over raw values (4b group header). */
+class RawDCodec : public ActivationCodec
+{
+  public:
+    explicit RawDCodec(int group_size) : groupSize_(group_size)
+    {
+        if (group_size < 1)
+            throw std::invalid_argument("RawDCodec: bad group size");
+    }
+
+    std::string
+    name() const override
+    {
+        return "RawD" + std::to_string(groupSize_);
+    }
+
+    EncodedTensor
+    encode(const TensorI16 &t) const override
+    {
+        BitWriter bw;
+        const std::int16_t *data = t.data();
+        for (std::size_t start = 0; start < t.size();
+             start += static_cast<std::size_t>(groupSize_)) {
+            std::size_t len = std::min(
+                static_cast<std::size_t>(groupSize_), t.size() - start);
+            int bits = groupBitsNeeded(data + start, len);
+            bw.write(static_cast<std::uint32_t>(bits - 1), 4);
+            for (std::size_t i = 0; i < len; ++i)
+                bw.writeSigned(data[start + i], bits);
+        }
+        return {t.shape(), bw.bitCount(), bw.bytes()};
+    }
+
+    TensorI16
+    decode(const EncodedTensor &enc) const override
+    {
+        TensorI16 t(enc.shape);
+        BitReader br(enc.bytes);
+        for (std::size_t start = 0; start < t.size();
+             start += static_cast<std::size_t>(groupSize_)) {
+            std::size_t len = std::min(
+                static_cast<std::size_t>(groupSize_), t.size() - start);
+            int bits = static_cast<int>(br.read(4)) + 1;
+            for (std::size_t i = 0; i < len; ++i) {
+                t.data()[start + i] =
+                    static_cast<std::int16_t>(br.readSigned(bits));
+            }
+        }
+        return t;
+    }
+
+  private:
+    int groupSize_;
+};
+
+/**
+ * Dynamic per-group precision over the X-axis delta stream. Rows lead
+ * with a raw value; deltas span up to 17 bits so the group header is
+ * 5 bits (see file comment).
+ */
+class DeltaDCodec : public ActivationCodec
+{
+  public:
+    explicit DeltaDCodec(int group_size) : groupSize_(group_size)
+    {
+        if (group_size < 1)
+            throw std::invalid_argument("DeltaDCodec: bad group size");
+    }
+
+    std::string
+    name() const override
+    {
+        return "DeltaD" + std::to_string(groupSize_);
+    }
+
+    EncodedTensor
+    encode(const TensorI16 &t) const override
+    {
+        // Delta stream in row-major within each (channel, row).
+        std::vector<std::int32_t> stream;
+        stream.reserve(t.size());
+        for (int c = 0; c < t.channels(); ++c) {
+            for (int y = 0; y < t.height(); ++y) {
+                std::int32_t prev = 0;
+                for (int x = 0; x < t.width(); ++x) {
+                    std::int32_t cur = t.at(c, y, x);
+                    stream.push_back(x == 0 ? cur : cur - prev);
+                    prev = cur;
+                }
+            }
+        }
+        BitWriter bw;
+        for (std::size_t start = 0; start < stream.size();
+             start += static_cast<std::size_t>(groupSize_)) {
+            std::size_t len = std::min(
+                static_cast<std::size_t>(groupSize_),
+                stream.size() - start);
+            int bits = 1;
+            for (std::size_t i = 0; i < len; ++i) {
+                int b = bitsNeeded(stream[start + i]);
+                if (b > bits)
+                    bits = b;
+            }
+            bw.write(static_cast<std::uint32_t>(bits - 1), 5);
+            for (std::size_t i = 0; i < len; ++i)
+                bw.writeSigned(stream[start + i], bits);
+        }
+        return {t.shape(), bw.bitCount(), bw.bytes()};
+    }
+
+    TensorI16
+    decode(const EncodedTensor &enc) const override
+    {
+        std::vector<std::int32_t> stream(
+            Shape3(enc.shape).volume());
+        BitReader br(enc.bytes);
+        for (std::size_t start = 0; start < stream.size();
+             start += static_cast<std::size_t>(groupSize_)) {
+            std::size_t len = std::min(
+                static_cast<std::size_t>(groupSize_),
+                stream.size() - start);
+            int bits = static_cast<int>(br.read(5)) + 1;
+            for (std::size_t i = 0; i < len; ++i)
+                stream[start + i] = br.readSigned(bits);
+        }
+        TensorI16 t(enc.shape);
+        std::size_t pos = 0;
+        for (int c = 0; c < t.channels(); ++c) {
+            for (int y = 0; y < t.height(); ++y) {
+                std::int32_t acc = 0;
+                for (int x = 0; x < t.width(); ++x) {
+                    if (x == 0)
+                        acc = stream[pos];
+                    else
+                        acc += stream[pos];
+                    ++pos;
+                    t.at(c, y, x) = saturate16(acc);
+                }
+            }
+        }
+        return t;
+    }
+
+  private:
+    int groupSize_;
+};
+
+} // namespace
+
+std::unique_ptr<ActivationCodec>
+makeNoCompressionCodec()
+{
+    return std::make_unique<NoCompressionCodec>();
+}
+
+std::unique_ptr<ActivationCodec>
+makeRlezCodec()
+{
+    return std::make_unique<RlezCodec>();
+}
+
+std::unique_ptr<ActivationCodec>
+makeRleCodec()
+{
+    return std::make_unique<RleCodec>();
+}
+
+std::unique_ptr<ActivationCodec>
+makeProfiledCodec(int precision_bits)
+{
+    return std::make_unique<ProfiledCodec>(precision_bits);
+}
+
+std::unique_ptr<ActivationCodec>
+makeRawDCodec(int group_size)
+{
+    return std::make_unique<RawDCodec>(group_size);
+}
+
+std::unique_ptr<ActivationCodec>
+makeDeltaDCodec(int group_size)
+{
+    return std::make_unique<DeltaDCodec>(group_size);
+}
+
+std::unique_ptr<ActivationCodec>
+makeCodec(Compression scheme, int profiled_bits)
+{
+    switch (scheme) {
+      case Compression::None:
+      case Compression::Ideal:
+        return makeNoCompressionCodec();
+      case Compression::Rlez:
+        return makeRlezCodec();
+      case Compression::Rle:
+        return makeRleCodec();
+      case Compression::Profiled:
+        return makeProfiledCodec(profiled_bits);
+      case Compression::RawD8:
+        return makeRawDCodec(8);
+      case Compression::RawD16:
+        return makeRawDCodec(16);
+      case Compression::RawD256:
+        return makeRawDCodec(256);
+      case Compression::DeltaD8:
+        return makeDeltaDCodec(8);
+      case Compression::DeltaD16:
+        return makeDeltaDCodec(16);
+      case Compression::DeltaD256:
+        return makeDeltaDCodec(256);
+    }
+    throw std::invalid_argument("makeCodec: unknown scheme");
+}
+
+} // namespace diffy

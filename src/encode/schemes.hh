@@ -1,0 +1,94 @@
+/**
+ * @file
+ * Activation compression codecs (paper Section II-E, Figs 5 and 14).
+ *
+ * Every scheme is implemented as a real encoder/decoder pair over a
+ * bitstream, so compressed sizes are *measured*, metadata included,
+ * and losslessness is verified by round-trip tests:
+ *
+ *  - NoCompression : 16b per value.
+ *  - RLEz          : (4b zero-run, 16b value) pairs; runs longer than
+ *                    15 continue through explicit zero entries.
+ *  - RLE           : (4b run-length, 16b value) pairs over repeated
+ *                    values (run length 1..16 per entry).
+ *  - Profiled      : fixed per-layer precision p; values saturate to
+ *                    p bits (lossless whenever p covers the layer,
+ *                    which is how the profiler picks p).
+ *  - RawD<g>       : dynamic per-group precision, groups of g values,
+ *                    4b width header per group (Dynamic Stripes).
+ *  - DeltaD<g>     : RawD over the X-axis delta stream (row-leading
+ *                    values raw). Deltas of int16 data need up to 17
+ *                    bits, so the group header is 5 bits — one more
+ *                    than the paper's raw-value header — keeping the
+ *                    codec lossless for arbitrary inputs.
+ */
+
+#ifndef DIFFY_ENCODE_SCHEMES_HH
+#define DIFFY_ENCODE_SCHEMES_HH
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "arch/config.hh"
+#include "tensor/tensor.hh"
+
+namespace diffy
+{
+
+/** Encoded form of one tensor. */
+struct EncodedTensor
+{
+    Shape3 shape;
+    std::size_t bits = 0; ///< exact payload+metadata size in bits
+    std::vector<std::uint8_t> bytes;
+};
+
+/** Interface of an activation codec. */
+class ActivationCodec
+{
+  public:
+    virtual ~ActivationCodec() = default;
+
+    virtual std::string name() const = 0;
+
+    /** Encode a tensor; the result records its exact bit count. */
+    virtual EncodedTensor encode(const TensorI16 &t) const = 0;
+
+    /** Decode an encode() result back to a tensor. */
+    virtual TensorI16 decode(const EncodedTensor &enc) const = 0;
+
+    /** Mean bits per value, metadata included. */
+    double bitsPerValue(const TensorI16 &t) const;
+};
+
+/** 16 bits per value. */
+std::unique_ptr<ActivationCodec> makeNoCompressionCodec();
+
+/** Run-length over zeros. */
+std::unique_ptr<ActivationCodec> makeRlezCodec();
+
+/** Run-length over repeated values. */
+std::unique_ptr<ActivationCodec> makeRleCodec();
+
+/** Fixed per-layer precision (profile-derived). */
+std::unique_ptr<ActivationCodec> makeProfiledCodec(int precision_bits);
+
+/** Dynamic per-group precision over raw values. */
+std::unique_ptr<ActivationCodec> makeRawDCodec(int group_size);
+
+/** Dynamic per-group precision over X-axis deltas. */
+std::unique_ptr<ActivationCodec> makeDeltaDCodec(int group_size);
+
+/**
+ * Codec for a Compression enum value. Profiled requires the layer's
+ * profiled precision; it is ignored by the other schemes. Ideal maps
+ * to NoCompression (its effect is modeled as infinite bandwidth by
+ * the memory system, not as a smaller stream).
+ */
+std::unique_ptr<ActivationCodec> makeCodec(Compression scheme,
+                                           int profiled_bits = 16);
+
+} // namespace diffy
+
+#endif // DIFFY_ENCODE_SCHEMES_HH

@@ -1,0 +1,71 @@
+/**
+ * @file
+ * Analytic power / energy / area model (paper Tables VI and VII).
+ *
+ * The paper obtains these numbers from synthesis + layout (65 nm TSMC)
+ * and CACTI; neither toolchain is available here, so we model each
+ * component with per-event energy coefficients and fixed area costs
+ * calibrated to the paper's published breakdowns (see DESIGN.md). The
+ * *activity* that multiplies the coefficients — lane-cycles, term
+ * operations, SRAM and DRAM traffic — comes from our cycle simulators,
+ * so relative power and energy efficiency across VAA/PRA/Diffy are
+ * produced, not assumed.
+ */
+
+#ifndef DIFFY_ENERGY_MODEL_HH
+#define DIFFY_ENERGY_MODEL_HH
+
+#include <string>
+#include <vector>
+
+#include "arch/config.hh"
+#include "nn/trace.hh"
+#include "sim/memsys.hh"
+
+namespace diffy
+{
+
+/** One row of the Table VI/VII style breakdowns. */
+struct ComponentReport
+{
+    std::string component;
+    double watts = 0.0;
+    double mm2 = 0.0;
+};
+
+/** Full power/area/efficiency report for one design. */
+struct EnergyReport
+{
+    Design design = Design::Vaa;
+    std::vector<ComponentReport> components;
+    double totalWatts = 0.0;
+    double totalMm2 = 0.0;
+    /** Execution cycles the report was computed over. */
+    double cycles = 0.0;
+    /** On-chip energy for the run, joules. */
+    double onChipJoules = 0.0;
+    /** Off-chip DRAM energy for the run, joules. */
+    double dramJoules = 0.0;
+};
+
+/**
+ * Build the power/area report of a design executing @p perf (one
+ * frame). @p compute supplies activity counts; @p trace supplies
+ * value statistics for SRAM access accounting.
+ */
+EnergyReport buildEnergyReport(const NetworkTrace &trace,
+                               const NetworkComputeResult &compute,
+                               const FramePerf &perf,
+                               const AcceleratorConfig &cfg);
+
+/**
+ * Energy efficiency of @p a relative to @p b for the same workload:
+ * (perf_a / perf_b) / (power_a / power_b), the paper's metric.
+ */
+double relativeEnergyEfficiency(const EnergyReport &a, const FramePerf &pa,
+                                const EnergyReport &b,
+                                const FramePerf &pb);
+
+} // namespace diffy
+
+#endif // DIFFY_ENERGY_MODEL_HH

@@ -1,0 +1,92 @@
+#include "image/catalog.hh"
+
+namespace diffy
+{
+
+namespace
+{
+
+std::vector<SceneParams>
+makeScenes(const std::vector<SceneKind> &kinds, int count, int crop,
+           std::uint64_t seed_base, double noise_sigma, double roughness)
+{
+    std::vector<SceneParams> scenes;
+    scenes.reserve(count);
+    for (int i = 0; i < count; ++i) {
+        SceneParams p;
+        p.kind = kinds[i % kinds.size()];
+        p.width = crop;
+        p.height = crop;
+        p.seed = seed_base + static_cast<std::uint64_t>(i) * 7919;
+        p.roughness = roughness;
+        p.noiseSigma = noise_sigma;
+        scenes.push_back(p);
+    }
+    return scenes;
+}
+
+} // namespace
+
+std::vector<DatasetSpec>
+datasetCatalog(int samples_per_set, int crop)
+{
+    std::vector<DatasetSpec> catalog;
+
+    catalog.push_back({"CBSD68", "Berkeley segmentation test images",
+                       68,
+                       makeScenes({SceneKind::Nature, SceneKind::Portrait,
+                                   SceneKind::City},
+                                  samples_per_set, crop, 0x1001, 0.0, 0.55)});
+    catalog.push_back({"McMaster", "CDM demosaicking set",
+                       18,
+                       makeScenes({SceneKind::Texture, SceneKind::Nature},
+                                  samples_per_set, crop, 0x2002, 0.0, 0.5)});
+    catalog.push_back({"Kodak24", "Kodak photographic set",
+                       24,
+                       makeScenes({SceneKind::Nature, SceneKind::Gradient,
+                                   SceneKind::Portrait},
+                                  samples_per_set, crop, 0x3003, 0.0, 0.45)});
+    catalog.push_back({"RNI15", "real-noise images (camera, JPEG)",
+                       15,
+                       makeScenes({SceneKind::Nature, SceneKind::City},
+                                  samples_per_set, crop, 0x4004, 0.04, 0.5)});
+    catalog.push_back({"LIVE1", "super-resolution evaluation set",
+                       29,
+                       makeScenes({SceneKind::Nature, SceneKind::Texture},
+                                  samples_per_set, crop, 0x5005, 0.0, 0.5)});
+    catalog.push_back({"Set5+Set14", "classic super-resolution sets",
+                       19,
+                       makeScenes({SceneKind::Portrait, SceneKind::Nature,
+                                   SceneKind::Texture},
+                                  samples_per_set, crop, 0x6006, 0.0, 0.5)});
+    catalog.push_back({"HD33", "HD frames: nature, city, texture",
+                       33,
+                       makeScenes({SceneKind::Nature, SceneKind::City,
+                                   SceneKind::Texture},
+                                  samples_per_set, crop, 0x7007, 0.0, 0.5)});
+    return catalog;
+}
+
+std::vector<SceneParams>
+defaultEvalScenes(int count, int crop)
+{
+    return makeScenes({SceneKind::Nature, SceneKind::City,
+                       SceneKind::Texture, SceneKind::Gradient,
+                       SceneKind::Portrait},
+                      count, crop, 0xBEEF, 0.0, 0.5);
+}
+
+SceneParams
+barbaraScene(int crop)
+{
+    SceneParams p;
+    p.kind = SceneKind::Texture;
+    p.width = crop;
+    p.height = crop;
+    p.seed = 0xBA1BA1;
+    p.roughness = 0.55;
+    p.noiseSigma = 0.0;
+    return p;
+}
+
+} // namespace diffy

@@ -1,0 +1,57 @@
+/**
+ * @file
+ * Dataset catalog mirroring the paper's Table II.
+ *
+ * Each catalog entry substitutes one of the paper's test sets with a
+ * deterministic list of procedural scenes at matching resolutions
+ * (see src/image/synth.hh for why this preserves the statistics the
+ * experiments rely on). The sample counts are scaled down so every
+ * experiment runs in minutes on one core; the `--samples` flag on the
+ * bench binaries restores larger sweeps.
+ */
+
+#ifndef DIFFY_IMAGE_CATALOG_HH
+#define DIFFY_IMAGE_CATALOG_HH
+
+#include <string>
+#include <vector>
+
+#include "image/synth.hh"
+
+namespace diffy
+{
+
+/** One Table II dataset substitute. */
+struct DatasetSpec
+{
+    std::string name;        ///< paper dataset this stands in for
+    std::string description; ///< what the paper used
+    int paperSamples = 0;    ///< sample count reported in Table II
+    std::vector<SceneParams> scenes; ///< our procedural substitutes
+};
+
+/**
+ * The full catalog (CBSD68, McMaster, Kodak24, RNI15, LIVE1,
+ * Set5+Set14, HD33). Scene resolutions match Table II; HD33 scenes
+ * are generated at a crop resolution and marked for analytic scaling.
+ *
+ * @param samples_per_set number of procedural scenes per dataset
+ * @param crop            spatial size at which scenes are rendered
+ */
+std::vector<DatasetSpec> datasetCatalog(int samples_per_set, int crop);
+
+/**
+ * A small default evaluation set: a few representative scenes drawn
+ * from across the catalog, used by most bench binaries.
+ */
+std::vector<SceneParams> defaultEvalScenes(int count, int crop);
+
+/**
+ * The "Barbara"-analogue used by Fig 2: a textured scene with strong
+ * periodic content and edges.
+ */
+SceneParams barbaraScene(int crop);
+
+} // namespace diffy
+
+#endif // DIFFY_IMAGE_CATALOG_HH

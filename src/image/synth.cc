@@ -1,0 +1,291 @@
+#include "image/synth.hh"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "common/rng.hh"
+
+namespace diffy
+{
+
+namespace
+{
+
+/**
+ * Smooth value-noise lattice: random values at grid points, bicubic
+ * smoothstep interpolation in between. One octave of the fractal sum.
+ */
+class ValueNoise
+{
+  public:
+    ValueNoise(Rng &rng, int gw, int gh) : gw_(gw), gh_(gh)
+    {
+        grid_.resize(static_cast<std::size_t>(gw) * gh);
+        for (auto &v : grid_)
+            v = static_cast<float>(rng.uniform(-1.0, 1.0));
+    }
+
+    float
+    sample(double u, double v) const
+    {
+        // u, v in [0, 1): map to the grid with wraparound.
+        double gx = u * gw_;
+        double gy = v * gh_;
+        int x0 = static_cast<int>(gx) % gw_;
+        int y0 = static_cast<int>(gy) % gh_;
+        int x1 = (x0 + 1) % gw_;
+        int y1 = (y0 + 1) % gh_;
+        double fx = gx - static_cast<int>(gx);
+        double fy = gy - static_cast<int>(gy);
+        double sx = fx * fx * (3.0 - 2.0 * fx);
+        double sy = fy * fy * (3.0 - 2.0 * fy);
+        double a = at(x0, y0) * (1 - sx) + at(x1, y0) * sx;
+        double b = at(x0, y1) * (1 - sx) + at(x1, y1) * sx;
+        return static_cast<float>(a * (1 - sy) + b * sy);
+    }
+
+  private:
+    float at(int x, int y) const { return grid_[std::size_t(y) * gw_ + x]; }
+
+    int gw_, gh_;
+    std::vector<float> grid_;
+};
+
+/** Fractal (multi-octave) noise field in roughly [-1, 1]. */
+Tensor3<float>
+fractalField(Rng &rng, int w, int h, double roughness, int octaves)
+{
+    Tensor3<float> field(1, h, w, 0.0f);
+    double amp = 1.0;
+    double total = 0.0;
+    int cells = 4;
+    for (int o = 0; o < octaves; ++o) {
+        ValueNoise noise(rng, cells, cells);
+        for (int y = 0; y < h; ++y) {
+            for (int x = 0; x < w; ++x) {
+                field.at(0, y, x) += static_cast<float>(
+                    amp * noise.sample(double(x) / w, double(y) / h));
+            }
+        }
+        total += amp;
+        amp *= roughness; // persistence: higher = rougher spectrum
+        cells *= 2;
+        if (cells > std::max(w, h))
+            break;
+    }
+    for (int y = 0; y < h; ++y) {
+        for (int x = 0; x < w; ++x)
+            field.at(0, y, x) /= static_cast<float>(total);
+    }
+    return field;
+}
+
+float
+clamp01(float v)
+{
+    return v < 0.0f ? 0.0f : (v > 1.0f ? 1.0f : v);
+}
+
+/** Overlay random axis-aligned flat rectangles (buildings, windows). */
+void
+overlayRectangles(Rng &rng, Tensor3<float> &lum, int count)
+{
+    int h = lum.height();
+    int w = lum.width();
+    for (int i = 0; i < count; ++i) {
+        int rw = 2 + static_cast<int>(rng.below(std::max(2, w / 3)));
+        int rh = 2 + static_cast<int>(rng.below(std::max(2, h / 3)));
+        int x0 = static_cast<int>(rng.below(std::max(1, w - rw)));
+        int y0 = static_cast<int>(rng.below(std::max(1, h - rh)));
+        float level = static_cast<float>(rng.uniform());
+        for (int y = y0; y < y0 + rh && y < h; ++y) {
+            for (int x = x0; x < x0 + rw && x < w; ++x)
+                lum.at(0, y, x) = level;
+        }
+    }
+}
+
+/** Quasi-periodic texture base (stripes at a random orientation). */
+void
+overlayStripes(Rng &rng, Tensor3<float> &lum, double weight)
+{
+    int h = lum.height();
+    int w = lum.width();
+    double theta = rng.uniform(0.0, M_PI);
+    double freq = rng.uniform(4.0, 14.0) * 2.0 * M_PI /
+                  static_cast<double>(std::max(w, h));
+    double cx = std::cos(theta) * freq;
+    double cy = std::sin(theta) * freq;
+    for (int y = 0; y < h; ++y) {
+        for (int x = 0; x < w; ++x) {
+            double s = 0.5 + 0.5 * std::sin(cx * x + cy * y);
+            lum.at(0, y, x) = static_cast<float>(
+                (1.0 - weight) * lum.at(0, y, x) + weight * s);
+        }
+    }
+}
+
+/** Smooth radial blobs (portrait-like shading) plus a few contours. */
+void
+overlayBlobs(Rng &rng, Tensor3<float> &lum, int count)
+{
+    int h = lum.height();
+    int w = lum.width();
+    for (int i = 0; i < count; ++i) {
+        double bx = rng.uniform(0.2, 0.8) * w;
+        double by = rng.uniform(0.2, 0.8) * h;
+        double r = rng.uniform(0.15, 0.45) * std::min(w, h);
+        double level = rng.uniform(0.2, 0.9);
+        for (int y = 0; y < h; ++y) {
+            for (int x = 0; x < w; ++x) {
+                double d = std::hypot(x - bx, y - by) / r;
+                if (d < 1.0) {
+                    double wgt = 0.5 * (1.0 + std::cos(M_PI * d));
+                    lum.at(0, y, x) = static_cast<float>(
+                        lum.at(0, y, x) * (1.0 - wgt) + level * wgt);
+                }
+            }
+        }
+    }
+}
+
+} // namespace
+
+Tensor3<float>
+renderScene(const SceneParams &params)
+{
+    Rng rng(params.seed);
+    const int w = params.width;
+    const int h = params.height;
+
+    // Luminance plane first; chroma is derived from lower-frequency
+    // fields so channels stay correlated like real photographs.
+    Tensor3<float> lum(1, h, w, 0.5f);
+    switch (params.kind) {
+      case SceneKind::Nature: {
+        lum = fractalField(rng, w, h, params.roughness, 7);
+        for (int y = 0; y < h; ++y) {
+            for (int x = 0; x < w; ++x)
+                lum.at(0, y, x) = 0.5f + 0.5f * lum.at(0, y, x);
+        }
+        break;
+      }
+      case SceneKind::City: {
+        lum = fractalField(rng, w, h, params.roughness * 0.6, 4);
+        for (int y = 0; y < h; ++y) {
+            for (int x = 0; x < w; ++x)
+                lum.at(0, y, x) = 0.5f + 0.35f * lum.at(0, y, x);
+        }
+        overlayRectangles(rng, lum, 24);
+        break;
+      }
+      case SceneKind::Texture: {
+        lum = fractalField(rng, w, h, params.roughness, 6);
+        for (int y = 0; y < h; ++y) {
+            for (int x = 0; x < w; ++x)
+                lum.at(0, y, x) = 0.5f + 0.3f * lum.at(0, y, x);
+        }
+        overlayStripes(rng, lum, 0.5);
+        break;
+      }
+      case SceneKind::Gradient: {
+        double gx = rng.uniform(-1.0, 1.0);
+        double gy = rng.uniform(-1.0, 1.0);
+        for (int y = 0; y < h; ++y) {
+            for (int x = 0; x < w; ++x) {
+                double v = 0.5 + 0.4 * (gx * (double(x) / w - 0.5) +
+                                        gy * (double(y) / h - 0.5));
+                lum.at(0, y, x) = static_cast<float>(v);
+            }
+        }
+        break;
+      }
+      case SceneKind::Portrait: {
+        lum = fractalField(rng, w, h, params.roughness * 0.5, 4);
+        for (int y = 0; y < h; ++y) {
+            for (int x = 0; x < w; ++x)
+                lum.at(0, y, x) = 0.45f + 0.2f * lum.at(0, y, x);
+        }
+        overlayBlobs(rng, lum, 4);
+        break;
+      }
+    }
+
+    // Low-frequency chroma offsets.
+    Tensor3<float> chromaU = fractalField(rng, w, h, 0.35, 3);
+    Tensor3<float> chromaV = fractalField(rng, w, h, 0.35, 3);
+
+    Tensor3<float> img(3, h, w);
+    for (int y = 0; y < h; ++y) {
+        for (int x = 0; x < w; ++x) {
+            float l = lum.at(0, y, x);
+            float u = 0.15f * chromaU.at(0, y, x);
+            float v = 0.15f * chromaV.at(0, y, x);
+            float noise_r = 0.0f, noise_g = 0.0f, noise_b = 0.0f;
+            if (params.noiseSigma > 0.0) {
+                noise_r = static_cast<float>(
+                    rng.gaussian(0.0, params.noiseSigma));
+                noise_g = static_cast<float>(
+                    rng.gaussian(0.0, params.noiseSigma));
+                noise_b = static_cast<float>(
+                    rng.gaussian(0.0, params.noiseSigma));
+            }
+            img.at(0, y, x) = clamp01(l + u + noise_r);
+            img.at(1, y, x) = clamp01(l - 0.5f * u - 0.5f * v + noise_g);
+            img.at(2, y, x) = clamp01(l + v + noise_b);
+        }
+    }
+    return img;
+}
+
+SceneKind
+sceneKindFromString(const std::string &name)
+{
+    if (name == "nature")
+        return SceneKind::Nature;
+    if (name == "city")
+        return SceneKind::City;
+    if (name == "texture")
+        return SceneKind::Texture;
+    if (name == "gradient")
+        return SceneKind::Gradient;
+    if (name == "portrait")
+        return SceneKind::Portrait;
+    throw std::invalid_argument("unknown scene kind: " + name);
+}
+
+std::string
+to_string(SceneKind kind)
+{
+    switch (kind) {
+      case SceneKind::Nature:
+        return "nature";
+      case SceneKind::City:
+        return "city";
+      case SceneKind::Texture:
+        return "texture";
+      case SceneKind::Gradient:
+        return "gradient";
+      case SceneKind::Portrait:
+        return "portrait";
+    }
+    return "unknown";
+}
+
+double
+meanAbsXDelta(const Tensor3<float> &img)
+{
+    double acc = 0.0;
+    std::size_t n = 0;
+    for (int c = 0; c < img.channels(); ++c) {
+        for (int y = 0; y < img.height(); ++y) {
+            for (int x = 1; x < img.width(); ++x) {
+                acc += std::abs(img.at(c, y, x) - img.at(c, y, x - 1));
+                ++n;
+            }
+        }
+    }
+    return n ? acc / static_cast<double>(n) : 0.0;
+}
+
+} // namespace diffy

@@ -1,0 +1,56 @@
+#include "nn/layer.hh"
+
+namespace diffy
+{
+
+int
+NetworkSpec::reluLayerCount() const
+{
+    int count = 0;
+    for (const auto &layer : layers)
+        count += layer.relu ? 1 : 0;
+    return count;
+}
+
+std::size_t
+NetworkSpec::maxFilterBytes() const
+{
+    std::size_t best = 0;
+    for (const auto &layer : layers)
+        best = std::max(best, layer.filterBytes());
+    return best;
+}
+
+std::size_t
+NetworkSpec::maxLayerWeightBytes() const
+{
+    std::size_t best = 0;
+    for (const auto &layer : layers)
+        best = std::max(best, layer.layerWeightBytes());
+    return best;
+}
+
+std::size_t
+NetworkSpec::totalWeightBytes() const
+{
+    std::size_t total = 0;
+    for (const auto &layer : layers)
+        total += layer.layerWeightBytes();
+    return total;
+}
+
+double
+NetworkSpec::macsPerFrame(int frame_h, int frame_w) const
+{
+    double total = 0.0;
+    for (const auto &layer : layers) {
+        int in_h = frame_h / layer.resolutionDivisor;
+        int in_w = frame_w / layer.resolutionDivisor;
+        double outputs = static_cast<double>(layer.outDim(in_h)) *
+                         layer.outDim(in_w) * layer.outChannels;
+        total += outputs * static_cast<double>(layer.macsPerOutput());
+    }
+    return total;
+}
+
+} // namespace diffy

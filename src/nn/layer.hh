@@ -1,0 +1,112 @@
+/**
+ * @file
+ * Convolutional layer and network descriptors.
+ *
+ * Only convolutional (+ReLU) layers are modeled: the CI-DNNs of the
+ * paper are fully convolutional, and for the classification models of
+ * Fig 19 only the convolutional layers are accelerated (as in the
+ * paper's methodology). Spatial resampling between layers (pooling /
+ * pixel-shuffle) is expressed via the layer's input scale factor.
+ */
+
+#ifndef DIFFY_NN_LAYER_HH
+#define DIFFY_NN_LAYER_HH
+
+#include <string>
+#include <vector>
+
+#include "tensor/tensor.hh"
+
+namespace diffy
+{
+
+/** One convolutional layer. */
+struct ConvLayerSpec
+{
+    std::string name;
+    int inChannels = 1;
+    int outChannels = 1;
+    int kernel = 3;   ///< square kernels throughout the studied models
+    int stride = 1;
+    int dilation = 1; ///< IRCNN uses dilated 3x3 kernels
+    bool relu = true;
+    /**
+     * Resolution divisor of this layer's input relative to the network
+     * input (e.g. 2 after one 2x2 pooling step, or for FFDNet's
+     * pixel-unshuffled operation). Used when scaling work to a target
+     * frame resolution.
+     */
+    int resolutionDivisor = 1;
+
+    /** Effective receptive extent of the (possibly dilated) kernel. */
+    int effectiveKernel() const { return dilation * (kernel - 1) + 1; }
+
+    /** Same-padding amount used by all studied models. */
+    int samePad() const { return (effectiveKernel() - 1) / 2; }
+
+    /** Output spatial size for an input of the given size. */
+    int outDim(int in) const
+    {
+        return (in + 2 * samePad() - effectiveKernel()) / stride + 1;
+    }
+
+    /** Multiply-accumulate operations per output activation. */
+    std::size_t macsPerOutput() const
+    {
+        return static_cast<std::size_t>(inChannels) * kernel * kernel;
+    }
+
+    /** Weight footprint of one filter in bytes at 16-bit precision. */
+    std::size_t filterBytes() const
+    {
+        return static_cast<std::size_t>(inChannels) * kernel * kernel * 2;
+    }
+
+    /** Weight footprint of the whole layer in bytes. */
+    std::size_t layerWeightBytes() const
+    {
+        return filterBytes() * static_cast<std::size_t>(outChannels);
+    }
+};
+
+/** Network categories used to group results as the paper does. */
+enum class NetClass
+{
+    CiDnn,          ///< per-pixel computational imaging (Table I)
+    Classification, ///< ImageNet-style classification
+    Detection       ///< detection / segmentation (Fig 19 extras)
+};
+
+/** A whole (sequential) network. */
+struct NetworkSpec
+{
+    std::string name;
+    NetClass netClass = NetClass::CiDnn;
+    /** Channels of the tensor fed to the first conv layer. */
+    int inputChannels = 3;
+    /**
+     * Native input resolution for classification models; CI-DNNs are
+     * resolution-agnostic and use 0 here.
+     */
+    int nativeResolution = 0;
+    std::vector<ConvLayerSpec> layers;
+
+    int convLayerCount() const { return static_cast<int>(layers.size()); }
+    int reluLayerCount() const;
+
+    /** Largest single filter across layers, bytes (Table I row 3). */
+    std::size_t maxFilterBytes() const;
+
+    /** Largest per-layer total filter footprint (Table I row 4). */
+    std::size_t maxLayerWeightBytes() const;
+
+    /** Total weight footprint across all layers, bytes. */
+    std::size_t totalWeightBytes() const;
+
+    /** MACs needed for one frame of the given full resolution. */
+    double macsPerFrame(int frame_h, int frame_w) const;
+};
+
+} // namespace diffy
+
+#endif // DIFFY_NN_LAYER_HH

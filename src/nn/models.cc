@@ -1,0 +1,330 @@
+#include "nn/models.hh"
+
+#include <stdexcept>
+
+namespace diffy
+{
+
+namespace
+{
+
+ConvLayerSpec
+conv(std::string name, int in_c, int out_c, int kernel, bool relu,
+     int stride = 1, int dilation = 1, int res_div = 1)
+{
+    ConvLayerSpec l;
+    l.name = std::move(name);
+    l.inChannels = in_c;
+    l.outChannels = out_c;
+    l.kernel = kernel;
+    l.stride = stride;
+    l.dilation = dilation;
+    l.relu = relu;
+    l.resolutionDivisor = res_div;
+    return l;
+}
+
+std::string
+layerName(const std::string &prefix, int index)
+{
+    return prefix + "_" + std::to_string(index);
+}
+
+} // namespace
+
+NetworkSpec
+makeDnCnn()
+{
+    // 20 conv layers: 3->64, 18x 64->64, 64->3; ReLU on all but the
+    // last (19 ReLU layers, matching Table I).
+    NetworkSpec net;
+    net.name = "DnCNN";
+    net.netClass = NetClass::CiDnn;
+    net.inputChannels = 3;
+    net.layers.push_back(conv("conv_1", 3, 64, 3, true));
+    for (int i = 2; i <= 19; ++i)
+        net.layers.push_back(conv(layerName("conv", i), 64, 64, 3, true));
+    net.layers.push_back(conv("conv_20", 64, 3, 3, false));
+    return net;
+}
+
+NetworkSpec
+makeFfdNet()
+{
+    // FFDNet operates on a 2x2 pixel-unshuffled input (12 channels)
+    // concatenated with 3 noise-level channels = 15-channel input at
+    // half resolution; 96 feature channels; 12-channel output that is
+    // re-shuffled to full resolution. 10 conv layers, 9 ReLU.
+    NetworkSpec net;
+    net.name = "FFDNet";
+    net.netClass = NetClass::CiDnn;
+    net.inputChannels = 15;
+    net.layers.push_back(conv("conv_1", 15, 96, 3, true, 1, 1, 2));
+    for (int i = 2; i <= 9; ++i) {
+        net.layers.push_back(
+            conv(layerName("conv", i), 96, 96, 3, true, 1, 1, 2));
+    }
+    net.layers.push_back(conv("conv_10", 96, 12, 3, false, 1, 1, 2));
+    return net;
+}
+
+NetworkSpec
+makeIrCnn()
+{
+    // 7 dilated conv layers (dilations 1,2,3,4,3,2,1), 64 channels,
+    // 6 ReLU layers.
+    NetworkSpec net;
+    net.name = "IRCNN";
+    net.netClass = NetClass::CiDnn;
+    net.inputChannels = 3;
+    const int dilations[7] = {1, 2, 3, 4, 3, 2, 1};
+    net.layers.push_back(conv("conv_1", 3, 64, 3, true, 1, dilations[0]));
+    for (int i = 2; i <= 6; ++i) {
+        net.layers.push_back(conv(layerName("conv", i), 64, 64, 3, true, 1,
+                                  dilations[i - 1]));
+    }
+    net.layers.push_back(conv("conv_7", 64, 3, 3, false, 1, dilations[6]));
+    return net;
+}
+
+NetworkSpec
+makeJointNet()
+{
+    // Joint demosaicking + denoising in the style of Gharbi et al.:
+    // the Bayer mosaic is packed 2x2 into 4 channels processed at half
+    // resolution, a 128-channel expansion layer feeds a pixel-shuffle
+    // back to full resolution (32 channels + 3 mosaic channels), and a
+    // short full-resolution head produces RGB. 19 conv layers, 16 ReLU,
+    // max per-layer weights = 128 x 1.13KB = 144KB (Table I).
+    NetworkSpec net;
+    net.name = "JointNet";
+    net.netClass = NetClass::CiDnn;
+    net.inputChannels = 4;
+    net.layers.push_back(conv("conv_1", 4, 64, 3, true, 1, 1, 2));
+    for (int i = 2; i <= 15; ++i) {
+        net.layers.push_back(
+            conv(layerName("conv", i), 64, 64, 3, true, 1, 1, 2));
+    }
+    net.layers.push_back(conv("conv_16", 64, 128, 3, true, 1, 1, 2));
+    // Full-resolution head after the pixel shuffle (128/4 + 3 = 35 ch).
+    net.layers.push_back(conv("conv_17", 35, 64, 3, false));
+    net.layers.push_back(conv("conv_18", 64, 64, 3, false));
+    net.layers.push_back(conv("conv_19", 64, 3, 3, false));
+    return net;
+}
+
+NetworkSpec
+makeVdsr()
+{
+    // 20-layer residual super-resolution on the bicubic-upscaled
+    // luminance plane: 1->64, 18x 64->64, 64->1; 19 ReLU.
+    NetworkSpec net;
+    net.name = "VDSR";
+    net.netClass = NetClass::CiDnn;
+    net.inputChannels = 1;
+    net.layers.push_back(conv("conv_1", 1, 64, 3, true));
+    for (int i = 2; i <= 19; ++i)
+        net.layers.push_back(conv(layerName("conv", i), 64, 64, 3, true));
+    net.layers.push_back(conv("conv_20", 64, 1, 3, false));
+    return net;
+}
+
+std::vector<NetworkSpec>
+ciDnnSuite()
+{
+    return {makeDnCnn(), makeFfdNet(), makeIrCnn(), makeJointNet(),
+            makeVdsr()};
+}
+
+NetworkSpec
+makeAlexNetConv()
+{
+    NetworkSpec net;
+    net.name = "AlexNet";
+    net.netClass = NetClass::Classification;
+    net.inputChannels = 3;
+    net.nativeResolution = 224;
+    net.layers.push_back(conv("conv1", 3, 96, 11, true, 4, 1, 1));
+    net.layers.push_back(conv("conv2", 96, 256, 5, true, 1, 1, 8));
+    net.layers.push_back(conv("conv3", 256, 384, 3, true, 1, 1, 16));
+    net.layers.push_back(conv("conv4", 384, 384, 3, true, 1, 1, 16));
+    net.layers.push_back(conv("conv5", 384, 256, 3, true, 1, 1, 16));
+    return net;
+}
+
+NetworkSpec
+makeNinConv()
+{
+    NetworkSpec net;
+    net.name = "NiN";
+    net.netClass = NetClass::Classification;
+    net.inputChannels = 3;
+    net.nativeResolution = 224;
+    net.layers.push_back(conv("conv1", 3, 96, 11, true, 4));
+    net.layers.push_back(conv("cccp1", 96, 96, 1, true, 1, 1, 4));
+    net.layers.push_back(conv("cccp2", 96, 96, 1, true, 1, 1, 4));
+    net.layers.push_back(conv("conv2", 96, 256, 5, true, 1, 1, 8));
+    net.layers.push_back(conv("cccp3", 256, 256, 1, true, 1, 1, 8));
+    net.layers.push_back(conv("cccp4", 256, 256, 1, true, 1, 1, 8));
+    net.layers.push_back(conv("conv3", 256, 384, 3, true, 1, 1, 16));
+    net.layers.push_back(conv("cccp5", 384, 384, 1, true, 1, 1, 16));
+    net.layers.push_back(conv("cccp6", 384, 384, 1, true, 1, 1, 16));
+    net.layers.push_back(conv("conv4", 384, 1024, 3, true, 1, 1, 32));
+    net.layers.push_back(conv("cccp7", 1024, 1024, 1, true, 1, 1, 32));
+    net.layers.push_back(conv("cccp8", 1024, 1000, 1, true, 1, 1, 32));
+    return net;
+}
+
+NetworkSpec
+makeVgg19Conv()
+{
+    NetworkSpec net;
+    net.name = "VGG19";
+    net.netClass = NetClass::Classification;
+    net.inputChannels = 3;
+    net.nativeResolution = 224;
+    struct Stage { int channels; int layers; int divisor; };
+    const Stage stages[5] = {
+        {64, 2, 1}, {128, 2, 2}, {256, 4, 4}, {512, 4, 8}, {512, 4, 16}};
+    int in_c = 3;
+    int idx = 1;
+    for (const auto &s : stages) {
+        for (int i = 0; i < s.layers; ++i) {
+            net.layers.push_back(conv(layerName("conv", idx++), in_c,
+                                      s.channels, 3, true, 1, 1, s.divisor));
+            in_c = s.channels;
+        }
+    }
+    return net;
+}
+
+NetworkSpec
+makeFcnSeg()
+{
+    // FCN-8s style semantic segmentation: VGG16 backbone + score conv.
+    NetworkSpec net = makeVgg19Conv();
+    net.name = "FCN_Seg";
+    net.netClass = NetClass::Detection;
+    net.nativeResolution = 384;
+    // VGG16 backbone: drop one conv from each of the three deep stages.
+    std::vector<ConvLayerSpec> backbone;
+    int stage_counts[5] = {2, 2, 3, 3, 3};
+    int cursor = 0;
+    int stage_sizes[5] = {2, 2, 4, 4, 4};
+    for (int s = 0; s < 5; ++s) {
+        for (int i = 0; i < stage_counts[s]; ++i)
+            backbone.push_back(net.layers[cursor + i]);
+        cursor += stage_sizes[s];
+    }
+    net.layers = std::move(backbone);
+    net.layers.push_back(conv("score", 512, 21, 1, false, 1, 1, 32));
+    return net;
+}
+
+NetworkSpec
+makeYoloV2Conv()
+{
+    // Darknet-19 backbone + detection head at 416x416.
+    NetworkSpec net;
+    net.name = "YOLO_V2";
+    net.netClass = NetClass::Detection;
+    net.inputChannels = 3;
+    net.nativeResolution = 416;
+    auto block = [&](int idx, int in_c, int out_c, int k, int div) {
+        net.layers.push_back(
+            conv(layerName("conv", idx), in_c, out_c, k, true, 1, 1, div));
+    };
+    block(1, 3, 32, 3, 1);
+    block(2, 32, 64, 3, 2);
+    block(3, 64, 128, 3, 4);
+    block(4, 128, 64, 1, 4);
+    block(5, 64, 128, 3, 4);
+    block(6, 128, 256, 3, 8);
+    block(7, 256, 128, 1, 8);
+    block(8, 128, 256, 3, 8);
+    block(9, 256, 512, 3, 16);
+    block(10, 512, 256, 1, 16);
+    block(11, 256, 512, 3, 16);
+    block(12, 512, 256, 1, 16);
+    block(13, 256, 512, 3, 16);
+    block(14, 512, 1024, 3, 32);
+    block(15, 1024, 512, 1, 32);
+    block(16, 512, 1024, 3, 32);
+    block(17, 1024, 512, 1, 32);
+    block(18, 512, 1024, 3, 32);
+    block(19, 1024, 1024, 3, 32);
+    block(20, 1024, 1024, 3, 32);
+    net.layers.push_back(conv("detect", 1024, 425, 1, false, 1, 1, 32));
+    return net;
+}
+
+NetworkSpec
+makeSegNet()
+{
+    // VGG16 encoder + mirrored decoder.
+    NetworkSpec net;
+    net.name = "SegNet";
+    net.netClass = NetClass::Detection;
+    net.inputChannels = 3;
+    net.nativeResolution = 360;
+    struct Stage { int channels; int layers; int divisor; };
+    const Stage enc[5] = {
+        {64, 2, 1}, {128, 2, 2}, {256, 3, 4}, {512, 3, 8}, {512, 3, 16}};
+    int in_c = 3;
+    int idx = 1;
+    for (const auto &s : enc) {
+        for (int i = 0; i < s.layers; ++i) {
+            net.layers.push_back(conv(layerName("enc", idx++), in_c,
+                                      s.channels, 3, true, 1, 1, s.divisor));
+            in_c = s.channels;
+        }
+    }
+    const Stage dec[5] = {
+        {512, 3, 16}, {256, 3, 8}, {128, 2, 4}, {64, 2, 2}, {64, 1, 1}};
+    idx = 1;
+    for (const auto &s : dec) {
+        for (int i = 0; i < s.layers; ++i) {
+            bool last_stage = (&s == &dec[4]) && (i == s.layers - 1);
+            int out_c = s.channels;
+            net.layers.push_back(conv(layerName("dec", idx++), in_c, out_c,
+                                      3, !last_stage, 1, 1, s.divisor));
+            in_c = out_c;
+        }
+    }
+    net.layers.push_back(conv("classify", 64, 12, 3, false, 1, 1, 1));
+    return net;
+}
+
+std::vector<NetworkSpec>
+classificationSuite()
+{
+    return {makeAlexNetConv(), makeNinConv(), makeVgg19Conv(), makeFcnSeg(),
+            makeYoloV2Conv(), makeSegNet()};
+}
+
+NetworkSpec
+makeNetwork(const std::string &name)
+{
+    for (const auto &net : ciDnnSuite()) {
+        if (net.name == name)
+            return net;
+    }
+    for (const auto &net : classificationSuite()) {
+        if (net.name == name)
+            return net;
+    }
+    throw std::invalid_argument("unknown network: " + name);
+}
+
+std::vector<std::string>
+zooNames()
+{
+    std::vector<std::string> names;
+    for (const auto &net : ciDnnSuite())
+        names.push_back(net.name);
+    for (const auto &net : classificationSuite())
+        names.push_back(net.name);
+    return names;
+}
+
+} // namespace diffy

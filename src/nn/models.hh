@@ -1,0 +1,72 @@
+/**
+ * @file
+ * Model zoo: the five CI-DNNs of Table I plus the classification,
+ * detection and segmentation models used in Fig 19.
+ *
+ * Topologies (depth, channel counts, kernel sizes, strides, dilation,
+ * resolution divisors) follow the published architectures; weights are
+ * synthesized (see DESIGN.md for why that preserves the studied
+ * statistics). The Table I structural invariants — conv/ReLU layer
+ * counts, max filter bytes, max per-layer filter bytes — are asserted
+ * by the test suite against the paper's numbers.
+ */
+
+#ifndef DIFFY_NN_MODELS_HH
+#define DIFFY_NN_MODELS_HH
+
+#include <string>
+#include <vector>
+
+#include "nn/layer.hh"
+
+namespace diffy
+{
+
+/** DnCNN: 20-layer residual Gaussian denoiser (Zhang et al.). */
+NetworkSpec makeDnCnn();
+
+/** FFDNet: denoiser on a 4x pixel-unshuffled input + noise map. */
+NetworkSpec makeFfdNet();
+
+/** IRCNN: 7-layer dilated-convolution denoiser prior. */
+NetworkSpec makeIrCnn();
+
+/** JointNet: joint demosaicking + denoising (Gharbi et al. style). */
+NetworkSpec makeJointNet();
+
+/** VDSR: 20-layer single-image super-resolution (Kim et al.). */
+NetworkSpec makeVdsr();
+
+/** All five Table I CI-DNNs, in the paper's order. */
+std::vector<NetworkSpec> ciDnnSuite();
+
+/** AlexNet convolutional layers (ImageNet classification). */
+NetworkSpec makeAlexNetConv();
+
+/** Network-in-Network convolutional layers. */
+NetworkSpec makeNinConv();
+
+/** VGG-19 convolutional layers. */
+NetworkSpec makeVgg19Conv();
+
+/** FCN semantic segmentation (VGG16 backbone + score layers). */
+NetworkSpec makeFcnSeg();
+
+/** YOLOv2 (Darknet-19 backbone) convolutional layers. */
+NetworkSpec makeYoloV2Conv();
+
+/** SegNet encoder-decoder convolutional layers. */
+NetworkSpec makeSegNet();
+
+/** The Fig 19 suite: classification + detection/segmentation models. */
+std::vector<NetworkSpec> classificationSuite();
+
+/** Look up any zoo model by name; throws on unknown names. */
+NetworkSpec makeNetwork(const std::string &name);
+
+/** Names of every model in the zoo. */
+std::vector<std::string> zooNames();
+
+} // namespace diffy
+
+#endif // DIFFY_NN_MODELS_HH

@@ -1,0 +1,156 @@
+#include "nn/trace.hh"
+
+#include <istream>
+#include <ostream>
+#include <stdexcept>
+
+namespace diffy
+{
+
+double
+LayerTrace::weightDensity()
+ const
+{
+    if (weights.size() == 0)
+        return 0.0;
+    std::size_t nonzero = 0;
+    const std::int16_t *data = weights.data();
+    for (std::size_t i = 0; i < weights.size(); ++i)
+        nonzero += data[i] != 0;
+    return static_cast<double>(nonzero) /
+           static_cast<double>(weights.size());
+}
+
+namespace
+{
+
+constexpr std::uint32_t kTraceMagic = 0xD1FF7001;
+
+template <typename T>
+void
+writePod(std::ostream &os, const T &v)
+{
+    os.write(reinterpret_cast<const char *>(&v), sizeof(T));
+}
+
+template <typename T>
+T
+readPod(std::istream &is)
+{
+    T v{};
+    is.read(reinterpret_cast<char *>(&v), sizeof(T));
+    if (!is)
+        throw std::runtime_error("trace stream truncated");
+    return v;
+}
+
+void
+writeString(std::ostream &os, const std::string &s)
+{
+    writePod(os, static_cast<std::uint32_t>(s.size()));
+    os.write(s.data(), static_cast<std::streamsize>(s.size()));
+}
+
+std::string
+readString(std::istream &is)
+{
+    auto n = readPod<std::uint32_t>(is);
+    std::string s(n, '\0');
+    is.read(s.data(), n);
+    if (!is)
+        throw std::runtime_error("trace stream truncated");
+    return s;
+}
+
+void
+writeI16Block(std::ostream &os, const std::int16_t *data, std::size_t n)
+{
+    os.write(reinterpret_cast<const char *>(data),
+             static_cast<std::streamsize>(n * sizeof(std::int16_t)));
+}
+
+void
+readI16Block(std::istream &is, std::int16_t *data, std::size_t n)
+{
+    is.read(reinterpret_cast<char *>(data),
+            static_cast<std::streamsize>(n * sizeof(std::int16_t)));
+    if (!is)
+        throw std::runtime_error("trace stream truncated");
+}
+
+} // namespace
+
+void
+saveTrace(const NetworkTrace &trace, std::ostream &os)
+{
+    writePod(os, kTraceMagic);
+    writeString(os, trace.network);
+    writePod(os, static_cast<std::int32_t>(trace.netClass));
+    writePod(os, static_cast<std::int32_t>(trace.frameHeight));
+    writePod(os, static_cast<std::int32_t>(trace.frameWidth));
+    writePod(os, static_cast<std::uint32_t>(trace.layers.size()));
+    for (const auto &layer : trace.layers) {
+        writeString(os, layer.spec.name);
+        writePod(os, static_cast<std::int32_t>(layer.spec.inChannels));
+        writePod(os, static_cast<std::int32_t>(layer.spec.outChannels));
+        writePod(os, static_cast<std::int32_t>(layer.spec.kernel));
+        writePod(os, static_cast<std::int32_t>(layer.spec.stride));
+        writePod(os, static_cast<std::int32_t>(layer.spec.dilation));
+        writePod(os, static_cast<std::int32_t>(layer.spec.relu ? 1 : 0));
+        writePod(os,
+                 static_cast<std::int32_t>(layer.spec.resolutionDivisor));
+        writePod(os, static_cast<std::int32_t>(layer.imapFracBits));
+        writePod(os, static_cast<std::int32_t>(layer.weightFracBits));
+        const auto &is3 = layer.imap.shape();
+        writePod(os, static_cast<std::int32_t>(is3.c));
+        writePod(os, static_cast<std::int32_t>(is3.h));
+        writePod(os, static_cast<std::int32_t>(is3.w));
+        writeI16Block(os, layer.imap.data(), layer.imap.size());
+        const auto &ws = layer.weights.shape();
+        writePod(os, static_cast<std::int32_t>(ws.k));
+        writePod(os, static_cast<std::int32_t>(ws.c));
+        writePod(os, static_cast<std::int32_t>(ws.h));
+        writePod(os, static_cast<std::int32_t>(ws.w));
+        writeI16Block(os, layer.weights.data(), layer.weights.size());
+    }
+}
+
+NetworkTrace
+loadTrace(std::istream &is)
+{
+    if (readPod<std::uint32_t>(is) != kTraceMagic)
+        throw std::runtime_error("bad trace magic");
+    NetworkTrace trace;
+    trace.network = readString(is);
+    trace.netClass = static_cast<NetClass>(readPod<std::int32_t>(is));
+    trace.frameHeight = readPod<std::int32_t>(is);
+    trace.frameWidth = readPod<std::int32_t>(is);
+    auto layer_count = readPod<std::uint32_t>(is);
+    trace.layers.resize(layer_count);
+    for (auto &layer : trace.layers) {
+        layer.spec.name = readString(is);
+        layer.spec.inChannels = readPod<std::int32_t>(is);
+        layer.spec.outChannels = readPod<std::int32_t>(is);
+        layer.spec.kernel = readPod<std::int32_t>(is);
+        layer.spec.stride = readPod<std::int32_t>(is);
+        layer.spec.dilation = readPod<std::int32_t>(is);
+        layer.spec.relu = readPod<std::int32_t>(is) != 0;
+        layer.spec.resolutionDivisor = readPod<std::int32_t>(is);
+        layer.imapFracBits = readPod<std::int32_t>(is);
+        layer.weightFracBits = readPod<std::int32_t>(is);
+        int ic = readPod<std::int32_t>(is);
+        int ih = readPod<std::int32_t>(is);
+        int iw = readPod<std::int32_t>(is);
+        layer.imap = TensorI16(ic, ih, iw);
+        readI16Block(is, layer.imap.data(), layer.imap.size());
+        int wk = readPod<std::int32_t>(is);
+        int wc = readPod<std::int32_t>(is);
+        int wh = readPod<std::int32_t>(is);
+        int ww = readPod<std::int32_t>(is);
+        layer.weights = FilterBankI16(wk, wc, wh, ww);
+        readI16Block(is, layer.weights.data(), layer.weights.size());
+    }
+    return trace;
+}
+
+} // namespace diffy

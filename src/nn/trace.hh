@@ -1,0 +1,76 @@
+/**
+ * @file
+ * Layer traces: the quantized value streams the accelerator models
+ * consume.
+ *
+ * A LayerTrace captures, for one convolutional layer of one inference,
+ * everything the cycle-level simulators and the analysis/compression
+ * modules need: the quantized input feature map (imap), the quantized
+ * weights, and the layer descriptor. Traces are serializable so bench
+ * binaries can share a cache of forward passes.
+ */
+
+#ifndef DIFFY_NN_TRACE_HH
+#define DIFFY_NN_TRACE_HH
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "nn/layer.hh"
+#include "tensor/tensor.hh"
+
+namespace diffy
+{
+
+/** Captured state of one layer execution. */
+struct LayerTrace
+{
+    ConvLayerSpec spec;
+    /** Quantized input activations (C, H, W), pre-padding. */
+    TensorI16 imap;
+    /** Fractional bits of the imap fixed-point format. */
+    int imapFracBits = 0;
+    /** Quantized filter bank (K, C, Kh, Kw). */
+    FilterBankI16 weights;
+    /** Fractional bits of the weight fixed-point format. */
+    int weightFracBits = 0;
+
+    /** Spatial output height for this trace's imap. */
+    int outHeight() const { return spec.outDim(imap.height()); }
+    /** Spatial output width for this trace's imap. */
+    int outWidth() const { return spec.outDim(imap.width()); }
+    /** Total output activations for this trace's imap. */
+    std::size_t outCount() const
+    {
+        return static_cast<std::size_t>(spec.outChannels) * outHeight() *
+               outWidth();
+    }
+    /** Fraction of nonzero quantized weights. */
+    double weightDensity() const;
+};
+
+/** Captured state of one full-network inference. */
+struct NetworkTrace
+{
+    std::string network;
+    NetClass netClass = NetClass::CiDnn;
+    /** Spatial size of the frame this trace was captured on. */
+    int frameHeight = 0;
+    int frameWidth = 0;
+    std::vector<LayerTrace> layers;
+};
+
+/** Serialize a trace to a binary stream (format versioned). */
+void saveTrace(const NetworkTrace &trace, std::ostream &os);
+
+/**
+ * Deserialize a trace written by saveTrace().
+ * @throws std::runtime_error on format mismatch or truncation.
+ */
+NetworkTrace loadTrace(std::istream &is);
+
+} // namespace diffy
+
+#endif // DIFFY_NN_TRACE_HH

@@ -1,0 +1,35 @@
+#include "sim/activity.hh"
+
+#include "common/bitops.hh"
+
+namespace diffy
+{
+
+TermTensors
+computeTermTensors(const LayerTrace &layer, WalkCost cost)
+{
+    const TensorI16 &imap = layer.imap;
+    const int stride = layer.spec.stride;
+    auto metric = [cost](std::int32_t v) -> std::uint8_t {
+        if (cost == WalkCost::BoothTerms)
+            return static_cast<std::uint8_t>(boothTerms(v));
+        return static_cast<std::uint8_t>(bitsNeeded(v));
+    };
+    TermTensors tt;
+    tt.raw = Tensor3<std::uint8_t>(imap.shape());
+    tt.delta = Tensor3<std::uint8_t>(imap.shape());
+    for (int c = 0; c < imap.channels(); ++c) {
+        for (int y = 0; y < imap.height(); ++y) {
+            for (int x = 0; x < imap.width(); ++x) {
+                std::int32_t cur = imap.at(c, y, x);
+                tt.raw.at(c, y, x) = metric(cur);
+                std::int32_t prev =
+                    x >= stride ? imap.at(c, y, x - stride) : 0;
+                tt.delta.at(c, y, x) = metric(cur - prev);
+            }
+        }
+    }
+    return tt;
+}
+
+} // namespace diffy

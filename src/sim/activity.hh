@@ -1,0 +1,93 @@
+/**
+ * @file
+ * Shared pre-computation for the cycle-level simulators: per-value
+ * effectual-term tensors for the raw and differential activation
+ * streams of a layer.
+ *
+ * For a layer with stride S, the differential stream feeds window
+ * column x with the element-wise difference between its window and
+ * the window at x-1, i.e. the input-side delta at distance S. The
+ * first window of each output row is processed raw; input positions
+ * whose "previous window" tap falls into the zero padding naturally
+ * degenerate to the raw value (delta against zero).
+ */
+
+#ifndef DIFFY_SIM_ACTIVITY_HH
+#define DIFFY_SIM_ACTIVITY_HH
+
+#include <cstdint>
+
+#include "nn/trace.hh"
+#include "tensor/tensor.hh"
+
+namespace diffy
+{
+
+/** Booth-term counts for the two value streams of one layer. */
+struct TermTensors
+{
+    /** Terms of the raw imap value at (c, y, x). */
+    Tensor3<std::uint8_t> raw;
+    /**
+     * Terms of the stride-distance X-delta at (c, y, x):
+     * boothTerms(a[x] - a[x - S]), or the raw terms for x < S.
+     */
+    Tensor3<std::uint8_t> delta;
+};
+
+/**
+ * Per-value cost metric of a serial lane:
+ *  - BoothTerms: effectual-term serial (PRA/Diffy) — cycles equal the
+ *    nonzero NAF digits of the value;
+ *  - BitSerial: precision-serial (Dynamic Stripes) — cycles equal the
+ *    two's complement width of the value (zero still needs 1 bit).
+ */
+enum class WalkCost
+{
+    BoothTerms,
+    BitSerial
+};
+
+/** Compute both cost tensors for a traced layer under @p cost. */
+TermTensors computeTermTensors(const LayerTrace &layer,
+                               WalkCost cost = WalkCost::BoothTerms);
+
+/** Aggregate compute-side statistics of one simulated layer. */
+struct LayerComputeStats
+{
+    std::string layerName;
+    /** Cycles the compute grid needs at the trace resolution. */
+    double computeCycles = 0.0;
+    /** Term-processing slots that did useful work. */
+    double usefulSlots = 0.0;
+    /** Total term-processing slots elapsed (cycles x grid size). */
+    double totalSlots = 0.0;
+    /** Output activations produced at the trace resolution. */
+    double traceOutputs = 0.0;
+    /** MAC count at the trace resolution (work-invariant). */
+    double traceMacs = 0.0;
+
+    double usefulFraction() const
+    {
+        return totalSlots > 0.0 ? usefulSlots / totalSlots : 0.0;
+    }
+};
+
+/** Compute result over a whole network. */
+struct NetworkComputeResult
+{
+    std::string network;
+    std::vector<LayerComputeStats> layers;
+
+    double totalComputeCycles() const
+    {
+        double total = 0.0;
+        for (const auto &l : layers)
+            total += l.computeCycles;
+        return total;
+    }
+};
+
+} // namespace diffy
+
+#endif // DIFFY_SIM_ACTIVITY_HH

@@ -1,0 +1,81 @@
+#include "sim/diffy_sim.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "sim/pra.hh"
+
+namespace diffy
+{
+
+namespace
+{
+
+/**
+ * Delta-out occupancy per pallet: each of the windowColumns output
+ * bricks takes two steps (fetch+activate the reference brick, then
+ * subtract and write), per concurrent filter brick.
+ */
+double
+deltaOutCyclesPerPallet(const AcceleratorConfig &cfg)
+{
+    const int filter_bricks = (cfg.filtersPerTile + 15) / 16;
+    return 2.0 * cfg.windowColumns * filter_bricks;
+}
+
+/** Apply the Delta-out occupancy floor to a differential result. */
+LayerComputeStats
+applyDeltaOutFloor(LayerComputeStats stats, const LayerTrace &layer,
+                   const AcceleratorConfig &cfg)
+{
+    const int out_w = layer.outWidth();
+    const int out_h = layer.outHeight();
+    // Spatial work-sharing spreads the pallets (and their Delta-out
+    // write-backs) across the surplus tiles.
+    const double pallets =
+        static_cast<double>(out_h) *
+        std::ceil(static_cast<double>(out_w) / cfg.windowColumns) /
+        cfg.spatialSplit(layer.spec.outChannels);
+    const double floor_cycles = pallets * deltaOutCyclesPerPallet(cfg);
+    if (stats.computeCycles < floor_cycles) {
+        // The engine, not the SIP grid, paces the layer.
+        const double scale = floor_cycles / stats.computeCycles;
+        stats.computeCycles = floor_cycles;
+        stats.totalSlots *= scale;
+    }
+    return stats;
+}
+
+} // namespace
+
+LayerComputeStats
+simulateDiffyLayer(const LayerTrace &layer, const AcceleratorConfig &cfg,
+                   DiffyMode mode)
+{
+    if (mode == DiffyMode::Raw)
+        return simulateTermSerialLayer(layer, cfg, /*differential=*/false);
+
+    LayerComputeStats diff = applyDeltaOutFloor(
+        simulateTermSerialLayer(layer, cfg, /*differential=*/true), layer,
+        cfg);
+    if (mode == DiffyMode::Differential)
+        return diff;
+
+    LayerComputeStats raw =
+        simulateTermSerialLayer(layer, cfg, /*differential=*/false);
+    return diff.computeCycles <= raw.computeCycles ? diff : raw;
+}
+
+NetworkComputeResult
+simulateDiffy(const NetworkTrace &trace, const AcceleratorConfig &cfg,
+              DiffyMode mode)
+{
+    NetworkComputeResult result;
+    result.network = trace.network;
+    result.layers.reserve(trace.layers.size());
+    for (const auto &layer : trace.layers)
+        result.layers.push_back(simulateDiffyLayer(layer, cfg, mode));
+    return result;
+}
+
+} // namespace diffy

@@ -1,0 +1,55 @@
+/**
+ * @file
+ * Cycle model of the Diffy accelerator (paper Section III, Figs 9-10).
+ *
+ * Diffy is PRA with two additions:
+ *
+ *  - Differential Reconstruction (DR) engines per SIP: window columns
+ *    process the delta stream; outputs are reconstructed by a cascaded
+ *    column-to-column addition, overlapped with the (much longer)
+ *    processing of the next pallet. Only the first window of each
+ *    output row is computed from raw values — subsequent pallets get
+ *    their base from column 15 of the previous pallet, round-robin.
+ *
+ *  - A Delta-out engine per tile that writes output bricks back to the
+ *    activation memory as deltas (two steps per output brick). It runs
+ *    concurrently with pallet processing; a pallet can only retire
+ *    when the engine has drained the previous pallet's bricks, which
+ *    the model enforces as a per-pallet occupancy floor.
+ *
+ * A per-layer raw-mode fallback mirrors the DR multiplexer that lets
+ * Diffy revert to normal convolution where deltas would hurt.
+ */
+
+#ifndef DIFFY_SIM_DIFFY_HH
+#define DIFFY_SIM_DIFFY_HH
+
+#include "arch/config.hh"
+#include "sim/activity.hh"
+
+namespace diffy
+{
+
+/** Per-layer policy for the differential mode. */
+enum class DiffyMode
+{
+    Differential, ///< always process deltas (paper's default)
+    Raw,          ///< force normal convolution (fallback mux)
+    Auto          ///< per-layer: pick whichever simulates faster
+};
+
+/** Simulate one layer on Diffy with the given mode. */
+LayerComputeStats simulateDiffyLayer(const LayerTrace &layer,
+                                     const AcceleratorConfig &cfg,
+                                     DiffyMode mode
+                                     = DiffyMode::Differential);
+
+/** Simulate a whole network trace on Diffy. */
+NetworkComputeResult simulateDiffy(const NetworkTrace &trace,
+                                   const AcceleratorConfig &cfg,
+                                   DiffyMode mode
+                                   = DiffyMode::Differential);
+
+} // namespace diffy
+
+#endif // DIFFY_SIM_DIFFY_HH

@@ -1,0 +1,240 @@
+#include "sim/functional.hh"
+
+#include <algorithm>
+#include <limits>
+#include <stdexcept>
+
+namespace diffy
+{
+
+void
+OffsetGenerator::load(std::int32_t value)
+{
+    offsets_.clear();
+    cursor_ = 0;
+    std::int64_t v = value;
+    std::uint8_t exponent = 0;
+    while (v != 0) {
+        if (v & 1) {
+            std::int64_t d = 2 - (v & 3); // +1 or -1 (NAF digit)
+            offsets_.push_back({exponent, d < 0});
+            v -= d;
+        }
+        v >>= 1;
+        ++exponent;
+    }
+}
+
+std::int64_t
+OffsetGenerator::apply(std::int16_t weight, Oneffset offset)
+{
+    std::int64_t shifted = static_cast<std::int64_t>(weight)
+                           << offset.exponent;
+    return offset.negative ? -shifted : shifted;
+}
+
+TensorI32
+strideDeltas(const TensorI32 &t, int stride)
+{
+    TensorI32 out(t.shape());
+    for (int c = 0; c < t.channels(); ++c) {
+        for (int y = 0; y < t.height(); ++y) {
+            for (int x = 0; x < t.width(); ++x) {
+                std::int32_t cur = t.at(c, y, x);
+                std::int32_t prev =
+                    x >= stride ? t.at(c, y, x - stride) : 0;
+                out.at(c, y, x) = cur - prev;
+            }
+        }
+    }
+    return out;
+}
+
+TensorI32
+strideDeltasInverse(const TensorI32 &deltas, int stride)
+{
+    TensorI32 out(deltas.shape());
+    for (int c = 0; c < deltas.channels(); ++c) {
+        for (int y = 0; y < deltas.height(); ++y) {
+            for (int x = 0; x < deltas.width(); ++x) {
+                std::int32_t prev =
+                    x >= stride ? out.at(c, y, x - stride) : 0;
+                out.at(c, y, x) = deltas.at(c, y, x) + prev;
+            }
+        }
+    }
+    return out;
+}
+
+namespace
+{
+
+/**
+ * One SIP column's processing of a single brick step: every lane
+ * recodes its value and streams offsets against the per-filter
+ * weights; the column's step cost is the longest lane stream (the
+ * lanes share the adder tree scheduling), minimum one cycle.
+ */
+struct StepOutcome
+{
+    int cycles = 1;
+    std::uint64_t terms = 0;
+};
+
+} // namespace
+
+FunctionalResult
+runFunctionalTile(const LayerTrace &layer, const AcceleratorConfig &cfg,
+                  bool differential, int stride_next)
+{
+    const auto &spec = layer.spec;
+    const TensorI16 &imap = layer.imap;
+    const FilterBankI16 &weights = layer.weights;
+    if (weights.channels() != imap.channels())
+        throw std::invalid_argument("functional tile: channel mismatch");
+
+    const int out_h = layer.outHeight();
+    const int out_w = layer.outWidth();
+    const int filters = spec.outChannels;
+    const int cols = cfg.windowColumns;
+    const int lanes = cfg.termsPerFilter;
+    const int in_h = imap.height();
+    const int in_w = imap.width();
+    const int k = spec.kernel;
+    const int d = spec.dilation;
+    const int s = spec.stride;
+    const int pad = spec.samePad();
+    const int c_bricks = (spec.inChannels + lanes - 1) / lanes;
+
+    FunctionalResult result;
+    result.omap = TensorI32(filters, out_h, out_w);
+
+    // Accumulators for the windows of the current pallet: one per
+    // (filter, column). These play the role of the AB_out registers.
+    std::vector<std::int64_t> acc(
+        static_cast<std::size_t>(filters) * cols);
+    std::vector<OffsetGenerator> lane_gens(
+        static_cast<std::size_t>(lanes));
+    std::vector<double> col_cycles(static_cast<std::size_t>(cols));
+
+    for (int oy = 0; oy < out_h; ++oy) {
+        for (int px = 0; px < out_w; px += cols) {
+            const int cols_here = std::min(cols, out_w - px);
+            std::fill(acc.begin(), acc.end(), 0);
+            std::fill(col_cycles.begin(), col_cycles.end(), 0.0);
+
+            for (int cb = 0; cb < c_bricks; ++cb) {
+                const int c_lo = cb * lanes;
+                const int c_hi =
+                    std::min(c_lo + lanes, spec.inChannels);
+                for (int ky = 0; ky < k; ++ky) {
+                    const int iy = oy * s + ky * d - pad;
+                    const bool row_padded = iy < 0 || iy >= in_h;
+                    for (int kx = 0; kx < k; ++kx) {
+                        for (int j = 0; j < cols_here; ++j) {
+                            if (row_padded) {
+                                col_cycles[j] += 1.0;
+                                continue;
+                            }
+                            const int wx = px + j;
+                            const int ix = wx * s + kx * d - pad;
+                            const bool raw = !differential || wx == 0;
+                            const int ixp = ix - s;
+                            // A step does work when the tap is in
+                            // bounds, or — differentially — when the
+                            // previous window's tap was (the delta is
+                            // then 0 - prev at the padding edge).
+                            const bool active =
+                                (ix >= 0 && ix < in_w) ||
+                                (!raw && ixp >= 0 && ixp < in_w);
+                            int step_cost = 0;
+                            if (active) {
+                                for (int c = c_lo; c < c_hi; ++c) {
+                                    std::int32_t cur =
+                                        (ix >= 0 && ix < in_w)
+                                            ? imap.at(c, iy, ix)
+                                            : 0;
+                                    std::int32_t value = cur;
+                                    if (!raw) {
+                                        std::int32_t prev =
+                                            (ixp >= 0 && ixp < in_w)
+                                                ? imap.at(c, iy, ixp)
+                                                : 0;
+                                        value = cur - prev;
+                                    }
+                                    OffsetGenerator &gen =
+                                        lane_gens[c - c_lo];
+                                    gen.load(value);
+                                    step_cost = std::max(
+                                        step_cost,
+                                        static_cast<int>(
+                                            gen.remaining()));
+                                    // Stream the lane's offsets into
+                                    // every filter's accumulator
+                                    // (the SIP rows share the
+                                    // activation lane).
+                                    while (!gen.exhausted()) {
+                                        Oneffset off = gen.next();
+                                        ++result.termsProcessed;
+                                        for (int f = 0; f < filters;
+                                             ++f) {
+                                            acc[std::size_t(f) * cols +
+                                                j] +=
+                                                OffsetGenerator::apply(
+                                                    weights.at(f, c, ky,
+                                                               kx),
+                                                    off);
+                                        }
+                                    }
+                                }
+                            }
+                            col_cycles[j] +=
+                                std::max(1, step_cost);
+                        }
+                    }
+                }
+            }
+
+            // Pallet barrier: the dispatcher moves on when the
+            // slowest column retires.
+            double pallet = 0.0;
+            for (int j = 0; j < cols_here; ++j)
+                pallet = std::max(pallet, col_cycles[j]);
+            result.computeCycles += pallet;
+
+            // Differential Reconstruction cascade: column j adds the
+            // reconstructed output of column j-1. Column 0 holds a
+            // raw (complete) result for the first pallet of the row;
+            // for later pallets its base is the last column of the
+            // previous pallet (already reconstructed in omap).
+            for (int f = 0; f < filters; ++f) {
+                std::int64_t base = 0;
+                if (differential && px > 0)
+                    base = result.omap.at(f, oy, px - 1);
+                for (int j = 0; j < cols_here; ++j) {
+                    std::int64_t value = acc[std::size_t(f) * cols + j];
+                    if (differential) {
+                        base += value;
+                        value = base;
+                    }
+                    if (value >
+                            std::numeric_limits<std::int32_t>::max() ||
+                        value <
+                            std::numeric_limits<std::int32_t>::min()) {
+                        throw std::overflow_error(
+                            "functional tile: accumulator overflow");
+                    }
+                    result.omap.at(f, oy, px + j) =
+                        static_cast<std::int32_t>(value);
+                }
+            }
+        }
+    }
+
+    // Delta-out engine: write the omap back in delta form at the next
+    // layer's stride distance.
+    result.deltaOmap = strideDeltas(result.omap, stride_next);
+    return result;
+}
+
+} // namespace diffy

@@ -1,0 +1,119 @@
+/**
+ * @file
+ * Functional (value-computing) model of a Diffy tile.
+ *
+ * The analytic models in pra.cc/diffy_sim.cc count cycles from value
+ * statistics. This module implements the datapath itself:
+ *
+ *  - OffsetGenerator: converts a 16-bit value into its stream of
+ *    signed power-of-two "oneffsets" (modified Booth recoding), the
+ *    form PRA/Diffy lanes consume one per cycle.
+ *  - FunctionalSip: a serial inner-product column — per step, each
+ *    activation lane shifts the corresponding weight by the offset
+ *    exponent and adds or subtracts it into the accumulator.
+ *  - FunctionalTile: executes one convolutional layer through the
+ *    full Diffy pipeline — pallets of window columns processed
+ *    differentially (column 0 of each row raw), the cascaded
+ *    Differential Reconstruction pass, and the Delta-out engine
+ *    writing the omap back in stride-aware delta form.
+ *
+ * The test suite proves two strong properties:
+ *  1. outputs are bit-exact against direct fixed-point convolution;
+ *  2. the cycle count equals the analytic timing model's count,
+ *     cross-validating the two implementations.
+ */
+
+#ifndef DIFFY_SIM_FUNCTIONAL_HH
+#define DIFFY_SIM_FUNCTIONAL_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "arch/config.hh"
+#include "nn/trace.hh"
+#include "tensor/tensor.hh"
+
+namespace diffy
+{
+
+/** One effectual term: the weight is shifted by exponent and
+ * added (negative == false) or subtracted (negative == true). */
+struct Oneffset
+{
+    std::uint8_t exponent = 0;
+    bool negative = false;
+};
+
+/**
+ * Modified-Booth offset generator. load() recodes a value; next()
+ * yields one oneffset per call until exhausted. Zero values produce
+ * an empty stream.
+ */
+class OffsetGenerator
+{
+  public:
+    /** Recode @p value; any previous stream is discarded. */
+    void load(std::int32_t value);
+
+    /** True when no offsets remain. */
+    bool exhausted() const { return cursor_ >= offsets_.size(); }
+
+    /** Offsets remaining in the stream. */
+    std::size_t remaining() const { return offsets_.size() - cursor_; }
+
+    /** Pop the next oneffset; undefined when exhausted. */
+    Oneffset next() { return offsets_[cursor_++]; }
+
+    /**
+     * Apply one oneffset to a weight: (w << exponent), negated when
+     * the offset is negative — the SIP lane's shift-and-add datapath.
+     */
+    static std::int64_t apply(std::int16_t weight, Oneffset offset);
+
+  private:
+    std::vector<Oneffset> offsets_;
+    std::size_t cursor_ = 0;
+};
+
+/** Result of running a layer through the functional tile. */
+struct FunctionalResult
+{
+    /** Pre-activation outputs, bit-exact vs convolveDirect(). */
+    TensorI32 omap;
+    /** Cycles the SIP grid spent (analytic-model comparable). */
+    double computeCycles = 0.0;
+    /** Total oneffsets processed across all lanes. */
+    std::uint64_t termsProcessed = 0;
+    /**
+     * The omap as the Delta-out engine writes it to the AM: deltas at
+     * the next layer's stride distance along X (per channel and row,
+     * the first strideNext values stay raw).
+     */
+    TensorI32 deltaOmap;
+};
+
+/**
+ * Execute one traced layer through the functional Diffy pipeline.
+ *
+ * @param layer        traced layer (imap + weights + geometry)
+ * @param cfg          tile geometry (windowColumns, termsPerFilter)
+ * @param differential process deltas (Diffy) or raw values (PRA mode)
+ * @param stride_next  the next layer's stride, used by Delta-out
+ */
+FunctionalResult runFunctionalTile(const LayerTrace &layer,
+                                   const AcceleratorConfig &cfg,
+                                   bool differential = true,
+                                   int stride_next = 1);
+
+/**
+ * Delta-out encoding at an arbitrary stride distance: element x keeps
+ * raw for x < stride, otherwise stores v[x] - v[x - stride].
+ */
+TensorI32 strideDeltas(const TensorI32 &t, int stride);
+
+/** Inverse of strideDeltas(). */
+TensorI32 strideDeltasInverse(const TensorI32 &deltas, int stride);
+
+} // namespace diffy
+
+#endif // DIFFY_SIM_FUNCTIONAL_HH

@@ -1,0 +1,68 @@
+#include "sim/memsys.hh"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "encode/footprint.hh"
+
+namespace diffy
+{
+
+FramePerf
+combineWithMemory(const NetworkTrace &trace,
+                  const NetworkComputeResult &compute,
+                  const AcceleratorConfig &cfg, const MemTech &mem,
+                  int frame_h, int frame_w)
+{
+    if (trace.layers.size() != compute.layers.size())
+        throw std::invalid_argument("combineWithMemory: layer mismatch");
+
+    const bool ideal = cfg.compression == Compression::Ideal;
+    std::vector<double> traffic;
+    if (!ideal) {
+        traffic = perLayerTrafficBytes(trace, cfg.compression, frame_h,
+                                       frame_w);
+    }
+    const double bytes_per_cycle = mem.bytesPerCycle(cfg.clockHz);
+
+    FramePerf perf;
+    perf.network = trace.network;
+    perf.frameHeight = frame_h;
+    perf.frameWidth = frame_w;
+    perf.layers.reserve(trace.layers.size());
+
+    for (std::size_t li = 0; li < trace.layers.size(); ++li) {
+        const LayerTrace &lt = trace.layers[li];
+        const LayerComputeStats &cs = compute.layers[li];
+
+        // Scale compute from the trace crop to the frame.
+        const int div = lt.spec.resolutionDivisor;
+        const double frame_out_h =
+            lt.spec.outDim(std::max(1, frame_h / div));
+        const double frame_out_w =
+            lt.spec.outDim(std::max(1, frame_w / div));
+        const double trace_out =
+            static_cast<double>(lt.outHeight()) * lt.outWidth();
+        const double scale =
+            trace_out > 0.0 ? frame_out_h * frame_out_w / trace_out : 0.0;
+
+        LayerPerf lp;
+        lp.layerName = lt.spec.name;
+        lp.computeCycles = cs.computeCycles * scale;
+        lp.memoryCycles =
+            ideal ? 0.0 : traffic[li] / bytes_per_cycle;
+        lp.cycles = std::max(lp.computeCycles, lp.memoryCycles);
+        if (lp.cycles > 0.0) {
+            const double compute_frac = lp.computeCycles / lp.cycles;
+            lp.stallFraction = 1.0 - compute_frac;
+            lp.usefulFraction = cs.usefulFraction() * compute_frac;
+            lp.idleFraction =
+                compute_frac * (1.0 - cs.usefulFraction());
+        }
+        perf.totalCycles += lp.cycles;
+        perf.layers.push_back(lp);
+    }
+    return perf;
+}
+
+} // namespace diffy

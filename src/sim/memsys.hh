@@ -1,0 +1,69 @@
+/**
+ * @file
+ * Memory-system and frame-scaling model (paper Section III-F).
+ *
+ * The dataflow reads each weight and input activation once per layer
+ * and writes each output activation at most once, with the AM double-
+ * buffering two window rows so that compute, imap prefetch and omap
+ * write-back overlap. A layer therefore takes
+ *
+ *   layer_cycles = max(compute_cycles, traffic_bytes / bytes_per_cycle)
+ *
+ * Compute cycles are measured on a representative crop and scaled to
+ * the target frame analytically (the models are fully convolutional,
+ * so per-window work statistics are translation invariant).
+ */
+
+#ifndef DIFFY_SIM_MEMSYS_HH
+#define DIFFY_SIM_MEMSYS_HH
+
+#include <vector>
+
+#include "arch/config.hh"
+#include "arch/memtech.hh"
+#include "nn/trace.hh"
+#include "sim/activity.hh"
+
+namespace diffy
+{
+
+/** Combined per-layer performance at the target frame resolution. */
+struct LayerPerf
+{
+    std::string layerName;
+    double computeCycles = 0.0; ///< scaled to the frame
+    double memoryCycles = 0.0;  ///< traffic / bandwidth
+    double cycles = 0.0;        ///< max of the two (overlapped)
+    double usefulFraction = 0.0;///< of all lane slots over `cycles`
+    double idleFraction = 0.0;  ///< sync / underutilization
+    double stallFraction = 0.0; ///< waiting on off-chip memory
+};
+
+/** Whole-frame performance summary. */
+struct FramePerf
+{
+    std::string network;
+    int frameHeight = 0;
+    int frameWidth = 0;
+    std::vector<LayerPerf> layers;
+    double totalCycles = 0.0;
+
+    double fps(double clock_hz) const
+    {
+        return totalCycles > 0.0 ? clock_hz / totalCycles : 0.0;
+    }
+};
+
+/**
+ * Combine a compute result with the off-chip traffic of @p scheme over
+ * @p mem, scaling from the trace resolution to frame_h x frame_w.
+ * Compression::Ideal disables the memory bound entirely.
+ */
+FramePerf combineWithMemory(const NetworkTrace &trace,
+                            const NetworkComputeResult &compute,
+                            const AcceleratorConfig &cfg,
+                            const MemTech &mem, int frame_h, int frame_w);
+
+} // namespace diffy
+
+#endif // DIFFY_SIM_MEMSYS_HH

@@ -1,0 +1,211 @@
+#include "sim/pra.hh"
+
+#include <algorithm>
+#include <cmath>
+#include <unordered_map>
+
+#include "common/bitops.hh"
+
+namespace diffy
+{
+
+namespace
+{
+
+/** Raw outcome of one pallet walk, before filter-group scaling. */
+struct WalkResult
+{
+    double cycles = 0.0;
+    double usefulTerms = 0.0;
+};
+
+/**
+ * Memoization of pallet walks. The walk depends only on the imap
+ * contents/shape, the kernel geometry and the (lanes, columns,
+ * differential) grid parameters — not on filter counts, tiles, the
+ * memory system or the compression scheme, all of which the sweep
+ * benches vary. Keyed by a 64-bit FNV-1a content hash mixed with the
+ * geometry, which is ~50x cheaper than the walk itself.
+ */
+std::uint64_t
+walkKey(const LayerTrace &layer, int lanes, int cols, bool differential,
+        WalkCost cost)
+{
+    std::uint64_t h = contentHash64(layer.imap.data(),
+                                    layer.imap.size() *
+                                        sizeof(std::int16_t));
+    auto mix = [&h](std::uint64_t v) {
+        h ^= v + 0x9E3779B97F4A7C15ULL + (h << 6) + (h >> 2);
+    };
+    mix(static_cast<std::uint64_t>(layer.imap.channels()));
+    mix(static_cast<std::uint64_t>(layer.imap.height()));
+    mix(static_cast<std::uint64_t>(layer.imap.width()));
+    mix(static_cast<std::uint64_t>(layer.spec.kernel));
+    mix(static_cast<std::uint64_t>(layer.spec.stride));
+    mix(static_cast<std::uint64_t>(layer.spec.dilation));
+    mix(static_cast<std::uint64_t>(lanes));
+    mix(static_cast<std::uint64_t>(cols));
+    mix(differential ? 2 : 1);
+    mix(static_cast<std::uint64_t>(cost) + 11);
+    return h;
+}
+
+std::unordered_map<std::uint64_t, WalkResult> &
+walkCache()
+{
+    static std::unordered_map<std::uint64_t, WalkResult> cache;
+    return cache;
+}
+
+/** Expand a walk result into full per-configuration layer stats. */
+LayerComputeStats
+assembleStats(const LayerTrace &layer, const AcceleratorConfig &cfg,
+              const WalkResult &walk)
+{
+    const auto &spec = layer.spec;
+    const int out_h = layer.outHeight();
+    const int out_w = layer.outWidth();
+    const double filter_groups = cfg.filterGroups(spec.outChannels);
+    const double spatial = cfg.spatialSplit(spec.outChannels);
+
+    LayerComputeStats stats;
+    stats.layerName = spec.name;
+    stats.computeCycles = walk.cycles * filter_groups / spatial;
+    stats.traceOutputs =
+        static_cast<double>(out_h) * out_w * spec.outChannels;
+    stats.traceMacs = static_cast<double>(out_h) * out_w *
+                      spec.outChannels *
+                      static_cast<double>(spec.macsPerOutput());
+    stats.totalSlots = stats.computeCycles * cfg.tiles *
+                       cfg.filtersPerTile * cfg.termsPerFilter *
+                       cfg.windowColumns;
+    // Each effectual term is consumed once per actual filter; unused
+    // filter lanes show up as idle slots (filter underutilization).
+    stats.usefulSlots = walk.usefulTerms * spec.outChannels;
+    return stats;
+}
+
+} // namespace
+
+} // namespace diffy
+
+namespace diffy
+{
+
+LayerComputeStats
+simulateTermSerialLayer(const LayerTrace &layer,
+                        const AcceleratorConfig &cfg, bool differential,
+                        WalkCost cost)
+{
+    const auto &spec = layer.spec;
+    const int out_h = layer.outHeight();
+    const int out_w = layer.outWidth();
+    const int cols = cfg.windowColumns;
+    const int lanes = cfg.termsPerFilter;
+
+    const std::uint64_t key =
+        walkKey(layer, lanes, cols, differential, cost);
+    auto cached = walkCache().find(key);
+    if (cached != walkCache().end())
+        return assembleStats(layer, cfg, cached->second);
+
+    const TermTensors tt = computeTermTensors(layer, cost);
+    const TensorI16 &imap = layer.imap;
+    const int in_h = imap.height();
+    const int in_w = imap.width();
+    const int k = spec.kernel;
+    const int d = spec.dilation;
+    const int s = spec.stride;
+    const int pad = spec.samePad();
+    const int c_bricks = (spec.inChannels + lanes - 1) / lanes;
+
+    double cycles = 0.0;
+    double useful_terms = 0.0;
+
+    // Per-SIP weight staging lets the window columns of a pallet slip
+    // against each other; they synchronize only when the pallet
+    // retires (the next pallet needs the shared dispatcher). Within a
+    // column, the termsPerFilter activation lanes of a step share the
+    // SIP adder tree and advance at the pace of their widest value.
+    std::vector<double> col_cycles(static_cast<std::size_t>(cols));
+
+    for (int oy = 0; oy < out_h; ++oy) {
+        for (int px = 0; px < out_w; px += cols) {
+            const int cols_here = std::min(cols, out_w - px);
+            std::fill(col_cycles.begin(), col_cycles.end(), 0.0);
+            for (int cb = 0; cb < c_bricks; ++cb) {
+                const int c_lo = cb * lanes;
+                const int c_hi =
+                    std::min(c_lo + lanes, spec.inChannels);
+                for (int ky = 0; ky < k; ++ky) {
+                    const int iy = oy * s + ky * d - pad;
+                    if (iy < 0 || iy >= in_h) {
+                        // Padding rows: zero terms; every column still
+                        // spends the minimum cycle per kx step.
+                        for (int j = 0; j < cols_here; ++j)
+                            col_cycles[j] += static_cast<double>(k);
+                        continue;
+                    }
+                    for (int kx = 0; kx < k; ++kx) {
+                        for (int j = 0; j < cols_here; ++j) {
+                            const int wx = px + j;
+                            const int ix = wx * s + kx * d - pad;
+                            const bool raw = !differential || wx == 0;
+                            int step_max = 0;
+                            if (ix >= 0 && ix < in_w) {
+                                const auto &terms =
+                                    raw ? tt.raw : tt.delta;
+                                for (int c = c_lo; c < c_hi; ++c) {
+                                    int t = terms.at(c, iy, ix);
+                                    useful_terms += t;
+                                    if (t > step_max)
+                                        step_max = t;
+                                }
+                            } else if (!raw && ix - s >= 0 &&
+                                       ix - s < in_w) {
+                                // The tap reads padding but the
+                                // previous window's tap did not: the
+                                // delta is -a[ix-s], whose Booth terms
+                                // equal the raw terms at ix-s.
+                                for (int c = c_lo; c < c_hi; ++c) {
+                                    int t = tt.raw.at(c, iy, ix - s);
+                                    useful_terms += t;
+                                    if (t > step_max)
+                                        step_max = t;
+                                }
+                            }
+                            col_cycles[j] += std::max(1, step_max);
+                        }
+                    }
+                }
+            }
+            double pallet = 0.0;
+            for (int j = 0; j < cols_here; ++j)
+                pallet = std::max(pallet, col_cycles[j]);
+            cycles += pallet;
+        }
+    }
+
+    WalkResult result{cycles, useful_terms};
+    walkCache().emplace(key, result);
+    return assembleStats(layer, cfg, result);
+}
+
+LayerComputeStats
+simulatePraLayer(const LayerTrace &layer, const AcceleratorConfig &cfg)
+{
+    return simulateTermSerialLayer(layer, cfg, /*differential=*/false);
+}
+
+NetworkComputeResult
+simulatePra(const NetworkTrace &trace, const AcceleratorConfig &cfg)
+{
+    NetworkComputeResult result;
+    result.network = trace.network;
+    result.layers.reserve(trace.layers.size());
+    for (const auto &layer : trace.layers)
+        result.layers.push_back(simulatePraLayer(layer, cfg));
+    return result;
+}
+
+} // namespace diffy

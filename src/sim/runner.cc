@@ -1,0 +1,36 @@
+#include "sim/runner.hh"
+
+#include <stdexcept>
+
+#include "sim/pra.hh"
+#include "sim/vaa.hh"
+
+namespace diffy
+{
+
+NetworkComputeResult
+simulateCompute(const NetworkTrace &trace, const AcceleratorConfig &cfg,
+                DiffyMode diffy_mode)
+{
+    switch (cfg.design) {
+      case Design::Vaa:
+        return simulateVaa(trace, cfg);
+      case Design::Pra:
+        return simulatePra(trace, cfg);
+      case Design::Diffy:
+        return simulateDiffy(trace, cfg, diffy_mode);
+    }
+    throw std::invalid_argument("simulateCompute: unknown design");
+}
+
+FramePerf
+simulateFrame(const NetworkTrace &trace, const AcceleratorConfig &cfg,
+              const MemTech &mem, int frame_h, int frame_w,
+              DiffyMode diffy_mode)
+{
+    NetworkComputeResult compute =
+        simulateCompute(trace, cfg, diffy_mode);
+    return combineWithMemory(trace, compute, cfg, mem, frame_h, frame_w);
+}
+
+} // namespace diffy

@@ -1,0 +1,37 @@
+/**
+ * @file
+ * Top-level simulation driver: dispatches a trace to the timing model
+ * selected by an AcceleratorConfig and combines it with the memory
+ * system, yielding frame-level performance.
+ */
+
+#ifndef DIFFY_SIM_RUNNER_HH
+#define DIFFY_SIM_RUNNER_HH
+
+#include "arch/config.hh"
+#include "arch/memtech.hh"
+#include "sim/activity.hh"
+#include "sim/diffy_sim.hh"
+#include "sim/memsys.hh"
+
+namespace diffy
+{
+
+/** Run the compute-side timing model selected by @p cfg.design. */
+NetworkComputeResult simulateCompute(const NetworkTrace &trace,
+                                     const AcceleratorConfig &cfg,
+                                     DiffyMode diffy_mode
+                                     = DiffyMode::Differential);
+
+/**
+ * Full frame simulation: compute + off-chip overlap + analytic scaling
+ * from the trace crop to frame_h x frame_w.
+ */
+FramePerf simulateFrame(const NetworkTrace &trace,
+                        const AcceleratorConfig &cfg, const MemTech &mem,
+                        int frame_h, int frame_w,
+                        DiffyMode diffy_mode = DiffyMode::Differential);
+
+} // namespace diffy
+
+#endif // DIFFY_SIM_RUNNER_HH

@@ -1,0 +1,92 @@
+#include "sim/scnn.hh"
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+namespace diffy
+{
+
+LayerComputeStats
+simulateScnnLayer(const LayerTrace &layer, const ScnnConfig &cfg)
+{
+    const auto &spec = layer.spec;
+    const TensorI16 &imap = layer.imap;
+    const int in_h = imap.height();
+    const int in_w = imap.width();
+    const int c_count = spec.inChannels;
+    const int halo = spec.effectiveKernel() - 1;
+
+    // Per-channel nonzero weight counts across all filters.
+    std::vector<std::int64_t> nnz_w(c_count, 0);
+    for (int f = 0; f < layer.weights.filters(); ++f) {
+        for (int c = 0; c < c_count; ++c) {
+            for (int ky = 0; ky < spec.kernel; ++ky) {
+                for (int kx = 0; kx < spec.kernel; ++kx)
+                    nnz_w[c] += layer.weights.at(f, c, ky, kx) != 0;
+            }
+        }
+    }
+
+    const int tile_h = (in_h + cfg.peRows - 1) / cfg.peRows;
+    const int tile_w = (in_w + cfg.peCols - 1) / cfg.peCols;
+
+    double worst_pe_cycles = 0.0;
+    double total_products = 0.0;
+    for (int py = 0; py < cfg.peRows; ++py) {
+        for (int px = 0; px < cfg.peCols; ++px) {
+            // Tile bounds including replicated halo activations.
+            const int y0 = std::max(0, py * tile_h - halo / 2);
+            const int y1 = std::min(in_h, (py + 1) * tile_h + halo / 2);
+            const int x0 = std::max(0, px * tile_w - halo / 2);
+            const int x1 = std::min(in_w, (px + 1) * tile_w + halo / 2);
+            double pe_cycles = 0.0;
+            for (int c = 0; c < c_count; ++c) {
+                std::int64_t nnz_a = 0;
+                for (int y = y0; y < y1; ++y) {
+                    for (int x = x0; x < x1; ++x)
+                        nnz_a += imap.at(c, y, x) != 0;
+                }
+                if (nnz_a == 0 || nnz_w[c] == 0)
+                    continue;
+                const double a_steps = std::ceil(
+                    static_cast<double>(nnz_a) / cfg.actVector);
+                const double w_steps = std::ceil(
+                    static_cast<double>(nnz_w[c]) / cfg.weightVector);
+                pe_cycles += a_steps * w_steps;
+                total_products += static_cast<double>(nnz_a) *
+                                  static_cast<double>(nnz_w[c]);
+            }
+            worst_pe_cycles = std::max(worst_pe_cycles, pe_cycles);
+        }
+    }
+
+    const int out_h = layer.outHeight();
+    const int out_w = layer.outWidth();
+
+    LayerComputeStats stats;
+    stats.layerName = spec.name;
+    stats.computeCycles = worst_pe_cycles * cfg.contention;
+    stats.traceOutputs =
+        static_cast<double>(out_h) * out_w * spec.outChannels;
+    stats.traceMacs = static_cast<double>(out_h) * out_w *
+                      spec.outChannels *
+                      static_cast<double>(spec.macsPerOutput());
+    stats.totalSlots = stats.computeCycles * cfg.peRows * cfg.peCols *
+                       cfg.actVector * cfg.weightVector;
+    stats.usefulSlots = total_products;
+    return stats;
+}
+
+NetworkComputeResult
+simulateScnn(const NetworkTrace &trace, const ScnnConfig &cfg)
+{
+    NetworkComputeResult result;
+    result.network = trace.network;
+    result.layers.reserve(trace.layers.size());
+    for (const auto &layer : trace.layers)
+        result.layers.push_back(simulateScnnLayer(layer, cfg));
+    return result;
+}
+
+} // namespace diffy

@@ -1,0 +1,52 @@
+/**
+ * @file
+ * Cycle model of SCNN (Parashar et al.) for the Fig 20 comparison.
+ *
+ * SCNN keeps activations stationary, spatially tiled across an 8x8
+ * grid of processing elements; per input channel, each PE forms the
+ * cartesian product of 4-wide nonzero-activation and nonzero-weight
+ * vectors on a 4x4 multiplier array (1024 multipliers total, matching
+ * the 1K-MAC/cycle normalization of Table IV):
+ *
+ *   cycles(PE) = sum_c ceil(nnzA(c, tile+halo) / 4)
+ *                      x ceil(nnzW(c, all filters) / 4)
+ *   layer cycles = max over PEs x crossbar-contention factor
+ *
+ * Vector fragmentation (the ceils), tile halos and the accumulator-
+ * crossbar contention factor capture SCNN's main overheads on
+ * CI-DNNs. Weight sparsity variants (SCNN50/75/90) are produced by
+ * seeded random pruning in the executor.
+ */
+
+#ifndef DIFFY_SIM_SCNN_HH
+#define DIFFY_SIM_SCNN_HH
+
+#include "arch/config.hh"
+#include "sim/activity.hh"
+
+namespace diffy
+{
+
+/** SCNN machine parameters. */
+struct ScnnConfig
+{
+    int peRows = 8;
+    int peCols = 8;
+    int actVector = 4;    ///< I: activations per cartesian step
+    int weightVector = 4; ///< F: weights per cartesian step
+    /** Output-crossbar / accumulator-bank contention factor. */
+    double contention = 1.1;
+    double clockHz = 1e9;
+};
+
+/** Simulate one layer on SCNN. */
+LayerComputeStats simulateScnnLayer(const LayerTrace &layer,
+                                    const ScnnConfig &cfg);
+
+/** Simulate a whole network trace on SCNN. */
+NetworkComputeResult simulateScnn(const NetworkTrace &trace,
+                                  const ScnnConfig &cfg = {});
+
+} // namespace diffy
+
+#endif // DIFFY_SIM_SCNN_HH

@@ -1,0 +1,30 @@
+#include "sim/stripes.hh"
+
+#include "sim/pra.hh"
+
+namespace diffy
+{
+
+LayerComputeStats
+simulateStripesLayer(const LayerTrace &layer, const AcceleratorConfig &cfg,
+                     bool differential)
+{
+    return simulateTermSerialLayer(layer, cfg, differential,
+                                   WalkCost::BitSerial);
+}
+
+NetworkComputeResult
+simulateStripes(const NetworkTrace &trace, const AcceleratorConfig &cfg,
+                bool differential)
+{
+    NetworkComputeResult result;
+    result.network = trace.network;
+    result.layers.reserve(trace.layers.size());
+    for (const auto &layer : trace.layers) {
+        result.layers.push_back(
+            simulateStripesLayer(layer, cfg, differential));
+    }
+    return result;
+}
+
+} // namespace diffy

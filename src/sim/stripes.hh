@@ -1,0 +1,38 @@
+/**
+ * @file
+ * Cycle model of Dynamic Stripes (DS) and of the differential variant
+ * the paper's related-work section proposes.
+ *
+ * DS processes activations bit-serially at a dynamically detected
+ * per-group precision: a synchronization group costs as many cycles
+ * as the two's complement width of its widest value. The paper notes
+ * "since deltas are smaller values than the activations, their
+ * precision requirements will be lower as well" — i.e. Dynamic
+ * Stripes should also benefit from differential convolution. This
+ * module realizes that proposal: DsDelta feeds the X-delta stream to
+ * the same precision-serial grid, giving a lower-cost sibling of
+ * Diffy (simpler lanes, coarser win).
+ */
+
+#ifndef DIFFY_SIM_STRIPES_HH
+#define DIFFY_SIM_STRIPES_HH
+
+#include "arch/config.hh"
+#include "sim/activity.hh"
+
+namespace diffy
+{
+
+/** Simulate one layer on Dynamic Stripes (raw values). */
+LayerComputeStats simulateStripesLayer(const LayerTrace &layer,
+                                       const AcceleratorConfig &cfg,
+                                       bool differential = false);
+
+/** Simulate a whole network on DS; @p differential enables DS+delta. */
+NetworkComputeResult simulateStripes(const NetworkTrace &trace,
+                                     const AcceleratorConfig &cfg,
+                                     bool differential = false);
+
+} // namespace diffy
+
+#endif // DIFFY_SIM_STRIPES_HH

@@ -1,0 +1,48 @@
+#include "sim/vaa.hh"
+
+#include <cmath>
+
+namespace diffy
+{
+
+LayerComputeStats
+simulateVaaLayer(const LayerTrace &layer, const AcceleratorConfig &cfg)
+{
+    const auto &spec = layer.spec;
+    const int out_h = layer.outHeight();
+    const int out_w = layer.outWidth();
+    const double windows = static_cast<double>(out_h) * out_w;
+
+    const int lanes = cfg.termsPerFilter; // activations per brick step
+    const double brick_steps =
+        std::ceil(static_cast<double>(spec.inChannels) / lanes) *
+        spec.kernel * spec.kernel;
+    const double filter_groups = cfg.filterGroups(spec.outChannels);
+    const double spatial = cfg.spatialSplit(spec.outChannels);
+
+    LayerComputeStats stats;
+    stats.layerName = spec.name;
+    stats.computeCycles = windows * brick_steps * filter_groups / spatial;
+    stats.traceOutputs = windows * spec.outChannels;
+    stats.traceMacs = windows * static_cast<double>(spec.macsPerOutput()) *
+                      spec.outChannels;
+    // Lane slots: every cycle the whole grid is clocked.
+    stats.totalSlots = stats.computeCycles * cfg.tiles *
+                       cfg.filtersPerTile * lanes;
+    // Useful slots: one per MAC actually needed.
+    stats.usefulSlots = stats.traceMacs;
+    return stats;
+}
+
+NetworkComputeResult
+simulateVaa(const NetworkTrace &trace, const AcceleratorConfig &cfg)
+{
+    NetworkComputeResult result;
+    result.network = trace.network;
+    result.layers.reserve(trace.layers.size());
+    for (const auto &layer : trace.layers)
+        result.layers.push_back(simulateVaaLayer(layer, cfg));
+    return result;
+}
+
+} // namespace diffy

@@ -1,0 +1,37 @@
+/**
+ * @file
+ * Cycle model of the baseline Value-Agnostic Accelerator (VAA), a
+ * DaDianNao-style design (paper Section III-A, Fig 6).
+ *
+ * Each tile holds filtersPerTile inner-product units of lanesPerFilter
+ * multiplier lanes. Per cycle a tile broadcasts one activation brick
+ * (termsPerFilter consecutive channels of one window) to all its IPs.
+ * Execution time is value-independent:
+ *
+ *   cycles = windows x Kh x Kw x ceil(C / termsPerFilter)
+ *            x ceil(K / (tiles x filtersPerTile))
+ *
+ * which exactly accounts the channel- and filter-underutilization the
+ * paper highlights for first/last layers.
+ */
+
+#ifndef DIFFY_SIM_VAA_HH
+#define DIFFY_SIM_VAA_HH
+
+#include "arch/config.hh"
+#include "sim/activity.hh"
+
+namespace diffy
+{
+
+/** Simulate one layer on VAA. */
+LayerComputeStats simulateVaaLayer(const LayerTrace &layer,
+                                   const AcceleratorConfig &cfg);
+
+/** Simulate a whole network trace on VAA. */
+NetworkComputeResult simulateVaa(const NetworkTrace &trace,
+                                 const AcceleratorConfig &cfg);
+
+} // namespace diffy
+
+#endif // DIFFY_SIM_VAA_HH

@@ -1,0 +1,265 @@
+/**
+ * @file
+ * Tests for the analysis module: term statistics, entropy
+ * measurements, precision profiling, and heatmaps (Figs 1-4,
+ * Table III support).
+ */
+
+#include <gtest/gtest.h>
+
+#include "analysis/entropy.hh"
+#include "analysis/heatmap.hh"
+#include "analysis/precision.hh"
+#include "analysis/terms.hh"
+#include "common/bitops.hh"
+#include "common/rng.hh"
+#include "image/synth.hh"
+#include "nn/executor.hh"
+#include "nn/models.hh"
+
+namespace diffy
+{
+namespace
+{
+
+TensorI16
+rampTensor()
+{
+    // One row per channel, slowly increasing: deltas are small.
+    TensorI16 t(2, 2, 8);
+    for (int c = 0; c < 2; ++c) {
+        for (int y = 0; y < 2; ++y) {
+            for (int x = 0; x < 8; ++x)
+                t.at(c, y, x) = static_cast<std::int16_t>(100 + 2 * x);
+        }
+    }
+    return t;
+}
+
+NetworkTrace
+ircnnTrace(int size = 24)
+{
+    SceneParams p;
+    p.kind = SceneKind::Nature;
+    p.width = size;
+    p.height = size;
+    p.seed = 31;
+    return runNetwork(makeIrCnn(), renderScene(p));
+}
+
+TEST(TermStats, RawCountsMatchManual)
+{
+    TensorI16 t(1, 1, 3);
+    t.at(0, 0, 0) = 0;
+    t.at(0, 0, 1) = 4;  // 1 term
+    t.at(0, 0, 2) = 7;  // 8-1: 2 terms
+    TermStats s = rawTermStats(t);
+    EXPECT_EQ(s.values, 3u);
+    EXPECT_EQ(s.zeroValues, 1u);
+    EXPECT_EQ(s.totalTerms, 3u);
+    EXPECT_NEAR(s.meanTerms(), 1.0, 1e-12);
+    EXPECT_NEAR(s.sparsity(), 1.0 / 3.0, 1e-12);
+}
+
+TEST(TermStats, DeltaStreamUsesRowLeadingRaw)
+{
+    TensorI16 t = rampTensor();
+    TermStats raw = rawTermStats(t);
+    TermStats delta = deltaTermStats(t);
+    EXPECT_EQ(raw.values, delta.values);
+    // Ramp deltas are all 2 (one term) except row heads.
+    EXPECT_LT(delta.totalTerms, raw.totalTerms);
+    // Row heads: value 100 -> boothTerms(100)=3; 4 rows total.
+    std::uint64_t expected =
+        4 * static_cast<std::uint64_t>(boothTerms(100)) + 4 * 7 * 1;
+    EXPECT_EQ(delta.totalTerms, expected);
+}
+
+TEST(TermStats, MergeAccumulates)
+{
+    TermStats a = rawTermStats(rampTensor());
+    TermStats b = rawTermStats(rampTensor());
+    std::uint64_t single = a.totalTerms;
+    a.merge(b);
+    EXPECT_EQ(a.totalTerms, 2 * single);
+    EXPECT_EQ(a.values, 2 * b.values);
+}
+
+TEST(WorkPotential, OrderingHoldsOnCorrelatedTraces)
+{
+    NetworkTrace trace = ircnnTrace();
+    WorkPotential wp = networkWorkPotential(trace);
+    // ALL processes 16 terms/value; effectual raw fewer; deltas fewer
+    // still on spatially correlated CI-DNN data.
+    EXPECT_GT(wp.rawSpeedup(), 1.0);
+    EXPECT_GT(wp.deltaSpeedup(), wp.rawSpeedup());
+    // Zero-term deltas cost nothing in the potential model, so the
+    // bound exceeds 16; it must still be finite and sane.
+    EXPECT_LT(wp.deltaSpeedup(), 64.0);
+}
+
+TEST(WorkPotential, LayerWeightsScaleWithFilters)
+{
+    NetworkTrace trace = ircnnTrace(16);
+    WorkPotential l0 = layerWorkPotential(trace.layers[0]);
+    // Same imap, double the filters => double the absolute work.
+    LayerTrace doubled = trace.layers[0];
+    doubled.spec.outChannels *= 2;
+    WorkPotential l1 = layerWorkPotential(doubled);
+    EXPECT_NEAR(l1.allTerms / l0.allTerms, 2.0, 1e-9);
+    EXPECT_NEAR(l1.deltaSpeedup(), l0.deltaSpeedup(), 1e-9);
+}
+
+TEST(Entropy, DegenerateTensorHasZeroEntropy)
+{
+    TensorI16 t(1, 4, 16, 5);
+    EntropyAccumulator acc;
+    acc.addTensor(t);
+    EXPECT_DOUBLE_EQ(acc.valueEntropy(), 0.0);
+    EXPECT_DOUBLE_EQ(acc.deltaEntropy(), 0.0);
+    EXPECT_DOUBLE_EQ(acc.conditionalEntropy(), 0.0);
+}
+
+TEST(Entropy, DeltaEntropyBelowValueEntropyOnCorrelatedData)
+{
+    NetworkTrace trace = ircnnTrace();
+    EntropyAccumulator acc;
+    acc.addTrace(trace);
+    EXPECT_GT(acc.valueEntropy(), 0.0);
+    EXPECT_LT(acc.deltaEntropy(), acc.valueEntropy());
+    EXPECT_LT(acc.conditionalEntropy(), acc.valueEntropy());
+    EXPECT_GT(acc.deltaRatio(), 1.0);
+    EXPECT_GT(acc.conditionalRatio(), 1.0);
+}
+
+TEST(Entropy, ConditionalNeverExceedsDeltaEntropy)
+{
+    // H(A|A') <= H(A - A'): knowing A' can only help more than the
+    // fixed delta transform.
+    NetworkTrace trace = ircnnTrace();
+    EntropyAccumulator acc;
+    acc.addTrace(trace);
+    EXPECT_LE(acc.conditionalEntropy(), acc.deltaEntropy() + 1e-9);
+}
+
+TEST(Entropy, MergeMatchesCombinedStream)
+{
+    NetworkTrace t1 = ircnnTrace(16);
+    EntropyAccumulator a, b, both;
+    a.addTensor(t1.layers[1].imap);
+    b.addTensor(t1.layers[2].imap);
+    both.addTensor(t1.layers[1].imap);
+    both.addTensor(t1.layers[2].imap);
+    a.merge(b);
+    EXPECT_NEAR(a.valueEntropy(), both.valueEntropy(), 1e-12);
+    EXPECT_NEAR(a.conditionalEntropy(), both.conditionalEntropy(), 1e-12);
+}
+
+TEST(PrecisionProfiler, CoversRequestedQuantile)
+{
+    TensorI16 t(1, 1, 1000);
+    // 999 small values (4 bits), one 12-bit outlier.
+    for (int x = 0; x < 1000; ++x)
+        t.at(0, 0, x) = 5;
+    t.at(0, 0, 500) = 2000;
+    PrecisionProfiler prof;
+    prof.addLayer(0, t);
+    EXPECT_EQ(prof.layerPrecision(0, 0.99), bitsNeeded(5));
+    EXPECT_EQ(prof.layerPrecision(0, 1.0), bitsNeeded(2000));
+}
+
+TEST(PrecisionProfiler, ProfileShapeMatchesNetwork)
+{
+    NetworkTrace trace = ircnnTrace();
+    PrecisionProfiler prof;
+    prof.addTrace(trace);
+    auto profile = prof.profile();
+    ASSERT_EQ(profile.size(), trace.layers.size());
+    for (int p : profile) {
+        EXPECT_GE(p, 4);
+        EXPECT_LE(p, 16);
+    }
+}
+
+TEST(PrecisionProfiler, EmptyLayerDefaultsTo16)
+{
+    PrecisionProfiler prof;
+    EXPECT_EQ(prof.layerPrecision(3), 16);
+}
+
+TEST(DynamicGroupBits, DeltasCheaperThanRawOnRamps)
+{
+    TensorI16 t(1, 4, 64);
+    for (int y = 0; y < 4; ++y) {
+        for (int x = 0; x < 64; ++x)
+            t.at(0, y, x) = static_cast<std::int16_t>(1000 + 3 * x);
+    }
+    double raw = dynamicGroupBits(t, 16);
+    double delta = dynamicGroupBitsDeltas(t, 16);
+    EXPECT_LT(delta, raw);
+    EXPECT_GE(delta, 1.0);
+}
+
+TEST(DynamicGroupBits, GroupOfOneIsPerValueMinimum)
+{
+    TensorI16 t(1, 1, 4);
+    t.at(0, 0, 0) = 0;   // 1 bit
+    t.at(0, 0, 1) = 1;   // 2 bits
+    t.at(0, 0, 2) = -1;  // 1 bit
+    t.at(0, 0, 3) = 100; // 8 bits
+    EXPECT_NEAR(dynamicGroupBits(t, 1), (1 + 2 + 1 + 8) / 4.0, 1e-12);
+    // Whole-tensor group takes the max width.
+    EXPECT_NEAR(dynamicGroupBits(t, 4), 8.0, 1e-12);
+}
+
+TEST(Heatmap, DeltaMagnitudePeaksAtEdges)
+{
+    // Step edge at x = 8.
+    TensorI16 t(1, 8, 16, 0);
+    for (int y = 0; y < 8; ++y) {
+        for (int x = 8; x < 16; ++x)
+            t.at(0, y, x) = 1024;
+    }
+    Heatmap d = deltaMagnitudeHeatmap(t);
+    for (int y = 0; y < 8; ++y) {
+        EXPECT_DOUBLE_EQ(d.at(y, 8), 1024.0);
+        EXPECT_DOUBLE_EQ(d.at(y, 4), 0.0);
+        EXPECT_DOUBLE_EQ(d.at(y, 12), 0.0);
+    }
+}
+
+TEST(Heatmap, TermsMapsMatchBoothCounts)
+{
+    TensorI16 t(2, 1, 2);
+    t.at(0, 0, 0) = 7;
+    t.at(1, 0, 0) = 1;
+    t.at(0, 0, 1) = 7;
+    t.at(1, 0, 1) = 0;
+    Heatmap raw = rawTermsHeatmap(t);
+    EXPECT_DOUBLE_EQ(raw.at(0, 0), (2 + 1) / 2.0);
+    Heatmap delta = deltaTermsHeatmap(t);
+    // x=1 deltas: 0 and -1 -> terms 0 and 1.
+    EXPECT_DOUBLE_EQ(delta.at(0, 1), (0 + 1) / 2.0);
+}
+
+TEST(Heatmap, AsciiRenderHasRequestedShape)
+{
+    NetworkTrace trace = ircnnTrace(32);
+    Heatmap map = rawMagnitudeHeatmap(trace.layers[2].imap);
+    std::string art = renderAscii(map, 8, 16);
+    // 8 lines of 16 glyphs.
+    EXPECT_EQ(std::count(art.begin(), art.end(), '\n'), 8);
+    EXPECT_EQ(art.size(), 8u * 17);
+}
+
+TEST(Heatmap, AsciiRenderOfFlatMapIsEmpty)
+{
+    Heatmap flat;
+    flat.height = 4;
+    flat.width = 4;
+    flat.values.assign(16, 1.0);
+    EXPECT_TRUE(renderAscii(flat, 2, 2).empty());
+}
+
+} // namespace
+} // namespace diffy

@@ -1,0 +1,111 @@
+/**
+ * @file
+ * Tests for the arch module: work-distribution arithmetic of the
+ * accelerator configurations and the memory technology ladders.
+ */
+
+#include <gtest/gtest.h>
+
+#include "arch/config.hh"
+#include "arch/memtech.hh"
+
+namespace diffy
+{
+namespace
+{
+
+TEST(FilterGroups, CoversAllFilterCounts)
+{
+    AcceleratorConfig cfg = defaultDiffyConfig(); // 4 tiles x 16 filters
+    EXPECT_EQ(cfg.filterGroups(1), 1);
+    EXPECT_EQ(cfg.filterGroups(64), 1);
+    EXPECT_EQ(cfg.filterGroups(65), 2);
+    EXPECT_EQ(cfg.filterGroups(128), 2);
+    EXPECT_EQ(cfg.filterGroups(1024), 16);
+}
+
+TEST(FilterGroups, ScalesInverselyWithTiles)
+{
+    AcceleratorConfig cfg = defaultDiffyConfig();
+    cfg.tiles = 8;
+    EXPECT_EQ(cfg.filterGroups(128), 1);
+    cfg.tiles = 2;
+    EXPECT_EQ(cfg.filterGroups(128), 4);
+}
+
+TEST(SpatialSplit, OffByDefault)
+{
+    AcceleratorConfig cfg = defaultDiffyConfig();
+    EXPECT_EQ(cfg.spatialSplit(3), 1);
+    EXPECT_EQ(cfg.spatialSplit(64), 1);
+}
+
+TEST(SpatialSplit, SurplusTilesShareRows)
+{
+    AcceleratorConfig cfg = defaultDiffyConfig();
+    cfg.spatialWorkSharing = true;
+    // 3 filters need one tile; 4 tiles -> 4-way row split.
+    EXPECT_EQ(cfg.spatialSplit(3), 4);
+    // 64 filters need all 4 tiles -> no surplus.
+    EXPECT_EQ(cfg.spatialSplit(64), 1);
+    cfg.tiles = 32;
+    EXPECT_EQ(cfg.spatialSplit(64), 8);
+    EXPECT_EQ(cfg.spatialSplit(96), 5); // 6 tiles of filters, 32/6
+}
+
+TEST(SpatialSplit, NeverBelowOne)
+{
+    AcceleratorConfig cfg = defaultDiffyConfig();
+    cfg.spatialWorkSharing = true;
+    cfg.tiles = 1;
+    EXPECT_EQ(cfg.spatialSplit(1024), 1);
+}
+
+TEST(MemTechLadder, Fig18LadderIsMonotone)
+{
+    auto ladder = fig18MemoryLadder();
+    ASSERT_GE(ladder.size(), 6u);
+    for (std::size_t i = 1; i < ladder.size(); ++i) {
+        EXPECT_GE(ladder[i].totalGBs(), ladder[i - 1].totalGBs())
+            << ladder[i].label();
+    }
+}
+
+TEST(MemTechLadder, KnownRelativeOrdering)
+{
+    EXPECT_LT(memTechByName("LPDDR3-1600").totalGBs(),
+              memTechByName("LPDDR4-3200").totalGBs());
+    EXPECT_LT(memTechByName("LPDDR4X-4267").totalGBs(),
+              memTechByName("HBM2").totalGBs());
+    EXPECT_LT(memTechByName("HBM2").totalGBs(),
+              memTechByName("HBM3").totalGBs());
+    EXPECT_DOUBLE_EQ(memTechByName("DDR4-3200").totalGBs(),
+                     memTechByName("LPDDR4-3200").totalGBs());
+}
+
+TEST(AcceleratorConfig, DesignNamesRoundTrip)
+{
+    EXPECT_EQ(to_string(Design::Vaa), "VAA");
+    EXPECT_EQ(to_string(Design::Pra), "PRA");
+    EXPECT_EQ(to_string(Design::Diffy), "Diffy");
+}
+
+TEST(AcceleratorConfig, CompressionNamesDistinct)
+{
+    const Compression all[] = {
+        Compression::None,    Compression::Rlez,    Compression::Rle,
+        Compression::Profiled, Compression::RawD8,  Compression::RawD16,
+        Compression::RawD256, Compression::DeltaD8, Compression::DeltaD16,
+        Compression::DeltaD256, Compression::Ideal,
+    };
+    for (std::size_t i = 0; i < std::size(all); ++i) {
+        for (std::size_t j = i + 1; j < std::size(all); ++j) {
+            EXPECT_NE(to_string(all[i]), to_string(all[j]))
+                << static_cast<int>(all[i]) << " vs "
+                << static_cast<int>(all[j]);
+        }
+    }
+}
+
+} // namespace
+} // namespace diffy

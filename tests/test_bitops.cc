@@ -1,0 +1,175 @@
+/**
+ * @file
+ * Unit and property tests for the Booth-term and bit-width utilities
+ * that drive all term-serial timing models.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/bitops.hh"
+#include "common/rng.hh"
+
+namespace diffy
+{
+namespace
+{
+
+TEST(BoothTerms, ZeroHasNoTerms)
+{
+    EXPECT_EQ(boothTerms(0), 0);
+}
+
+TEST(BoothTerms, PowersOfTwoHaveOneTerm)
+{
+    for (int e = 0; e < 30; ++e) {
+        EXPECT_EQ(boothTerms(std::int64_t{1} << e), 1) << "2^" << e;
+        EXPECT_EQ(boothTerms(-(std::int64_t{1} << e)), 1) << "-2^" << e;
+    }
+}
+
+TEST(BoothTerms, KnownSmallValues)
+{
+    // 3 = 4 - 1, 7 = 8 - 1, 5 = 4 + 1: two terms each.
+    EXPECT_EQ(boothTerms(3), 2);
+    EXPECT_EQ(boothTerms(5), 2);
+    EXPECT_EQ(boothTerms(7), 2);
+    // 0b0101 0101 = 85: NAF cannot merge isolated ones -> 4 terms.
+    EXPECT_EQ(boothTerms(85), 4);
+    // All-ones runs collapse: 0xFF = 256 - 1.
+    EXPECT_EQ(boothTerms(0xFF), 2);
+    EXPECT_EQ(boothTerms(0xFFFF), 2);
+}
+
+TEST(BoothTerms, SymmetricUnderNegation)
+{
+    Rng rng(42);
+    for (int i = 0; i < 2000; ++i) {
+        auto v = static_cast<std::int64_t>(rng.below(1 << 16)) - (1 << 15);
+        EXPECT_EQ(boothTerms(v), boothTerms(-v)) << v;
+    }
+}
+
+TEST(BoothTerms, NeverMoreThanOnesTermsPlusOne)
+{
+    // NAF is minimal; it never exceeds the plain popcount, and the
+    // popcount never exceeds NAF terms by more than ~2x.
+    Rng rng(43);
+    for (int i = 0; i < 2000; ++i) {
+        auto v = static_cast<std::int64_t>(rng.below(1 << 16)) - (1 << 15);
+        EXPECT_LE(boothTerms(v), onesTerms(v) + 1) << v;
+    }
+}
+
+TEST(BoothDecompose, RoundTripsRandomValues)
+{
+    Rng rng(7);
+    for (int i = 0; i < 5000; ++i) {
+        auto v = static_cast<std::int64_t>(rng.below(1 << 17)) - (1 << 16);
+        auto terms = boothDecompose(v);
+        EXPECT_EQ(boothReconstruct(terms), v);
+        EXPECT_EQ(static_cast<int>(terms.size()), boothTerms(v));
+    }
+}
+
+TEST(BoothDecompose, ProducesNonAdjacentDigits)
+{
+    Rng rng(8);
+    for (int i = 0; i < 1000; ++i) {
+        auto v = static_cast<std::int64_t>(rng.below(1 << 16)) - (1 << 15);
+        auto terms = boothDecompose(v);
+        std::vector<int> exponents;
+        for (int t : terms)
+            exponents.push_back(t >= 0 ? t : -t - 1);
+        for (std::size_t j = 1; j < exponents.size(); ++j) {
+            EXPECT_GE(std::abs(exponents[j] - exponents[j - 1]), 2)
+                << "adjacent digits for " << v;
+        }
+    }
+}
+
+TEST(OnesTerms, CountsMagnitudeBits)
+{
+    EXPECT_EQ(onesTerms(0), 0);
+    EXPECT_EQ(onesTerms(1), 1);
+    EXPECT_EQ(onesTerms(-1), 1);
+    EXPECT_EQ(onesTerms(0b1011), 3);
+    EXPECT_EQ(onesTerms(-0b1011), 3);
+}
+
+TEST(BitsNeeded, MatchesTwoComplementBounds)
+{
+    EXPECT_EQ(bitsNeeded(0), 1);
+    EXPECT_EQ(bitsNeeded(1), 2);   // 01
+    EXPECT_EQ(bitsNeeded(-1), 1);  // 1
+    EXPECT_EQ(bitsNeeded(-2), 2);  // 10
+    EXPECT_EQ(bitsNeeded(3), 3);   // 011
+    EXPECT_EQ(bitsNeeded(-4), 3);  // 100
+    EXPECT_EQ(bitsNeeded(-5), 4);
+    EXPECT_EQ(bitsNeeded(127), 8);
+    EXPECT_EQ(bitsNeeded(-128), 8);
+    EXPECT_EQ(bitsNeeded(128), 9);
+    EXPECT_EQ(bitsNeeded(32767), 16);
+    EXPECT_EQ(bitsNeeded(-32768), 16);
+}
+
+TEST(BitsNeeded, ValueRepresentableAtReportedWidth)
+{
+    Rng rng(11);
+    for (int i = 0; i < 5000; ++i) {
+        auto v = static_cast<std::int64_t>(rng.below(1 << 16)) - (1 << 15);
+        int bits = bitsNeeded(v);
+        ASSERT_GE(bits, 1);
+        ASSERT_LE(bits, 16);
+        // v must fit in `bits` and not in `bits - 1`.
+        std::int64_t lo = -(std::int64_t{1} << (bits - 1));
+        std::int64_t hi = (std::int64_t{1} << (bits - 1)) - 1;
+        EXPECT_GE(v, lo);
+        EXPECT_LE(v, hi);
+        if (bits > 1) {
+            std::int64_t lo2 = -(std::int64_t{1} << (bits - 2));
+            std::int64_t hi2 = (std::int64_t{1} << (bits - 2)) - 1;
+            EXPECT_TRUE(v < lo2 || v > hi2) << v << " fits " << bits - 1;
+        }
+    }
+}
+
+TEST(GroupBitsNeeded, TakesGroupMaximum)
+{
+    std::int16_t group[4] = {0, 3, -7, 1};
+    EXPECT_EQ(groupBitsNeeded(group, 4), 4); // -7 needs 4 bits
+    std::int16_t zeros[3] = {0, 0, 0};
+    EXPECT_EQ(groupBitsNeeded(zeros, 3), 1);
+    EXPECT_EQ(groupBitsNeeded(nullptr, 0), 1);
+}
+
+/** Property sweep: term counts of deltas of correlated sequences. */
+class BoothDeltaProperty : public ::testing::TestWithParam<int>
+{};
+
+TEST_P(BoothDeltaProperty, CorrelatedStreamsHaveCheaperDeltas)
+{
+    // A slowly varying sequence must have fewer delta terms than raw
+    // terms in aggregate — the paper's core premise, stated on the
+    // recoding itself.
+    const int step_bound = GetParam();
+    Rng rng(100 + step_bound);
+    std::int32_t prev = 1000;
+    std::int64_t raw_terms = 0;
+    std::int64_t delta_terms = 0;
+    for (int i = 0; i < 4000; ++i) {
+        std::int32_t cur =
+            prev + static_cast<std::int32_t>(rng.below(2 * step_bound + 1))
+            - step_bound;
+        cur = std::max(0, std::min(32767, cur));
+        raw_terms += boothTerms(cur);
+        delta_terms += boothTerms(cur - prev);
+        prev = cur;
+    }
+    EXPECT_LT(delta_terms, raw_terms) << "step bound " << step_bound;
+}
+
+INSTANTIATE_TEST_SUITE_P(StepBounds, BoothDeltaProperty,
+                         ::testing::Values(1, 2, 4, 8, 16, 32));
+
+} // namespace
+} // namespace diffy

@@ -1,0 +1,325 @@
+/**
+ * @file
+ * Tests for the bitstream and the activation compression codecs:
+ * exact round-trips, measured sizes, and the orderings the paper's
+ * Figs 5/14 rely on.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/bitops.hh"
+#include "common/rng.hh"
+#include "encode/bitstream.hh"
+#include "encode/schemes.hh"
+#include "image/synth.hh"
+#include "nn/executor.hh"
+#include "nn/models.hh"
+
+namespace diffy
+{
+namespace
+{
+
+TEST(BitStream, WritesAndReadsMixedWidths)
+{
+    BitWriter bw;
+    bw.write(0b101, 3);
+    bw.writeSigned(-5, 6);
+    bw.write(0xFFFF, 16);
+    bw.writeSigned(-1, 2);
+    EXPECT_EQ(bw.bitCount(), 27u);
+
+    BitReader br(bw.bytes());
+    EXPECT_EQ(br.read(3), 0b101u);
+    EXPECT_EQ(br.readSigned(6), -5);
+    EXPECT_EQ(br.read(16), 0xFFFFu);
+    EXPECT_EQ(br.readSigned(2), -1);
+    EXPECT_EQ(br.bitPosition(), 27u);
+}
+
+TEST(BitStream, RandomRoundTrip)
+{
+    Rng rng(77);
+    std::vector<std::pair<std::int32_t, int>> fields;
+    BitWriter bw;
+    for (int i = 0; i < 3000; ++i) {
+        int bits = 1 + static_cast<int>(rng.below(17));
+        std::int32_t lo = -(1 << (bits - 1));
+        std::int32_t hi = (1 << (bits - 1)) - 1;
+        auto v = static_cast<std::int32_t>(
+            lo + static_cast<std::int64_t>(rng.below(
+                     static_cast<std::uint64_t>(hi - lo + 1))));
+        fields.emplace_back(v, bits);
+        bw.writeSigned(v, bits);
+    }
+    BitReader br(bw.bytes());
+    for (const auto &[v, bits] : fields)
+        ASSERT_EQ(br.readSigned(bits), v);
+}
+
+TEST(BitStream, ReaderThrowsPastEnd)
+{
+    BitWriter bw;
+    bw.write(1, 4);
+    BitReader br(bw.bytes());
+    br.read(4);
+    // Remaining padding bits (to the byte boundary) are readable, but
+    // not beyond the buffer.
+    br.read(4);
+    EXPECT_THROW(br.read(1), std::out_of_range);
+}
+
+TEST(BitStream, RejectsBadWidths)
+{
+    BitWriter bw;
+    EXPECT_THROW(bw.write(0, 0), std::invalid_argument);
+    EXPECT_THROW(bw.write(0, 33), std::invalid_argument);
+}
+
+// ---------------------------------------------------------------
+// Codec round-trip properties
+// ---------------------------------------------------------------
+
+TensorI16
+randomTensor(std::uint64_t seed, int c = 4, int h = 6, int w = 11,
+             int bound = 32768)
+{
+    Rng rng(seed);
+    TensorI16 t(c, h, w);
+    for (std::size_t i = 0; i < t.size(); ++i) {
+        t.data()[i] = static_cast<std::int16_t>(
+            static_cast<std::int32_t>(rng.below(2 * bound)) - bound);
+    }
+    return t;
+}
+
+TensorI16
+sparseSmoothTensor(std::uint64_t seed, int c = 4, int h = 8, int w = 32)
+{
+    // ReLU-like: runs of zeros and smooth positive ramps.
+    Rng rng(seed);
+    TensorI16 t(c, h, w);
+    for (int ch = 0; ch < c; ++ch) {
+        for (int y = 0; y < h; ++y) {
+            std::int32_t level = static_cast<std::int32_t>(rng.below(600));
+            for (int x = 0; x < w; ++x) {
+                if (rng.uniform() < 0.4) {
+                    t.at(ch, y, x) = 0;
+                } else {
+                    level += static_cast<std::int32_t>(rng.below(9)) - 4;
+                    level = std::max(0, level);
+                    t.at(ch, y, x) = static_cast<std::int16_t>(level);
+                }
+            }
+        }
+    }
+    return t;
+}
+
+/** Every lossless codec must round-trip arbitrary int16 tensors. */
+class LosslessCodecRoundTrip
+    : public ::testing::TestWithParam<std::string>
+{
+  protected:
+    std::unique_ptr<ActivationCodec>
+    make() const
+    {
+        const std::string &name = GetParam();
+        if (name == "NoCompression")
+            return makeNoCompressionCodec();
+        if (name == "RLEz")
+            return makeRlezCodec();
+        if (name == "RLE")
+            return makeRleCodec();
+        if (name == "RawD8")
+            return makeRawDCodec(8);
+        if (name == "RawD16")
+            return makeRawDCodec(16);
+        if (name == "RawD256")
+            return makeRawDCodec(256);
+        if (name == "DeltaD8")
+            return makeDeltaDCodec(8);
+        if (name == "DeltaD16")
+            return makeDeltaDCodec(16);
+        if (name == "DeltaD256")
+            return makeDeltaDCodec(256);
+        throw std::logic_error("unknown codec under test");
+    }
+};
+
+TEST_P(LosslessCodecRoundTrip, RandomTensors)
+{
+    auto codec = make();
+    for (std::uint64_t seed : {1ull, 2ull, 3ull}) {
+        TensorI16 t = randomTensor(seed);
+        EncodedTensor enc = codec->encode(t);
+        EXPECT_EQ(codec->decode(enc), t) << codec->name();
+    }
+}
+
+TEST_P(LosslessCodecRoundTrip, SparseSmoothTensors)
+{
+    auto codec = make();
+    TensorI16 t = sparseSmoothTensor(9);
+    EXPECT_EQ(codec->decode(codec->encode(t)), t) << codec->name();
+}
+
+TEST_P(LosslessCodecRoundTrip, ExtremeValues)
+{
+    auto codec = make();
+    TensorI16 t(1, 2, 4);
+    std::int16_t vals[8] = {32767, -32768, 0, -1, 1, -32768, 32767, 0};
+    for (int i = 0; i < 8; ++i)
+        t.data()[i] = vals[i];
+    EXPECT_EQ(codec->decode(codec->encode(t)), t) << codec->name();
+}
+
+TEST_P(LosslessCodecRoundTrip, AllZeros)
+{
+    auto codec = make();
+    TensorI16 t(3, 5, 7, 0);
+    EncodedTensor enc = codec->encode(t);
+    EXPECT_EQ(codec->decode(enc), t) << codec->name();
+}
+
+TEST_P(LosslessCodecRoundTrip, SingleElement)
+{
+    auto codec = make();
+    TensorI16 t(1, 1, 1);
+    t.at(0, 0, 0) = -1234;
+    EXPECT_EQ(codec->decode(codec->encode(t)), t) << codec->name();
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Schemes, LosslessCodecRoundTrip,
+    ::testing::Values("NoCompression", "RLEz", "RLE", "RawD8", "RawD16",
+                      "RawD256", "DeltaD8", "DeltaD16", "DeltaD256"),
+    [](const auto &info) { return info.param; });
+
+TEST(ProfiledCodec, LosslessWhenPrecisionCovers)
+{
+    auto codec = makeProfiledCodec(11);
+    TensorI16 t = randomTensor(5, 2, 4, 8, 1024); // 11-bit range
+    EXPECT_EQ(codec->decode(codec->encode(t)), t);
+}
+
+TEST(ProfiledCodec, SaturatesOutliers)
+{
+    auto codec = makeProfiledCodec(8);
+    TensorI16 t(1, 1, 3);
+    t.at(0, 0, 0) = 1000;  // above 8-bit max 127
+    t.at(0, 0, 1) = -1000; // below -128
+    t.at(0, 0, 2) = 100;
+    TensorI16 back = codec->decode(codec->encode(t));
+    EXPECT_EQ(back.at(0, 0, 0), 127);
+    EXPECT_EQ(back.at(0, 0, 1), -128);
+    EXPECT_EQ(back.at(0, 0, 2), 100);
+}
+
+TEST(ProfiledCodec, RejectsBadPrecision)
+{
+    EXPECT_THROW(makeProfiledCodec(0), std::invalid_argument);
+    EXPECT_THROW(makeProfiledCodec(17), std::invalid_argument);
+}
+
+// ---------------------------------------------------------------
+// Size accounting
+// ---------------------------------------------------------------
+
+TEST(CodecSizes, NoCompressionIsExactly16BitsPerValue)
+{
+    TensorI16 t = randomTensor(6);
+    EXPECT_DOUBLE_EQ(makeNoCompressionCodec()->bitsPerValue(t), 16.0);
+}
+
+TEST(CodecSizes, RawDWithMetadataMatchesFormula)
+{
+    // A tensor whose every group needs exactly 9 bits.
+    TensorI16 t(1, 1, 64);
+    for (int x = 0; x < 64; ++x)
+        t.at(0, 0, x) = 200; // 9 bits
+    double bpv = makeRawDCodec(16)->bitsPerValue(t);
+    EXPECT_NEAR(bpv, 9.0 + 4.0 / 16.0, 1e-12);
+}
+
+TEST(CodecSizes, RlezCompressesZeroRuns)
+{
+    TensorI16 t(1, 1, 160, 0);
+    for (int x = 0; x < 160; x += 16)
+        t.at(0, 0, x) = 300;
+    double bpv = makeRlezCodec()->bitsPerValue(t);
+    EXPECT_LT(bpv, 3.0); // 10 entries of 20 bits for 160 values
+}
+
+TEST(CodecSizes, DeltaDBeatsRawDOnSmoothData)
+{
+    TensorI16 t(2, 8, 64);
+    Rng rng(8);
+    for (int c = 0; c < 2; ++c) {
+        for (int y = 0; y < 8; ++y) {
+            std::int32_t level = 4000;
+            for (int x = 0; x < 64; ++x) {
+                level += static_cast<std::int32_t>(rng.below(7)) - 3;
+                t.at(c, y, x) = static_cast<std::int16_t>(level);
+            }
+        }
+    }
+    EXPECT_LT(makeDeltaDCodec(16)->bitsPerValue(t),
+              makeRawDCodec(16)->bitsPerValue(t));
+}
+
+TEST(CodecSizes, SmallerGroupsAdaptBetterBeforeMetadata)
+{
+    // On data with isolated spikes, small groups quarantine the wide
+    // values. Verify RawD8 payload adapts better than RawD256 overall
+    // on spiky data despite its higher metadata rate.
+    TensorI16 t(1, 1, 1024, 1);
+    for (int x = 0; x < 1024; x += 128)
+        t.at(0, 0, x) = 30000;
+    EXPECT_LT(makeRawDCodec(8)->bitsPerValue(t),
+              makeRawDCodec(256)->bitsPerValue(t));
+}
+
+TEST(CodecSizes, MeasuredBitsMatchBufferLength)
+{
+    TensorI16 t = sparseSmoothTensor(10);
+    for (auto scheme : {Compression::Rlez, Compression::Rle,
+                        Compression::RawD16, Compression::DeltaD16}) {
+        auto codec = makeCodec(scheme);
+        EncodedTensor enc = codec->encode(t);
+        EXPECT_LE(enc.bits, enc.bytes.size() * 8);
+        EXPECT_GT(enc.bits, (enc.bytes.size() - 1) * 8);
+    }
+}
+
+TEST(MakeCodec, MapsEnumValues)
+{
+    EXPECT_EQ(makeCodec(Compression::None)->name(), "NoCompression");
+    EXPECT_EQ(makeCodec(Compression::Ideal)->name(), "NoCompression");
+    EXPECT_EQ(makeCodec(Compression::Rlez)->name(), "RLEz");
+    EXPECT_EQ(makeCodec(Compression::Profiled, 9)->name(), "Profiled9");
+    EXPECT_EQ(makeCodec(Compression::DeltaD16)->name(), "DeltaD16");
+    EXPECT_EQ(makeCodec(Compression::RawD256)->name(), "RawD256");
+}
+
+TEST(CodecOnRealTrace, PaperOrderingHolds)
+{
+    // On a real CI-DNN trace: DeltaD16 < RawD16 < NoCompression.
+    SceneParams p;
+    p.kind = SceneKind::Nature;
+    p.width = 24;
+    p.height = 24;
+    p.seed = 12;
+    NetworkTrace trace = runNetwork(makeIrCnn(), renderScene(p));
+    double delta = 0.0, raw = 0.0, none = 0.0;
+    for (const auto &layer : trace.layers) {
+        delta += makeDeltaDCodec(16)->bitsPerValue(layer.imap);
+        raw += makeRawDCodec(16)->bitsPerValue(layer.imap);
+        none += makeNoCompressionCodec()->bitsPerValue(layer.imap);
+    }
+    EXPECT_LT(delta, raw);
+    EXPECT_LT(raw, none);
+}
+
+} // namespace
+} // namespace diffy

@@ -1,0 +1,166 @@
+/**
+ * @file
+ * Property tests for Differential Convolution: bit-exact equivalence
+ * with direct fixed-point convolution across strides, dilations,
+ * kernel sizes and value distributions, plus the work-reduction
+ * property on correlated inputs.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/rng.hh"
+#include "core/differential_conv.hh"
+#include "image/synth.hh"
+#include "nn/executor.hh"
+#include "nn/models.hh"
+
+namespace diffy
+{
+namespace
+{
+
+TensorI16
+randomImap(std::uint64_t seed, int c, int h, int w, int bound = 2000)
+{
+    Rng rng(seed);
+    TensorI16 t(c, h, w);
+    for (std::size_t i = 0; i < t.size(); ++i) {
+        t.data()[i] = static_cast<std::int16_t>(
+            static_cast<std::int32_t>(rng.below(2 * bound)) - bound);
+    }
+    return t;
+}
+
+FilterBankI16
+randomBank(std::uint64_t seed, int k_filters, int c, int k, int bound = 300)
+{
+    Rng rng(seed);
+    FilterBankI16 bank(k_filters, c, k, k);
+    for (std::size_t i = 0; i < bank.size(); ++i) {
+        bank.data()[i] = static_cast<std::int16_t>(
+            static_cast<std::int32_t>(rng.below(2 * bound)) - bound);
+    }
+    return bank;
+}
+
+struct ConvCase
+{
+    int channels;
+    int height;
+    int width;
+    int filters;
+    int kernel;
+    int stride;
+    int dilation;
+};
+
+class DifferentialExactness : public ::testing::TestWithParam<ConvCase>
+{};
+
+TEST_P(DifferentialExactness, MatchesDirectBitExactly)
+{
+    const ConvCase &cc = GetParam();
+    TensorI16 imap = randomImap(
+        17 + static_cast<std::uint64_t>(cc.stride * 100 + cc.dilation),
+        cc.channels, cc.height, cc.width);
+    FilterBankI16 bank = randomBank(29, cc.filters, cc.channels, cc.kernel);
+    TensorI32 direct = convolveDirect(imap, bank, cc.stride, cc.dilation);
+    TensorI32 diff =
+        convolveDifferential(imap, bank, cc.stride, cc.dilation);
+    EXPECT_EQ(direct, diff);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Cases, DifferentialExactness,
+    ::testing::Values(
+        ConvCase{1, 8, 8, 1, 3, 1, 1},    // minimal
+        ConvCase{3, 12, 16, 4, 3, 1, 1},  // CI-DNN first layer shape
+        ConvCase{8, 10, 10, 6, 3, 2, 1},  // stride 2
+        ConvCase{4, 16, 16, 2, 3, 1, 4},  // IRCNN dilation 4
+        ConvCase{2, 14, 14, 3, 5, 1, 1},  // 5x5 kernel
+        ConvCase{5, 11, 13, 2, 3, 3, 1},  // odd sizes + stride 3
+        ConvCase{2, 23, 9, 2, 11, 4, 1},  // AlexNet-like 11x11 s4
+        ConvCase{1, 1, 32, 1, 3, 1, 1},   // single-row image
+        ConvCase{1, 32, 1, 1, 3, 1, 1},   // single-column image
+        ConvCase{6, 9, 9, 8, 1, 1, 1}));  // 1x1 kernels
+
+TEST(DifferentialExactness, ExtremeValuesStayExact)
+{
+    // All-max / all-min imaps stress the accumulator paths.
+    TensorI16 imap(2, 6, 6, 32767);
+    for (int x = 0; x < 6; x += 2)
+        imap.at(1, 3, x) = -32768;
+    FilterBankI16 bank = randomBank(31, 3, 2, 3, 400);
+    EXPECT_EQ(convolveDirect(imap, bank, 1, 1),
+              convolveDifferential(imap, bank, 1, 1));
+}
+
+TEST(DifferentialExactness, RealTraceLayers)
+{
+    SceneParams p;
+    p.kind = SceneKind::Texture;
+    p.width = 20;
+    p.height = 20;
+    p.seed = 3;
+    NetworkTrace trace = runNetwork(makeIrCnn(), renderScene(p));
+    for (const auto &lt : trace.layers) {
+        EXPECT_EQ(convolveDirect(lt.imap, lt.weights, lt.spec.stride,
+                                 lt.spec.dilation),
+                  convolveDifferential(lt.imap, lt.weights,
+                                       lt.spec.stride, lt.spec.dilation))
+            << lt.spec.name;
+    }
+}
+
+TEST(DifferentialWork, FewerTermsOnCorrelatedImaps)
+{
+    SceneParams p;
+    p.kind = SceneKind::Nature;
+    p.width = 24;
+    p.height = 24;
+    p.seed = 5;
+    NetworkTrace trace = runNetwork(makeDnCnn(), renderScene(p));
+    const auto &lt = trace.layers[2];
+    ConvWorkCount direct = countDirectWork(lt.imap, lt.weights,
+                                           lt.spec.stride,
+                                           lt.spec.dilation);
+    ConvWorkCount diff = countDifferentialWork(lt.imap, lt.weights,
+                                               lt.spec.stride,
+                                               lt.spec.dilation);
+    EXPECT_EQ(direct.macs, diff.macs);
+    EXPECT_LT(diff.multiplierTerms, direct.multiplierTerms);
+}
+
+TEST(DifferentialWork, EqualOnUncorrelatedNoise)
+{
+    // On white noise the delta of two independent values is wider than
+    // either; differential work must NOT be lower by construction.
+    TensorI16 imap = randomImap(99, 4, 16, 16, 8000);
+    FilterBankI16 bank = randomBank(7, 2, 4, 3);
+    ConvWorkCount direct = countDirectWork(imap, bank, 1, 1);
+    ConvWorkCount diff = countDifferentialWork(imap, bank, 1, 1);
+    EXPECT_GT(static_cast<double>(diff.multiplierTerms),
+              0.9 * static_cast<double>(direct.multiplierTerms));
+}
+
+TEST(DifferentialWork, ConstantImapCostsAlmostNothing)
+{
+    TensorI16 imap(4, 8, 16, 512);
+    FilterBankI16 bank = randomBank(3, 2, 4, 3);
+    ConvWorkCount diff = countDifferentialWork(imap, bank, 1, 1);
+    ConvWorkCount direct = countDirectWork(imap, bank, 1, 1);
+    // Only first-window taps and padding-boundary taps carry terms.
+    EXPECT_LT(diff.multiplierTerms, direct.multiplierTerms / 3);
+}
+
+TEST(DifferentialConv, MismatchedShapesThrow)
+{
+    TensorI16 imap(3, 8, 8);
+    FilterBankI16 bank(2, 4, 3, 3);
+    EXPECT_THROW(convolveDirect(imap, bank, 1, 1), std::invalid_argument);
+    EXPECT_THROW(convolveDifferential(imap, bank, 1, 1),
+                 std::invalid_argument);
+}
+
+} // namespace
+} // namespace diffy

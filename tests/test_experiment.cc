@@ -1,0 +1,104 @@
+/**
+ * @file
+ * Integration tests for the experiment driver: end-to-end speedup and
+ * FPS aggregation across scenes, and the headline cross-design
+ * orderings of the paper at small scale.
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/experiment.hh"
+
+namespace diffy
+{
+namespace
+{
+
+ExperimentParams
+smallParams()
+{
+    ExperimentParams p;
+    p.crop = 24;
+    p.scenes = 1;
+    p.cacheDir = ""; // keep tests hermetic: no disk cache
+    return p;
+}
+
+TEST(ExperimentParams, CliOverrides)
+{
+    const char *argv[] = {"prog", "--crop", "32", "--scenes=2",
+                          "--mem", "HBM2", "--mem-channels", "2",
+                          "--frame-h", "540", "--frame-w", "960",
+                          "--cache", ""};
+    ExperimentParams p = ExperimentParams::fromCli(13, argv);
+    EXPECT_EQ(p.crop, 32);
+    EXPECT_EQ(p.scenes, 2);
+    EXPECT_EQ(p.memTech, "HBM2");
+    EXPECT_EQ(p.memChannels, 2);
+    EXPECT_EQ(p.frameHeight, 540);
+    EXPECT_EQ(p.frameWidth, 960);
+    EXPECT_EQ(experimentMemTech(p).label(), "HBM2-x2");
+}
+
+TEST(TraceSuite, ProducesOneTracePerScene)
+{
+    ExperimentParams p = smallParams();
+    p.scenes = 2;
+    auto traced = traceSuite({makeIrCnn()}, p);
+    ASSERT_EQ(traced.size(), 1u);
+    EXPECT_EQ(traced[0].traces.size(), 2u);
+    EXPECT_EQ(traced[0].traces[0].layers.size(), 7u);
+    // Different scenes produce different value streams.
+    EXPECT_NE(traced[0].traces[0].layers[2].imap,
+              traced[0].traces[1].layers[2].imap);
+}
+
+TEST(TraceSuite, ClassificationUsesNativeResolution)
+{
+    ExperimentParams p = smallParams();
+    p.classificationCropDivisor = 1;
+    NetworkSpec alex = makeAlexNetConv();
+    alex.nativeResolution = 96; // shrink for test speed
+    auto traced = traceSuite({alex}, p);
+    EXPECT_EQ(traced[0].traces[0].frameHeight, 96);
+
+    // With a divisor, the trace crop shrinks but never below the
+    // floor that keeps the deepest stage non-degenerate.
+    p.classificationCropDivisor = 2;
+    auto halved = traceSuite({alex}, p);
+    EXPECT_EQ(halved[0].traces[0].frameHeight, 64);
+}
+
+TEST(Experiment, HeadlineOrderingDiffyPraVaa)
+{
+    ExperimentParams p = smallParams();
+    auto traced = traceSuite({makeDnCnn()}, p);
+    MemTech mem = experimentMemTech(p);
+
+    AcceleratorConfig vaa = defaultVaaConfig();
+    AcceleratorConfig pra = defaultPraConfig();
+    pra.compression = Compression::DeltaD16;
+    AcceleratorConfig dfy = defaultDiffyConfig();
+
+    double pra_speedup = speedupOver(traced[0], pra, vaa, mem, p);
+    double dfy_speedup = speedupOver(traced[0], dfy, vaa, mem, p);
+    EXPECT_GT(pra_speedup, 1.5);
+    EXPECT_GT(dfy_speedup, pra_speedup);
+    EXPECT_LT(dfy_speedup, 16.0);
+}
+
+TEST(Experiment, FpsConsistentWithSpeedup)
+{
+    ExperimentParams p = smallParams();
+    auto traced = traceSuite({makeIrCnn()}, p);
+    MemTech mem = experimentMemTech(p);
+    AcceleratorConfig vaa = defaultVaaConfig();
+    AcceleratorConfig dfy = defaultDiffyConfig();
+    double fps_vaa = averageFps(traced[0], vaa, mem, p);
+    double fps_dfy = averageFps(traced[0], dfy, mem, p);
+    double speedup = speedupOver(traced[0], dfy, vaa, mem, p);
+    EXPECT_NEAR(fps_dfy / fps_vaa, speedup, 1e-9);
+}
+
+} // namespace
+} // namespace diffy

@@ -1,0 +1,214 @@
+/**
+ * @file
+ * Tests for the extension components: the Dynamic Stripes
+ * precision-serial model (+ its differential variant, the paper's
+ * related-work proposal) and Y-direction differential convolution.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/rng.hh"
+#include "core/differential_conv.hh"
+#include "image/synth.hh"
+#include "nn/executor.hh"
+#include "nn/models.hh"
+#include "sim/pra.hh"
+#include "sim/stripes.hh"
+#include "sim/vaa.hh"
+
+namespace diffy
+{
+namespace
+{
+
+NetworkTrace
+sceneTrace(const NetworkSpec &net, int size = 24, std::uint64_t seed = 61)
+{
+    SceneParams p;
+    p.kind = SceneKind::Nature;
+    p.width = size;
+    p.height = size;
+    p.seed = seed;
+    return runNetwork(net, renderScene(p));
+}
+
+LayerTrace
+uniformLayer(std::int16_t value, int channels = 16, int dim = 8,
+             int filters = 64)
+{
+    LayerTrace lt;
+    lt.spec.name = "uniform";
+    lt.spec.inChannels = channels;
+    lt.spec.outChannels = filters;
+    lt.spec.kernel = 3;
+    lt.imap = TensorI16(channels, dim, dim, value);
+    lt.weights = FilterBankI16(filters, channels, 3, 3, 1);
+    return lt;
+}
+
+TEST(StripesSim, CostIsBitWidthNotTermCount)
+{
+    // 0b100000001 = 257: 10 bits two's complement (9 magnitude +
+    // sign) but only 2 Booth terms. Stripes must charge 10 cycles per
+    // step where PRA charges 2.
+    AcceleratorConfig cfg = defaultPraConfig();
+    LayerTrace lt = uniformLayer(257);
+    double stripes =
+        simulateStripesLayer(lt, cfg).computeCycles;
+    double pra = simulatePraLayer(lt, cfg).computeCycles;
+    // 66 interior steps (8x8 map): 10 vs 2 cycles; 6 padding steps of 1.
+    EXPECT_DOUBLE_EQ(stripes, 6.0 + 66.0 * 10.0);
+    EXPECT_DOUBLE_EQ(pra, 6.0 + 66.0 * 2.0);
+}
+
+TEST(StripesSim, NeverFasterThanPra)
+{
+    // Booth terms <= bit width for every value, so PRA is a strict
+    // refinement of DS at equal geometry.
+    NetworkTrace trace = sceneTrace(makeIrCnn());
+    AcceleratorConfig cfg = defaultPraConfig();
+    auto ds = simulateStripes(trace, cfg);
+    auto pra = simulatePra(trace, cfg);
+    for (std::size_t i = 0; i < ds.layers.size(); ++i) {
+        EXPECT_GE(ds.layers[i].computeCycles + 1e-9,
+                  pra.layers[i].computeCycles)
+            << i;
+    }
+}
+
+TEST(StripesSim, NeverSlowerThanVaa)
+{
+    // Width <= 16 bits, so DS matches or beats the value-agnostic
+    // design (Stripes' original guarantee).
+    NetworkTrace trace = sceneTrace(makeDnCnn(), 20);
+    AcceleratorConfig cfg = defaultPraConfig();
+    auto ds = simulateStripes(trace, cfg);
+    auto vaa = simulateVaa(trace, defaultVaaConfig());
+    for (std::size_t i = 0; i < ds.layers.size(); ++i) {
+        EXPECT_LE(ds.layers[i].computeCycles,
+                  vaa.layers[i].computeCycles * 1.001)
+            << i;
+    }
+}
+
+TEST(StripesSim, DeltaVariantWinsOnCorrelatedTraces)
+{
+    // The paper's related-work proposal: deltas need fewer bits, so a
+    // differential Dynamic Stripes outruns the raw one.
+    NetworkTrace trace = sceneTrace(makeDnCnn(), 20);
+    AcceleratorConfig cfg = defaultPraConfig();
+    double raw = simulateStripes(trace, cfg, false).totalComputeCycles();
+    double delta =
+        simulateStripes(trace, cfg, true).totalComputeCycles();
+    EXPECT_LT(delta, raw);
+}
+
+TEST(StripesSim, OrderingAcrossAllFourDesigns)
+{
+    // VAA >= DS >= DS+delta and VAA >= PRA >= Diffy in cycles.
+    NetworkTrace trace = sceneTrace(makeIrCnn());
+    AcceleratorConfig cfg = defaultPraConfig();
+    double vaa =
+        simulateVaa(trace, defaultVaaConfig()).totalComputeCycles();
+    double ds = simulateStripes(trace, cfg).totalComputeCycles();
+    double dsd = simulateStripes(trace, cfg, true).totalComputeCycles();
+    double pra = simulatePra(trace, cfg).totalComputeCycles();
+    EXPECT_LE(ds, vaa * 1.001);
+    EXPECT_LT(dsd, ds);
+    EXPECT_LE(pra, ds * 1.001);
+}
+
+// ----------------------------------------------------------------
+// Y-direction differential convolution
+// ----------------------------------------------------------------
+
+TensorI16
+randomImap(std::uint64_t seed, int c, int h, int w, int bound = 2000)
+{
+    Rng rng(seed);
+    TensorI16 t(c, h, w);
+    for (std::size_t i = 0; i < t.size(); ++i) {
+        t.data()[i] = static_cast<std::int16_t>(
+            static_cast<std::int32_t>(rng.below(2 * bound)) - bound);
+    }
+    return t;
+}
+
+FilterBankI16
+randomBank(std::uint64_t seed, int k_filters, int c, int k)
+{
+    Rng rng(seed);
+    FilterBankI16 bank(k_filters, c, k, k);
+    for (std::size_t i = 0; i < bank.size(); ++i) {
+        bank.data()[i] = static_cast<std::int16_t>(
+            static_cast<std::int32_t>(rng.below(600)) - 300);
+    }
+    return bank;
+}
+
+struct YCase
+{
+    int c, h, w, f, k, stride, dilation;
+};
+
+class DifferentialYExactness : public ::testing::TestWithParam<YCase>
+{};
+
+TEST_P(DifferentialYExactness, MatchesDirect)
+{
+    const YCase &cc = GetParam();
+    TensorI16 imap = randomImap(
+        41 + static_cast<std::uint64_t>(cc.stride * 10 + cc.dilation),
+        cc.c, cc.h, cc.w);
+    FilterBankI16 bank = randomBank(43, cc.f, cc.c, cc.k);
+    EXPECT_EQ(convolveDirect(imap, bank, cc.stride, cc.dilation),
+              convolveDifferentialY(imap, bank, cc.stride, cc.dilation));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Cases, DifferentialYExactness,
+    ::testing::Values(YCase{1, 8, 8, 1, 3, 1, 1},
+                      YCase{3, 12, 10, 4, 3, 1, 1},
+                      YCase{4, 11, 9, 2, 3, 2, 1},
+                      YCase{2, 16, 16, 2, 3, 1, 4},
+                      YCase{2, 9, 23, 2, 5, 3, 1}));
+
+TEST(DifferentialY, WorkComparableToXOnIsotropicImages)
+{
+    // Natural-image statistics are roughly isotropic: the X and Y
+    // delta directions should save similar work.
+    NetworkTrace trace = sceneTrace(makeDnCnn(), 24);
+    const auto &lt = trace.layers[2];
+    auto x = countDifferentialWork(lt.imap, lt.weights, 1, 1);
+    auto y = countDifferentialWorkY(lt.imap, lt.weights, 1, 1);
+    auto direct = countDirectWork(lt.imap, lt.weights, 1, 1);
+    EXPECT_LT(x.multiplierTerms, direct.multiplierTerms);
+    EXPECT_LT(y.multiplierTerms, direct.multiplierTerms);
+    double ratio = static_cast<double>(x.multiplierTerms) /
+                   static_cast<double>(y.multiplierTerms);
+    EXPECT_GT(ratio, 0.7);
+    EXPECT_LT(ratio, 1.4);
+}
+
+TEST(DifferentialY, VerticalStripesFavourYDirection)
+{
+    // An image constant along Y but varying along X: Y-deltas vanish.
+    TensorI16 imap(2, 12, 12);
+    Rng rng(7);
+    for (int c = 0; c < 2; ++c) {
+        std::vector<std::int16_t> column(12);
+        for (auto &v : column)
+            v = static_cast<std::int16_t>(rng.below(3000));
+        for (int y = 0; y < 12; ++y) {
+            for (int x = 0; x < 12; ++x)
+                imap.at(c, y, x) = column[x];
+        }
+    }
+    FilterBankI16 bank = randomBank(9, 2, 2, 3);
+    auto x = countDifferentialWork(imap, bank, 1, 1);
+    auto y = countDifferentialWorkY(imap, bank, 1, 1);
+    EXPECT_LT(y.multiplierTerms, x.multiplierTerms / 2);
+}
+
+} // namespace
+} // namespace diffy

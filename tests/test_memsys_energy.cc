@@ -1,0 +1,301 @@
+/**
+ * @file
+ * Tests for the footprint/traffic accounting, memory-system overlap
+ * model, arch tables and the energy/area model.
+ */
+
+#include <gtest/gtest.h>
+
+#include "arch/config.hh"
+#include "arch/memtech.hh"
+#include "encode/footprint.hh"
+#include "energy/model.hh"
+#include "image/synth.hh"
+#include "nn/executor.hh"
+#include "nn/models.hh"
+#include "sim/runner.hh"
+
+namespace diffy
+{
+namespace
+{
+
+NetworkTrace
+sceneTrace(const NetworkSpec &net, int size = 24, std::uint64_t seed = 71)
+{
+    SceneParams p;
+    p.kind = SceneKind::Nature;
+    p.width = size;
+    p.height = size;
+    p.seed = seed;
+    return runNetwork(net, renderScene(p));
+}
+
+TEST(ArchConfig, TableFourNormalization)
+{
+    // All designs are normalized to 1K MACs/cycle peak.
+    EXPECT_DOUBLE_EQ(defaultVaaConfig().peakMacsPerCycle(), 1024.0);
+    EXPECT_DOUBLE_EQ(defaultPraConfig().peakMacsPerCycle(), 1024.0);
+    EXPECT_DOUBLE_EQ(defaultDiffyConfig().peakMacsPerCycle(), 1024.0);
+    EXPECT_EQ(defaultVaaConfig().windowColumns, 1);
+    EXPECT_EQ(defaultDiffyConfig().windowColumns, 16);
+    EXPECT_EQ(defaultDiffyConfig().compression, Compression::DeltaD16);
+}
+
+TEST(ArchConfig, DescribeMentionsKeyParameters)
+{
+    std::string desc = defaultDiffyConfig().describe();
+    EXPECT_NE(desc.find("Diffy"), std::string::npos);
+    EXPECT_NE(desc.find("DeltaD16"), std::string::npos);
+}
+
+TEST(MemTech, LadderOrderingAndChannels)
+{
+    auto sweep = fig15MemorySweep();
+    ASSERT_GE(sweep.size(), 6u);
+    for (std::size_t i = 1; i < sweep.size(); ++i)
+        EXPECT_GE(sweep[i].totalGBs(), sweep[i - 1].totalGBs());
+    MemTech dual = memTechByName("LPDDR4-3200", 2);
+    EXPECT_DOUBLE_EQ(dual.totalGBs(),
+                     2.0 * memTechByName("LPDDR4-3200").totalGBs());
+    EXPECT_EQ(dual.label(), "LPDDR4-3200-x2");
+    EXPECT_THROW(memTechByName("DDR9-9999"), std::invalid_argument);
+}
+
+TEST(MemTech, BytesPerCycleAtGigahertz)
+{
+    MemTech hbm = memTechByName("HBM2");
+    // 256 GB/s derated by 0.8 at 1 GHz -> 204.8 B/cycle.
+    EXPECT_NEAR(hbm.bytesPerCycle(1e9), 204.8, 1e-9);
+}
+
+TEST(Footprint, NormalizedOrderingMatchesFigFive)
+{
+    NetworkTrace trace = sceneTrace(makeDnCnn());
+    double none =
+        measureFootprint(trace, Compression::None).normalizedTo16b();
+    double profiled =
+        measureFootprint(trace, Compression::Profiled).normalizedTo16b();
+    double rawd =
+        measureFootprint(trace, Compression::RawD16).normalizedTo16b();
+    double deltad =
+        measureFootprint(trace, Compression::DeltaD16).normalizedTo16b();
+    EXPECT_DOUBLE_EQ(none, 1.0);
+    EXPECT_LT(profiled, none);
+    EXPECT_LT(rawd, profiled);
+    EXPECT_LT(deltad, rawd);
+}
+
+TEST(Footprint, ProfileOverrideIsRespected)
+{
+    NetworkTrace trace = sceneTrace(makeIrCnn(), 16);
+    std::vector<int> profile(trace.layers.size(), 8);
+    NetworkFootprint fp =
+        measureFootprint(trace, Compression::Profiled, profile);
+    for (const auto &layer : fp.layers) {
+        EXPECT_EQ(layer.profiledBits, 8);
+        EXPECT_DOUBLE_EQ(layer.bitsPerValue, 8.0);
+    }
+}
+
+TEST(Traffic, ScalesWithFrameArea)
+{
+    NetworkTrace trace = sceneTrace(makeIrCnn(), 16);
+    double hd = frameTrafficBytes(trace, Compression::None, 1080, 1920);
+    double quarter =
+        frameTrafficBytes(trace, Compression::None, 540, 960);
+    // Weights are constant; activations dominate at HD, so the ratio
+    // sits a bit below 4.
+    EXPECT_GT(hd / quarter, 3.3);
+    EXPECT_LT(hd / quarter, 4.01);
+}
+
+TEST(Traffic, CompressionReducesBytes)
+{
+    NetworkTrace trace = sceneTrace(makeDnCnn());
+    double none = frameTrafficBytes(trace, Compression::None, 1080, 1920);
+    double delta =
+        frameTrafficBytes(trace, Compression::DeltaD16, 1080, 1920);
+    EXPECT_LT(delta, 0.6 * none);
+}
+
+TEST(Traffic, PerLayerIncludesWeights)
+{
+    NetworkTrace trace = sceneTrace(makeIrCnn(), 16);
+    auto per_layer =
+        perLayerTrafficBytes(trace, Compression::None, 64, 64);
+    ASSERT_EQ(per_layer.size(), trace.layers.size());
+    for (std::size_t i = 0; i < per_layer.size(); ++i) {
+        EXPECT_GE(per_layer[i],
+                  static_cast<double>(
+                      trace.layers[i].spec.layerWeightBytes()));
+    }
+}
+
+TEST(AmSizing, BaselineNearPaperTableFive)
+{
+    // Table V: uncompressed AM for the suite at HD is ~964KB, which
+    // matches DnCNN's 64ch x 4 rows x 1920 x 16b = 960KB. Our model
+    // reproduces that for DnCNN; IRCNN's dilated windows honestly
+    // require buffering the dilated row extent (documented in
+    // EXPERIMENTS.md), so the suite-wide worst case is larger.
+    NetworkTrace dncnn = sceneTrace(makeDnCnn());
+    double dncnn_kb =
+        amRequiredBytes(dncnn, Compression::None, 1920) / 1024.0;
+    EXPECT_GT(dncnn_kb, 700.0);
+    EXPECT_LT(dncnn_kb, 1200.0);
+
+    double worst = 0.0;
+    for (const auto &net : ciDnnSuite()) {
+        NetworkTrace trace = sceneTrace(net, 24);
+        worst = std::max(
+            worst, amRequiredBytes(trace, Compression::None, 1920));
+    }
+    EXPECT_LT(worst / 1024.0, 2600.0);
+}
+
+TEST(AmSizing, DeltaD16ShrinksRequirement)
+{
+    NetworkTrace trace = sceneTrace(makeDnCnn());
+    double raw = amRequiredBytes(trace, Compression::None, 1920);
+    double delta = amRequiredBytes(trace, Compression::DeltaD16, 1920);
+    EXPECT_LT(delta, 0.75 * raw);
+}
+
+TEST(MemOverlap, IdealCompressionRemovesStalls)
+{
+    NetworkTrace trace = sceneTrace(makeDnCnn());
+    AcceleratorConfig cfg = defaultDiffyConfig();
+    cfg.compression = Compression::Ideal;
+    MemTech slow = memTechByName("LPDDR3-1600");
+    FramePerf perf = simulateFrame(trace, cfg, slow, 1080, 1920);
+    for (const auto &lp : perf.layers) {
+        EXPECT_DOUBLE_EQ(lp.memoryCycles, 0.0);
+        EXPECT_DOUBLE_EQ(lp.stallFraction, 0.0);
+    }
+}
+
+TEST(MemOverlap, SlowMemoryStallsUncompressedDiffy)
+{
+    NetworkTrace trace = sceneTrace(makeDnCnn());
+    AcceleratorConfig cfg = defaultDiffyConfig();
+    cfg.compression = Compression::None;
+    MemTech slow = memTechByName("LPDDR3-1600");
+    MemTech fast = memTechByName("HBM2");
+    double slow_cycles =
+        simulateFrame(trace, cfg, slow, 1080, 1920).totalCycles;
+    double fast_cycles =
+        simulateFrame(trace, cfg, fast, 1080, 1920).totalCycles;
+    EXPECT_GT(slow_cycles, fast_cycles * 1.2);
+}
+
+TEST(MemOverlap, FractionsFormAPartition)
+{
+    NetworkTrace trace = sceneTrace(makeFfdNet());
+    AcceleratorConfig cfg = defaultDiffyConfig();
+    MemTech mem = memTechByName("LPDDR4-3200");
+    FramePerf perf = simulateFrame(trace, cfg, mem, 1080, 1920);
+    for (const auto &lp : perf.layers) {
+        EXPECT_NEAR(lp.usefulFraction + lp.idleFraction +
+                        lp.stallFraction,
+                    1.0, 1e-9)
+            << lp.layerName;
+        EXPECT_GE(lp.usefulFraction, 0.0);
+        EXPECT_GE(lp.idleFraction, 0.0);
+        EXPECT_GE(lp.stallFraction, 0.0);
+    }
+}
+
+TEST(MemOverlap, FpsInvertsWithCycles)
+{
+    NetworkTrace trace = sceneTrace(makeIrCnn(), 16);
+    AcceleratorConfig cfg = defaultDiffyConfig();
+    MemTech mem = memTechByName("DDR4-3200");
+    FramePerf hd = simulateFrame(trace, cfg, mem, 1080, 1920);
+    FramePerf small = simulateFrame(trace, cfg, mem, 270, 480);
+    EXPECT_GT(small.fps(1e9), hd.fps(1e9) * 10.0);
+}
+
+TEST(Energy, DiffyMoreEfficientThanVaaAndPra)
+{
+    NetworkTrace trace = sceneTrace(makeDnCnn());
+    MemTech mem = memTechByName("DDR4-3200");
+    auto evaluate = [&](const AcceleratorConfig &cfg) {
+        auto compute = simulateCompute(trace, cfg);
+        auto perf =
+            combineWithMemory(trace, compute, cfg, mem, 1080, 1920);
+        auto report = buildEnergyReport(trace, compute, perf, cfg);
+        return std::pair{report, perf};
+    };
+    auto [vaa_rep, vaa_perf] = evaluate(defaultVaaConfig());
+    AcceleratorConfig pra_cfg = defaultPraConfig();
+    pra_cfg.compression = Compression::DeltaD16;
+    auto [pra_rep, pra_perf] = evaluate(pra_cfg);
+    auto [dfy_rep, dfy_perf] = evaluate(defaultDiffyConfig());
+
+    double dfy_vs_vaa =
+        relativeEnergyEfficiency(dfy_rep, dfy_perf, vaa_rep, vaa_perf);
+    double pra_vs_vaa =
+        relativeEnergyEfficiency(pra_rep, pra_perf, vaa_rep, vaa_perf);
+    EXPECT_GT(dfy_vs_vaa, 1.0);
+    EXPECT_GT(dfy_vs_vaa, pra_vs_vaa);
+}
+
+TEST(Energy, ReportTotalsSumComponents)
+{
+    NetworkTrace trace = sceneTrace(makeIrCnn(), 16);
+    AcceleratorConfig cfg = defaultDiffyConfig();
+    MemTech mem = memTechByName("DDR4-3200");
+    auto compute = simulateCompute(trace, cfg);
+    auto perf = combineWithMemory(trace, compute, cfg, mem, 540, 960);
+    auto report = buildEnergyReport(trace, compute, perf, cfg);
+    double sum_w = 0.0, sum_a = 0.0;
+    for (const auto &c : report.components) {
+        sum_w += c.watts;
+        sum_a += c.mm2;
+    }
+    EXPECT_NEAR(report.totalWatts, sum_w, 1e-9);
+    EXPECT_NEAR(report.totalMm2, sum_a, 1e-9);
+    EXPECT_GT(report.totalWatts, 0.0);
+}
+
+TEST(Energy, DeltaOutOnlyOnDiffy)
+{
+    NetworkTrace trace = sceneTrace(makeIrCnn(), 16);
+    MemTech mem = memTechByName("DDR4-3200");
+    for (auto make_cfg : {defaultVaaConfig, defaultPraConfig}) {
+        AcceleratorConfig cfg = make_cfg();
+        auto compute = simulateCompute(trace, cfg);
+        auto perf =
+            combineWithMemory(trace, compute, cfg, mem, 540, 960);
+        auto report = buildEnergyReport(trace, compute, perf, cfg);
+        for (const auto &c : report.components) {
+            if (c.component == "Delta_out") {
+                EXPECT_DOUBLE_EQ(c.watts, 0.0);
+                EXPECT_DOUBLE_EQ(c.mm2, 0.0);
+            }
+        }
+    }
+}
+
+TEST(Energy, AreaOrderingMatchesTableSeven)
+{
+    // Diffy (512KB AM) smaller than PRA (1MB AM), both above VAA-like
+    // compute-only baseline ordering from the paper: VAA < Diffy < PRA.
+    NetworkTrace trace = sceneTrace(makeIrCnn(), 16);
+    MemTech mem = memTechByName("DDR4-3200");
+    auto area = [&](const AcceleratorConfig &cfg) {
+        auto compute = simulateCompute(trace, cfg);
+        auto perf =
+            combineWithMemory(trace, compute, cfg, mem, 540, 960);
+        return buildEnergyReport(trace, compute, perf, cfg).totalMm2;
+    };
+    double vaa = area(defaultVaaConfig());
+    double pra = area(defaultPraConfig());
+    double dfy = area(defaultDiffyConfig());
+    EXPECT_LT(vaa, dfy);
+    EXPECT_LT(dfy, pra);
+}
+
+} // namespace
+} // namespace diffy

@@ -1,0 +1,95 @@
+/**
+ * @file
+ * Tests for the deterministic random number generator.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/rng.hh"
+
+namespace diffy
+{
+namespace
+{
+
+TEST(Rng, DeterministicForSameSeed)
+{
+    Rng a(123), b(123);
+    for (int i = 0; i < 100; ++i)
+        EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Rng, DifferentSeedsDiverge)
+{
+    Rng a(1), b(2);
+    int same = 0;
+    for (int i = 0; i < 100; ++i)
+        same += a.next() == b.next();
+    EXPECT_LT(same, 3);
+}
+
+TEST(Rng, UniformInUnitInterval)
+{
+    Rng rng(9);
+    double sum = 0.0;
+    for (int i = 0; i < 20000; ++i) {
+        double u = rng.uniform();
+        ASSERT_GE(u, 0.0);
+        ASSERT_LT(u, 1.0);
+        sum += u;
+    }
+    EXPECT_NEAR(sum / 20000.0, 0.5, 0.02);
+}
+
+TEST(Rng, UniformRangeRespectsBounds)
+{
+    Rng rng(10);
+    for (int i = 0; i < 1000; ++i) {
+        double u = rng.uniform(-3.0, 7.0);
+        ASSERT_GE(u, -3.0);
+        ASSERT_LT(u, 7.0);
+    }
+}
+
+TEST(Rng, BelowStaysBelow)
+{
+    Rng rng(11);
+    for (int i = 0; i < 1000; ++i)
+        ASSERT_LT(rng.below(17), 17u);
+}
+
+TEST(Rng, GaussianMoments)
+{
+    Rng rng(12);
+    double sum = 0.0, sum_sq = 0.0;
+    const int n = 50000;
+    for (int i = 0; i < n; ++i) {
+        double g = rng.gaussian();
+        sum += g;
+        sum_sq += g * g;
+    }
+    EXPECT_NEAR(sum / n, 0.0, 0.03);
+    EXPECT_NEAR(sum_sq / n, 1.0, 0.05);
+}
+
+TEST(Rng, GaussianScaled)
+{
+    Rng rng(13);
+    double sum = 0.0;
+    const int n = 20000;
+    for (int i = 0; i < n; ++i)
+        sum += rng.gaussian(5.0, 2.0);
+    EXPECT_NEAR(sum / n, 5.0, 0.1);
+}
+
+TEST(Rng, SeedFromStringIsStableAndDistinct)
+{
+    auto s1 = Rng::seedFromString("DnCNN/conv_1");
+    auto s2 = Rng::seedFromString("DnCNN/conv_1");
+    auto s3 = Rng::seedFromString("DnCNN/conv_2");
+    EXPECT_EQ(s1, s2);
+    EXPECT_NE(s1, s3);
+}
+
+} // namespace
+} // namespace diffy

@@ -1,0 +1,204 @@
+/**
+ * @file
+ * Tests for the crop-to-frame scaling machinery and additional
+ * boundary cases of the codecs and simulators that the sweeps rely
+ * on.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/rng.hh"
+#include "encode/schemes.hh"
+#include "image/synth.hh"
+#include "nn/executor.hh"
+#include "nn/models.hh"
+#include "sim/runner.hh"
+
+namespace diffy
+{
+namespace
+{
+
+NetworkTrace
+sceneTrace(const NetworkSpec &net, int size, std::uint64_t seed = 81)
+{
+    SceneParams p;
+    p.kind = SceneKind::Nature;
+    p.width = size;
+    p.height = size;
+    p.seed = seed;
+    return runNetwork(net, renderScene(p));
+}
+
+TEST(FrameScaling, ComputeCyclesScaleWithArea)
+{
+    NetworkTrace trace = sceneTrace(makeIrCnn(), 24);
+    AcceleratorConfig cfg = defaultDiffyConfig();
+    cfg.compression = Compression::Ideal;
+    MemTech mem = memTechByName("HBM2");
+    double hd =
+        simulateFrame(trace, cfg, mem, 1080, 1920).totalCycles;
+    double half =
+        simulateFrame(trace, cfg, mem, 540, 960).totalCycles;
+    EXPECT_NEAR(hd / half, 4.0, 0.05);
+}
+
+TEST(FrameScaling, TraceResolutionInvariance)
+{
+    // A sub-crop of one rendered image must yield similar *scaled*
+    // frame cycles to the full image — the assumption behind
+    // crop-sampled simulation. (Rendering at two sizes would not test
+    // this: the synthesizer maps its feature hierarchy to the canvas,
+    // so a smaller render is per-pixel rougher, not a crop.)
+    NetworkSpec net = makeIrCnn();
+    AcceleratorConfig cfg = defaultDiffyConfig();
+    cfg.compression = Compression::Ideal;
+    MemTech mem = memTechByName("HBM2");
+
+    SceneParams p;
+    p.kind = SceneKind::Nature;
+    p.width = 96;
+    p.height = 96;
+    p.seed = 81;
+    Tensor3<float> full = renderScene(p);
+    Tensor3<float> sub = full.crop(24, 24, 48, 48);
+
+    double from_full =
+        simulateFrame(runNetwork(net, full), cfg, mem, 1080, 1920)
+            .totalCycles;
+    double from_crop =
+        simulateFrame(runNetwork(net, sub), cfg, mem, 1080, 1920)
+            .totalCycles;
+    EXPECT_NEAR(from_crop / from_full, 1.0, 0.15);
+}
+
+TEST(FrameScaling, HalfResolutionNetworksScaleCorrectly)
+{
+    // FFDNet runs at half resolution: its frame cycles must be about
+    // a quarter of an equivalently-sized full-resolution network's
+    // per-MAC scaling, which macsPerFrame captures.
+    NetworkSpec net = makeFfdNet();
+    double hd = net.macsPerFrame(1080, 1920);
+    double expected =
+        20.0 * 9.0; // just sanity: nonzero, scales by area below
+    EXPECT_GT(hd, expected);
+    EXPECT_NEAR(net.macsPerFrame(540, 960) * 4.0, hd, hd * 0.02);
+}
+
+TEST(SimulatorBoundaries, OneByOneImap)
+{
+    // Degenerate spatial extent exercises every padding path.
+    TensorI16 imap(16, 1, 1, 77);
+    LayerTrace lt;
+    lt.spec.name = "dot";
+    lt.spec.inChannels = 16;
+    lt.spec.outChannels = 16;
+    lt.spec.kernel = 3;
+    lt.imap = imap;
+    lt.weights = FilterBankI16(16, 16, 3, 3, 1);
+    AcceleratorConfig cfg = defaultDiffyConfig();
+    NetworkTrace trace;
+    trace.network = "degenerate";
+    trace.layers.push_back(lt);
+    for (Design d : {Design::Vaa, Design::Pra, Design::Diffy}) {
+        AcceleratorConfig c = cfg;
+        c.design = d;
+        auto result = simulateCompute(trace, c);
+        EXPECT_GT(result.totalComputeCycles(), 0.0) << to_string(d);
+    }
+}
+
+TEST(SimulatorBoundaries, WidthNarrowerThanPallet)
+{
+    // out_w < windowColumns: the pallet logic must not index past the
+    // last column.
+    TensorI16 imap(16, 8, 5, 300);
+    LayerTrace lt;
+    lt.spec.name = "narrow";
+    lt.spec.inChannels = 16;
+    lt.spec.outChannels = 64;
+    lt.spec.kernel = 3;
+    lt.imap = imap;
+    lt.weights = FilterBankI16(64, 16, 3, 3, 1);
+    AcceleratorConfig cfg = defaultDiffyConfig();
+    auto diff = simulateDiffyLayer(lt, cfg);
+    auto raw = simulateDiffyLayer(lt, cfg, DiffyMode::Raw);
+    EXPECT_GT(diff.computeCycles, 0.0);
+    EXPECT_GT(raw.computeCycles, 0.0);
+}
+
+TEST(CodecBoundaries, RleRunOfExactlySixteen)
+{
+    TensorI16 t(1, 1, 16, 9);
+    auto codec = makeRleCodec();
+    EncodedTensor enc = codec->encode(t);
+    EXPECT_EQ(enc.bits, 20u); // one (4b run, 16b value) entry
+    EXPECT_EQ(codec->decode(enc), t);
+}
+
+TEST(CodecBoundaries, RleRunOfSeventeenSplits)
+{
+    TensorI16 t(1, 1, 17, 9);
+    auto codec = makeRleCodec();
+    EncodedTensor enc = codec->encode(t);
+    EXPECT_EQ(enc.bits, 40u); // 16-run + 1-run
+    EXPECT_EQ(codec->decode(enc), t);
+}
+
+TEST(CodecBoundaries, RlezLongZeroRuns)
+{
+    TensorI16 t(1, 1, 100, 0);
+    t.at(0, 0, 99) = 5;
+    auto codec = makeRlezCodec();
+    EncodedTensor enc = codec->encode(t);
+    EXPECT_EQ(codec->decode(enc), t);
+    // 99 zeros need ceil(99/16)=7 carrier entries max; stream stays
+    // well under uncompressed size.
+    EXPECT_LT(enc.bits, 100u * 16u / 2u);
+}
+
+TEST(CodecBoundaries, DeltaDPartialTailGroup)
+{
+    // Size not divisible by the group: the tail group must encode and
+    // decode correctly.
+    Rng rng(3);
+    TensorI16 t(1, 3, 7);
+    for (std::size_t i = 0; i < t.size(); ++i)
+        t.data()[i] = static_cast<std::int16_t>(rng.below(5000)) - 2500;
+    for (int group : {4, 16, 256}) {
+        auto codec = makeDeltaDCodec(group);
+        EXPECT_EQ(codec->decode(codec->encode(t)), t) << group;
+    }
+}
+
+TEST(CodecBoundaries, Profiled16EqualsNoCompressionSize)
+{
+    TensorI16 t(2, 4, 4);
+    Rng rng(5);
+    for (std::size_t i = 0; i < t.size(); ++i)
+        t.data()[i] = static_cast<std::int16_t>(rng.below(65536) - 32768);
+    EXPECT_EQ(makeProfiledCodec(16)->encode(t).bits,
+              makeNoCompressionCodec()->encode(t).bits);
+    EXPECT_EQ(makeProfiledCodec(16)->decode(
+                  makeProfiledCodec(16)->encode(t)),
+              t);
+}
+
+TEST(ExecutorBoundaries, OddSizedSceneForHalfResNetworks)
+{
+    // FFDNet/JointNet pack 2x2; even crops are required and the
+    // catalog guarantees them, but the input builder must also handle
+    // the smallest legal size.
+    SceneParams p;
+    p.kind = SceneKind::Gradient;
+    p.width = 4;
+    p.height = 4;
+    p.seed = 9;
+    auto rgb = renderScene(p);
+    auto packed = buildNetworkInput(makeFfdNet(), rgb);
+    EXPECT_EQ(packed.channels(), 15);
+    EXPECT_EQ(packed.height(), 2);
+}
+
+} // namespace
+} // namespace diffy

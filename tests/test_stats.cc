@@ -1,0 +1,164 @@
+/**
+ * @file
+ * Tests for the statistics helpers: running moments, histograms,
+ * entropies and the joint histogram used for H(A|A').
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/rng.hh"
+#include "common/stats.hh"
+
+namespace diffy
+{
+namespace
+{
+
+TEST(RunningStat, BasicMoments)
+{
+    RunningStat s;
+    for (double v : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0})
+        s.add(v);
+    EXPECT_EQ(s.count(), 8u);
+    EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+    EXPECT_NEAR(s.stddev(), 2.138, 1e-3); // sample stddev
+    EXPECT_DOUBLE_EQ(s.min(), 2.0);
+    EXPECT_DOUBLE_EQ(s.max(), 9.0);
+    EXPECT_DOUBLE_EQ(s.sum(), 40.0);
+}
+
+TEST(RunningStat, MergeEqualsSequential)
+{
+    Rng rng(3);
+    RunningStat all, a, b;
+    for (int i = 0; i < 1000; ++i) {
+        double v = rng.gaussian(3.0, 1.5);
+        all.add(v);
+        (i % 2 ? a : b).add(v);
+    }
+    a.merge(b);
+    EXPECT_EQ(a.count(), all.count());
+    EXPECT_NEAR(a.mean(), all.mean(), 1e-9);
+    EXPECT_NEAR(a.variance(), all.variance(), 1e-6);
+    EXPECT_DOUBLE_EQ(a.min(), all.min());
+    EXPECT_DOUBLE_EQ(a.max(), all.max());
+}
+
+TEST(RunningStat, MergeWithEmpty)
+{
+    RunningStat a, b;
+    a.add(1.0);
+    a.add(2.0);
+    a.merge(b); // empty rhs: no change
+    EXPECT_EQ(a.count(), 2u);
+    b.merge(a); // empty lhs: copy
+    EXPECT_EQ(b.count(), 2u);
+    EXPECT_DOUBLE_EQ(b.mean(), 1.5);
+}
+
+TEST(Histogram, UniformEntropyIsLogN)
+{
+    Histogram h;
+    for (int s = 0; s < 16; ++s)
+        h.add(s, 10);
+    EXPECT_NEAR(h.entropyBits(), 4.0, 1e-12);
+}
+
+TEST(Histogram, DegenerateEntropyIsZero)
+{
+    Histogram h;
+    h.add(42, 1000);
+    EXPECT_DOUBLE_EQ(h.entropyBits(), 0.0);
+    EXPECT_DOUBLE_EQ(h.fractionAt(42), 1.0);
+    EXPECT_DOUBLE_EQ(h.fractionAt(7), 0.0);
+}
+
+TEST(Histogram, QuantileAndMean)
+{
+    Histogram h;
+    for (int s = 1; s <= 100; ++s)
+        h.add(s);
+    EXPECT_EQ(h.quantile(0.5), 50);
+    EXPECT_EQ(h.quantile(0.999), 100);
+    EXPECT_EQ(h.quantile(0.01), 1);
+    EXPECT_DOUBLE_EQ(h.mean(), 50.5);
+}
+
+TEST(Histogram, CdfIsMonotoneAndEndsAtOne)
+{
+    Histogram h;
+    Rng rng(5);
+    for (int i = 0; i < 1000; ++i)
+        h.add(static_cast<std::int64_t>(rng.below(20)));
+    auto cdf = h.cdf();
+    double prev = 0.0;
+    for (const auto &[sym, p] : cdf) {
+        EXPECT_GE(p, prev);
+        prev = p;
+    }
+    EXPECT_NEAR(cdf.back().second, 1.0, 1e-12);
+}
+
+TEST(Histogram, MergeAddsCounts)
+{
+    Histogram a, b;
+    a.add(1, 3);
+    b.add(1, 2);
+    b.add(2, 5);
+    a.merge(b);
+    EXPECT_EQ(a.countOf(1), 5u);
+    EXPECT_EQ(a.countOf(2), 5u);
+    EXPECT_EQ(a.total(), 10u);
+}
+
+TEST(JointHistogram, IndependentVariablesConditionalEqualsMarginal)
+{
+    // For independent A, B: H(A|B) == H(A).
+    Rng rng(6);
+    JointHistogram joint;
+    Histogram marginal_a;
+    for (int i = 0; i < 60000; ++i) {
+        auto a = static_cast<std::int32_t>(rng.below(8));
+        auto b = static_cast<std::int32_t>(rng.below(8));
+        joint.add(a, b);
+        marginal_a.add(a);
+    }
+    EXPECT_NEAR(joint.conditionalEntropyBits(), marginal_a.entropyBits(),
+                0.02);
+}
+
+TEST(JointHistogram, DeterministicDependenceGivesZeroConditional)
+{
+    // A == B: knowing B reveals A entirely.
+    JointHistogram joint;
+    for (int i = 0; i < 1024; ++i)
+        joint.add(i % 16, i % 16);
+    EXPECT_NEAR(joint.conditionalEntropyBits(), 0.0, 1e-12);
+    EXPECT_NEAR(joint.jointEntropyBits(), 4.0, 1e-12);
+    EXPECT_NEAR(joint.marginalEntropyBBits(), 4.0, 1e-12);
+}
+
+TEST(JointHistogram, ConditionalNeverExceedsJoint)
+{
+    Rng rng(7);
+    JointHistogram joint;
+    for (int i = 0; i < 5000; ++i) {
+        auto b = static_cast<std::int32_t>(rng.below(32));
+        auto a = b + static_cast<std::int32_t>(rng.below(3));
+        joint.add(a, b);
+    }
+    EXPECT_LE(joint.conditionalEntropyBits(), joint.jointEntropyBits());
+    EXPECT_GE(joint.conditionalEntropyBits(), 0.0);
+}
+
+TEST(GeometricMean, MatchesHandComputed)
+{
+    EXPECT_NEAR(geometricMean({1.0, 4.0}), 2.0, 1e-12);
+    EXPECT_NEAR(geometricMean({2.0, 2.0, 2.0}), 2.0, 1e-12);
+    EXPECT_DOUBLE_EQ(geometricMean({}), 0.0);
+}
+
+} // namespace
+} // namespace diffy

@@ -1,0 +1,92 @@
+/**
+ * @file
+ * Tests for the text-table renderer and the CLI flag parser.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/cli.hh"
+#include "common/table.hh"
+
+namespace diffy
+{
+namespace
+{
+
+TEST(TextTable, RendersHeaderAndRows)
+{
+    TextTable t("Demo");
+    t.setHeader({"Name", "Value"});
+    t.addRow({"alpha", "1"});
+    t.addRow({"beta", "22"});
+    std::string out = t.render();
+    EXPECT_NE(out.find("== Demo =="), std::string::npos);
+    EXPECT_NE(out.find("Name"), std::string::npos);
+    EXPECT_NE(out.find("alpha"), std::string::npos);
+    EXPECT_NE(out.find("22"), std::string::npos);
+}
+
+TEST(TextTable, AlignsColumns)
+{
+    TextTable t("T");
+    t.setHeader({"A", "B"});
+    t.addRow({"longer", "x"});
+    std::string out = t.render();
+    // Every line containing 'x' must place it at the same column as 'B'.
+    auto pos_b = out.find("B");
+    auto pos_x = out.find("x");
+    ASSERT_NE(pos_b, std::string::npos);
+    ASSERT_NE(pos_x, std::string::npos);
+    auto col = [&](std::size_t pos) {
+        auto nl = out.rfind('\n', pos);
+        return nl == std::string::npos ? pos : pos - nl - 1;
+    };
+    EXPECT_EQ(col(pos_b), col(pos_x));
+}
+
+TEST(TextTable, NumberFormatters)
+{
+    EXPECT_EQ(TextTable::num(3.14159, 2), "3.14");
+    EXPECT_EQ(TextTable::factor(7.1, 1), "7.1x");
+    EXPECT_EQ(TextTable::percent(0.55, 0), "55%");
+}
+
+TEST(CliArgs, ParsesSpaceAndEqualsForms)
+{
+    const char *argv[] = {"prog", "--crop", "64", "--mem=HBM2",
+                          "--flag"};
+    CliArgs args(5, argv);
+    EXPECT_EQ(args.getInt("crop", 0), 64);
+    EXPECT_EQ(args.getString("mem", ""), "HBM2");
+    EXPECT_TRUE(args.getBool("flag", false));
+    EXPECT_TRUE(args.has("crop"));
+    EXPECT_FALSE(args.has("missing"));
+}
+
+TEST(CliArgs, FallbacksWhenAbsent)
+{
+    const char *argv[] = {"prog"};
+    CliArgs args(1, argv);
+    EXPECT_EQ(args.getInt("crop", 48), 48);
+    EXPECT_EQ(args.getString("mem", "DDR4-3200"), "DDR4-3200");
+    EXPECT_DOUBLE_EQ(args.getDouble("x", 2.5), 2.5);
+    EXPECT_FALSE(args.getBool("flag", false));
+}
+
+TEST(CliArgs, DoubleValues)
+{
+    const char *argv[] = {"prog", "--ratio", "0.75"};
+    CliArgs args(3, argv);
+    EXPECT_DOUBLE_EQ(args.getDouble("ratio", 0.0), 0.75);
+}
+
+TEST(CliArgs, FlagFollowedByFlagIsBoolean)
+{
+    const char *argv[] = {"prog", "--a", "--b", "7"};
+    CliArgs args(4, argv);
+    EXPECT_TRUE(args.getBool("a", false));
+    EXPECT_EQ(args.getInt("b", 0), 7);
+}
+
+} // namespace
+} // namespace diffy

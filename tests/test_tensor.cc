@@ -1,0 +1,133 @@
+/**
+ * @file
+ * Tests for the CHW tensors and the X-delta transform that underlies
+ * Diffy's storage format.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/rng.hh"
+#include "tensor/tensor.hh"
+
+namespace diffy
+{
+namespace
+{
+
+TEST(Tensor3, ShapeAndIndexing)
+{
+    TensorI16 t(2, 3, 4);
+    EXPECT_EQ(t.channels(), 2);
+    EXPECT_EQ(t.height(), 3);
+    EXPECT_EQ(t.width(), 4);
+    EXPECT_EQ(t.size(), 24u);
+    t.at(1, 2, 3) = 42;
+    EXPECT_EQ(t.at(1, 2, 3), 42);
+    EXPECT_EQ(t.data()[t.index(1, 2, 3)], 42);
+}
+
+TEST(Tensor3, RowMajorWithinChannel)
+{
+    TensorI16 t(1, 2, 3);
+    std::int16_t v = 0;
+    for (int y = 0; y < 2; ++y) {
+        for (int x = 0; x < 3; ++x)
+            t.at(0, y, x) = v++;
+    }
+    for (std::size_t i = 0; i < t.size(); ++i)
+        EXPECT_EQ(t.data()[i], static_cast<std::int16_t>(i));
+}
+
+TEST(Tensor3, PaddedAccessReturnsZeroOutside)
+{
+    TensorI16 t(1, 2, 2, 7);
+    EXPECT_EQ(t.atPadded(0, -1, 0), 0);
+    EXPECT_EQ(t.atPadded(0, 0, -1), 0);
+    EXPECT_EQ(t.atPadded(0, 2, 0), 0);
+    EXPECT_EQ(t.atPadded(0, 0, 2), 0);
+    EXPECT_EQ(t.atPadded(0, 1, 1), 7);
+}
+
+TEST(Tensor3, CropExtractsSubregion)
+{
+    TensorI16 t(2, 4, 4);
+    for (int c = 0; c < 2; ++c) {
+        for (int y = 0; y < 4; ++y) {
+            for (int x = 0; x < 4; ++x)
+                t.at(c, y, x) = static_cast<std::int16_t>(100 * c + 10 * y + x);
+        }
+    }
+    TensorI16 cropped = t.crop(1, 2, 2, 2);
+    EXPECT_EQ(cropped.shape(), (Shape3{2, 2, 2}));
+    EXPECT_EQ(cropped.at(0, 0, 0), 12);
+    EXPECT_EQ(cropped.at(1, 1, 1), 123);
+}
+
+TEST(Tensor4, ShapeAndIndexing)
+{
+    FilterBankI16 w(3, 2, 3, 3);
+    EXPECT_EQ(w.filters(), 3);
+    EXPECT_EQ(w.channels(), 2);
+    EXPECT_EQ(w.size(), 54u);
+    w.at(2, 1, 2, 2) = -5;
+    EXPECT_EQ(w.at(2, 1, 2, 2), -5);
+}
+
+TEST(XDeltas, FirstColumnStaysRaw)
+{
+    TensorI16 t(1, 2, 4);
+    std::int16_t vals[2][4] = {{10, 12, 11, 11}, {-5, -5, 0, 3}};
+    for (int y = 0; y < 2; ++y) {
+        for (int x = 0; x < 4; ++x)
+            t.at(0, y, x) = vals[y][x];
+    }
+    TensorI16 d = xDeltas(t);
+    EXPECT_EQ(d.at(0, 0, 0), 10);
+    EXPECT_EQ(d.at(0, 0, 1), 2);
+    EXPECT_EQ(d.at(0, 0, 2), -1);
+    EXPECT_EQ(d.at(0, 0, 3), 0);
+    EXPECT_EQ(d.at(0, 1, 0), -5);
+    EXPECT_EQ(d.at(0, 1, 1), 0);
+    EXPECT_EQ(d.at(0, 1, 2), 5);
+    EXPECT_EQ(d.at(0, 1, 3), 3);
+}
+
+/** Round-trip property across tensor shapes. */
+class XDeltaRoundTrip
+    : public ::testing::TestWithParam<std::tuple<int, int, int>>
+{};
+
+TEST_P(XDeltaRoundTrip, InverseRecoversOriginal)
+{
+    auto [c, h, w] = GetParam();
+    Rng rng(static_cast<std::uint64_t>(c * 10000 + h * 100 + w));
+    TensorI16 t(c, h, w);
+    for (std::size_t i = 0; i < t.size(); ++i) {
+        // Keep magnitudes below half range so deltas cannot saturate.
+        t.data()[i] =
+            static_cast<std::int16_t>(rng.below(32768)) - 16384;
+    }
+    EXPECT_EQ(xDeltasInverse(xDeltas(t)), t);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, XDeltaRoundTrip,
+    ::testing::Values(std::tuple{1, 1, 1}, std::tuple{1, 1, 17},
+                      std::tuple{3, 5, 8}, std::tuple{16, 8, 8},
+                      std::tuple{2, 9, 33}, std::tuple{64, 4, 4}));
+
+TEST(XDeltas, ConstantRowsCollapseToSingleRawValue)
+{
+    TensorI16 t(2, 3, 10, 321);
+    TensorI16 d = xDeltas(t);
+    for (int c = 0; c < 2; ++c) {
+        for (int y = 0; y < 3; ++y) {
+            EXPECT_EQ(d.at(c, y, 0), 321);
+            for (int x = 1; x < 10; ++x)
+                EXPECT_EQ(d.at(c, y, x), 0);
+        }
+    }
+}
+
+} // namespace
+} // namespace diffy

@@ -1,0 +1,157 @@
+/**
+ * @file
+ * Tests for trace serialization and the on-disk trace cache.
+ */
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+#include "core/trace_cache.hh"
+#include "image/synth.hh"
+#include "nn/executor.hh"
+#include "nn/models.hh"
+#include "nn/trace.hh"
+
+namespace diffy
+{
+namespace
+{
+
+NetworkTrace
+smallTrace()
+{
+    SceneParams p;
+    p.kind = SceneKind::City;
+    p.width = 16;
+    p.height = 16;
+    p.seed = 21;
+    return runNetwork(makeIrCnn(), renderScene(p));
+}
+
+TEST(TraceSerialization, RoundTripsExactly)
+{
+    NetworkTrace trace = smallTrace();
+    std::stringstream ss;
+    saveTrace(trace, ss);
+    NetworkTrace back = loadTrace(ss);
+
+    EXPECT_EQ(back.network, trace.network);
+    EXPECT_EQ(back.netClass, trace.netClass);
+    EXPECT_EQ(back.frameHeight, trace.frameHeight);
+    EXPECT_EQ(back.frameWidth, trace.frameWidth);
+    ASSERT_EQ(back.layers.size(), trace.layers.size());
+    for (std::size_t i = 0; i < trace.layers.size(); ++i) {
+        const auto &a = trace.layers[i];
+        const auto &b = back.layers[i];
+        EXPECT_EQ(a.spec.name, b.spec.name);
+        EXPECT_EQ(a.spec.dilation, b.spec.dilation);
+        EXPECT_EQ(a.spec.relu, b.spec.relu);
+        EXPECT_EQ(a.imapFracBits, b.imapFracBits);
+        EXPECT_EQ(a.weightFracBits, b.weightFracBits);
+        EXPECT_EQ(a.imap, b.imap);
+        EXPECT_EQ(a.weights, b.weights);
+    }
+}
+
+TEST(TraceSerialization, RejectsBadMagic)
+{
+    std::stringstream ss;
+    ss << "not a trace at all";
+    EXPECT_THROW(loadTrace(ss), std::runtime_error);
+}
+
+TEST(TraceSerialization, RejectsTruncation)
+{
+    NetworkTrace trace = smallTrace();
+    std::stringstream ss;
+    saveTrace(trace, ss);
+    std::string full = ss.str();
+    std::stringstream truncated(full.substr(0, full.size() / 2));
+    EXPECT_THROW(loadTrace(truncated), std::runtime_error);
+}
+
+class TraceCacheTest : public ::testing::Test
+{
+  protected:
+    void SetUp() override
+    {
+        dir_ = std::filesystem::temp_directory_path() /
+               "diffy_trace_cache_test";
+        std::filesystem::remove_all(dir_);
+    }
+    void TearDown() override { std::filesystem::remove_all(dir_); }
+
+    std::filesystem::path dir_;
+};
+
+TEST_F(TraceCacheTest, SecondGetHitsDisk)
+{
+    TraceCache cache(dir_.string());
+    SceneParams scene;
+    scene.width = 16;
+    scene.height = 16;
+    scene.seed = 5;
+    NetworkSpec net = makeIrCnn();
+    NetworkTrace first = cache.get(net, scene);
+    ASSERT_TRUE(std::filesystem::exists(dir_));
+    auto files = std::distance(std::filesystem::directory_iterator(dir_),
+                               std::filesystem::directory_iterator{});
+    EXPECT_EQ(files, 1);
+    NetworkTrace second = cache.get(net, scene);
+    EXPECT_EQ(second.layers.size(), first.layers.size());
+    EXPECT_EQ(second.layers[2].imap, first.layers[2].imap);
+}
+
+TEST_F(TraceCacheTest, KeyDistinguishesParameters)
+{
+    SceneParams a;
+    a.width = 16;
+    a.height = 16;
+    SceneParams b = a;
+    b.seed = 2;
+    NetworkSpec net = makeIrCnn();
+    ExecutorOptions opts;
+    EXPECT_NE(TraceCache::cacheKey(net, a, opts),
+              TraceCache::cacheKey(net, b, opts));
+    ExecutorOptions sparse;
+    sparse.weightSparsity = 0.5;
+    EXPECT_NE(TraceCache::cacheKey(net, a, opts),
+              TraceCache::cacheKey(net, a, sparse));
+    ExecutorOptions coarse;
+    coarse.activationRelError = 0.05;
+    EXPECT_NE(TraceCache::cacheKey(net, a, opts),
+              TraceCache::cacheKey(net, a, coarse));
+}
+
+TEST_F(TraceCacheTest, CorruptEntryIsRecomputed)
+{
+    TraceCache cache(dir_.string());
+    SceneParams scene;
+    scene.width = 16;
+    scene.height = 16;
+    NetworkSpec net = makeIrCnn();
+    cache.get(net, scene);
+    // Corrupt the single cache file.
+    for (const auto &entry : std::filesystem::directory_iterator(dir_)) {
+        std::ofstream out(entry.path(), std::ios::binary);
+        out << "garbage";
+    }
+    NetworkTrace trace = cache.get(net, scene);
+    EXPECT_EQ(trace.layers.size(), 7u);
+}
+
+TEST(TraceCacheDisabled, EmptyDirectorySkipsDisk)
+{
+    TraceCache cache("");
+    SceneParams scene;
+    scene.width = 16;
+    scene.height = 16;
+    NetworkTrace trace = cache.get(makeIrCnn(), scene);
+    EXPECT_EQ(trace.layers.size(), 7u);
+}
+
+} // namespace
+} // namespace diffy
