@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/abl_correlation"
+  "../bench/abl_correlation.pdb"
+  "CMakeFiles/abl_correlation.dir/abl_correlation.cc.o"
+  "CMakeFiles/abl_correlation.dir/abl_correlation.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_correlation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/abl_deltaout"
+  "../bench/abl_deltaout.pdb"
+  "CMakeFiles/abl_deltaout.dir/abl_deltaout.cc.o"
+  "CMakeFiles/abl_deltaout.dir/abl_deltaout.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_deltaout.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ext_variants"
+  "../bench/ext_variants.pdb"
+  "CMakeFiles/ext_variants.dir/ext_variants.cc.o"
+  "CMakeFiles/ext_variants.dir/ext_variants.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_variants.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig01_entropy"
+  "../bench/fig01_entropy.pdb"
+  "CMakeFiles/fig01_entropy.dir/fig01_entropy.cc.o"
+  "CMakeFiles/fig01_entropy.dir/fig01_entropy.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig01_entropy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

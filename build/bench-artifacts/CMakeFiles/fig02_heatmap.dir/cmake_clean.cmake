@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig02_heatmap"
+  "../bench/fig02_heatmap.pdb"
+  "CMakeFiles/fig02_heatmap.dir/fig02_heatmap.cc.o"
+  "CMakeFiles/fig02_heatmap.dir/fig02_heatmap.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig02_heatmap.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

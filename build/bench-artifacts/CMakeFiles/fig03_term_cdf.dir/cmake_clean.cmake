@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig03_term_cdf"
+  "../bench/fig03_term_cdf.pdb"
+  "CMakeFiles/fig03_term_cdf.dir/fig03_term_cdf.cc.o"
+  "CMakeFiles/fig03_term_cdf.dir/fig03_term_cdf.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig03_term_cdf.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig04_potential"
+  "../bench/fig04_potential.pdb"
+  "CMakeFiles/fig04_potential.dir/fig04_potential.cc.o"
+  "CMakeFiles/fig04_potential.dir/fig04_potential.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig04_potential.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig05_footprint"
+  "../bench/fig05_footprint.pdb"
+  "CMakeFiles/fig05_footprint.dir/fig05_footprint.cc.o"
+  "CMakeFiles/fig05_footprint.dir/fig05_footprint.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig05_footprint.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig11_speedup"
+  "../bench/fig11_speedup.pdb"
+  "CMakeFiles/fig11_speedup.dir/fig11_speedup.cc.o"
+  "CMakeFiles/fig11_speedup.dir/fig11_speedup.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig11_speedup.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig12_utilization"
+  "../bench/fig12_utilization.pdb"
+  "CMakeFiles/fig12_utilization.dir/fig12_utilization.cc.o"
+  "CMakeFiles/fig12_utilization.dir/fig12_utilization.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig12_utilization.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig13_fps_hd"
+  "../bench/fig13_fps_hd.pdb"
+  "CMakeFiles/fig13_fps_hd.dir/fig13_fps_hd.cc.o"
+  "CMakeFiles/fig13_fps_hd.dir/fig13_fps_hd.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig13_fps_hd.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig14_traffic"
+  "../bench/fig14_traffic.pdb"
+  "CMakeFiles/fig14_traffic.dir/fig14_traffic.cc.o"
+  "CMakeFiles/fig14_traffic.dir/fig14_traffic.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig14_traffic.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

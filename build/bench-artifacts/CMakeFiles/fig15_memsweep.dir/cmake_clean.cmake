@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig15_memsweep"
+  "../bench/fig15_memsweep.pdb"
+  "CMakeFiles/fig15_memsweep.dir/fig15_memsweep.cc.o"
+  "CMakeFiles/fig15_memsweep.dir/fig15_memsweep.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig15_memsweep.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig16_tiling"
+  "../bench/fig16_tiling.pdb"
+  "CMakeFiles/fig16_tiling.dir/fig16_tiling.cc.o"
+  "CMakeFiles/fig16_tiling.dir/fig16_tiling.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig16_tiling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig17_fps_lowres"
+  "../bench/fig17_fps_lowres.pdb"
+  "CMakeFiles/fig17_fps_lowres.dir/fig17_fps_lowres.cc.o"
+  "CMakeFiles/fig17_fps_lowres.dir/fig17_fps_lowres.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig17_fps_lowres.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig19_classification"
+  "../bench/fig19_classification.pdb"
+  "CMakeFiles/fig19_classification.dir/fig19_classification.cc.o"
+  "CMakeFiles/fig19_classification.dir/fig19_classification.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig19_classification.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

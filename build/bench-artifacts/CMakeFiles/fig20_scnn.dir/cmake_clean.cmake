@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig20_scnn"
+  "../bench/fig20_scnn.pdb"
+  "CMakeFiles/fig20_scnn.dir/fig20_scnn.cc.o"
+  "CMakeFiles/fig20_scnn.dir/fig20_scnn.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig20_scnn.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/tab03_precisions"
+  "../bench/tab03_precisions.pdb"
+  "CMakeFiles/tab03_precisions.dir/tab03_precisions.cc.o"
+  "CMakeFiles/tab03_precisions.dir/tab03_precisions.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tab03_precisions.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

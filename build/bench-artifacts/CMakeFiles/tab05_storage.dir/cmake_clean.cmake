@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/tab05_storage"
+  "../bench/tab05_storage.pdb"
+  "CMakeFiles/tab05_storage.dir/tab05_storage.cc.o"
+  "CMakeFiles/tab05_storage.dir/tab05_storage.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tab05_storage.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/tab06_power"
+  "../bench/tab06_power.pdb"
+  "CMakeFiles/tab06_power.dir/tab06_power.cc.o"
+  "CMakeFiles/tab06_power.dir/tab06_power.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tab06_power.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/codec_tool.dir/codec_tool.cc.o"
+  "CMakeFiles/codec_tool.dir/codec_tool.cc.o.d"
+  "codec_tool"
+  "codec_tool.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/codec_tool.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

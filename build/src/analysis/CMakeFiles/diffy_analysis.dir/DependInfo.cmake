@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/analysis/entropy.cc" "src/analysis/CMakeFiles/diffy_analysis.dir/entropy.cc.o" "gcc" "src/analysis/CMakeFiles/diffy_analysis.dir/entropy.cc.o.d"
+  "/root/repo/src/analysis/heatmap.cc" "src/analysis/CMakeFiles/diffy_analysis.dir/heatmap.cc.o" "gcc" "src/analysis/CMakeFiles/diffy_analysis.dir/heatmap.cc.o.d"
+  "/root/repo/src/analysis/precision.cc" "src/analysis/CMakeFiles/diffy_analysis.dir/precision.cc.o" "gcc" "src/analysis/CMakeFiles/diffy_analysis.dir/precision.cc.o.d"
+  "/root/repo/src/analysis/terms.cc" "src/analysis/CMakeFiles/diffy_analysis.dir/terms.cc.o" "gcc" "src/analysis/CMakeFiles/diffy_analysis.dir/terms.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/diffy_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/tensor/CMakeFiles/diffy_tensor.dir/DependInfo.cmake"
+  "/root/repo/build/src/nn/CMakeFiles/diffy_nn.dir/DependInfo.cmake"
+  "/root/repo/build/src/image/CMakeFiles/diffy_image.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/diffy_analysis.dir/entropy.cc.o"
+  "CMakeFiles/diffy_analysis.dir/entropy.cc.o.d"
+  "CMakeFiles/diffy_analysis.dir/heatmap.cc.o"
+  "CMakeFiles/diffy_analysis.dir/heatmap.cc.o.d"
+  "CMakeFiles/diffy_analysis.dir/precision.cc.o"
+  "CMakeFiles/diffy_analysis.dir/precision.cc.o.d"
+  "CMakeFiles/diffy_analysis.dir/terms.cc.o"
+  "CMakeFiles/diffy_analysis.dir/terms.cc.o.d"
+  "libdiffy_analysis.a"
+  "libdiffy_analysis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/diffy_analysis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/diffy_arch.dir/config.cc.o"
+  "CMakeFiles/diffy_arch.dir/config.cc.o.d"
+  "CMakeFiles/diffy_arch.dir/memtech.cc.o"
+  "CMakeFiles/diffy_arch.dir/memtech.cc.o.d"
+  "libdiffy_arch.a"
+  "libdiffy_arch.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/diffy_arch.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/diffy_common.dir/bitops.cc.o"
+  "CMakeFiles/diffy_common.dir/bitops.cc.o.d"
+  "CMakeFiles/diffy_common.dir/cli.cc.o"
+  "CMakeFiles/diffy_common.dir/cli.cc.o.d"
+  "CMakeFiles/diffy_common.dir/fixed_point.cc.o"
+  "CMakeFiles/diffy_common.dir/fixed_point.cc.o.d"
+  "CMakeFiles/diffy_common.dir/rng.cc.o"
+  "CMakeFiles/diffy_common.dir/rng.cc.o.d"
+  "CMakeFiles/diffy_common.dir/stats.cc.o"
+  "CMakeFiles/diffy_common.dir/stats.cc.o.d"
+  "CMakeFiles/diffy_common.dir/table.cc.o"
+  "CMakeFiles/diffy_common.dir/table.cc.o.d"
+  "libdiffy_common.a"
+  "libdiffy_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/diffy_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/diffy_core.dir/differential_conv.cc.o"
+  "CMakeFiles/diffy_core.dir/differential_conv.cc.o.d"
+  "CMakeFiles/diffy_core.dir/experiment.cc.o"
+  "CMakeFiles/diffy_core.dir/experiment.cc.o.d"
+  "CMakeFiles/diffy_core.dir/trace_cache.cc.o"
+  "CMakeFiles/diffy_core.dir/trace_cache.cc.o.d"
+  "libdiffy_core.a"
+  "libdiffy_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/diffy_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/encode/bitstream.cc" "src/encode/CMakeFiles/diffy_encode.dir/bitstream.cc.o" "gcc" "src/encode/CMakeFiles/diffy_encode.dir/bitstream.cc.o.d"
+  "/root/repo/src/encode/footprint.cc" "src/encode/CMakeFiles/diffy_encode.dir/footprint.cc.o" "gcc" "src/encode/CMakeFiles/diffy_encode.dir/footprint.cc.o.d"
+  "/root/repo/src/encode/schemes.cc" "src/encode/CMakeFiles/diffy_encode.dir/schemes.cc.o" "gcc" "src/encode/CMakeFiles/diffy_encode.dir/schemes.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/diffy_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/tensor/CMakeFiles/diffy_tensor.dir/DependInfo.cmake"
+  "/root/repo/build/src/nn/CMakeFiles/diffy_nn.dir/DependInfo.cmake"
+  "/root/repo/build/src/analysis/CMakeFiles/diffy_analysis.dir/DependInfo.cmake"
+  "/root/repo/build/src/image/CMakeFiles/diffy_image.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

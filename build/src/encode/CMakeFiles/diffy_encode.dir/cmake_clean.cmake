@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/diffy_encode.dir/bitstream.cc.o"
+  "CMakeFiles/diffy_encode.dir/bitstream.cc.o.d"
+  "CMakeFiles/diffy_encode.dir/footprint.cc.o"
+  "CMakeFiles/diffy_encode.dir/footprint.cc.o.d"
+  "CMakeFiles/diffy_encode.dir/schemes.cc.o"
+  "CMakeFiles/diffy_encode.dir/schemes.cc.o.d"
+  "libdiffy_encode.a"
+  "libdiffy_encode.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/diffy_encode.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

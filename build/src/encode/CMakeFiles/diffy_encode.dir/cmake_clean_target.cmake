@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libdiffy_encode.a"
+)

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/diffy_energy.dir/model.cc.o"
+  "CMakeFiles/diffy_energy.dir/model.cc.o.d"
+  "libdiffy_energy.a"
+  "libdiffy_energy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/diffy_energy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

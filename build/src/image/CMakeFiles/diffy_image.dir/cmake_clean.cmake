@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/diffy_image.dir/catalog.cc.o"
+  "CMakeFiles/diffy_image.dir/catalog.cc.o.d"
+  "CMakeFiles/diffy_image.dir/synth.cc.o"
+  "CMakeFiles/diffy_image.dir/synth.cc.o.d"
+  "libdiffy_image.a"
+  "libdiffy_image.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/diffy_image.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

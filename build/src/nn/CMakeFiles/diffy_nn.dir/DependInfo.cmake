@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/nn/executor.cc" "src/nn/CMakeFiles/diffy_nn.dir/executor.cc.o" "gcc" "src/nn/CMakeFiles/diffy_nn.dir/executor.cc.o.d"
+  "/root/repo/src/nn/layer.cc" "src/nn/CMakeFiles/diffy_nn.dir/layer.cc.o" "gcc" "src/nn/CMakeFiles/diffy_nn.dir/layer.cc.o.d"
+  "/root/repo/src/nn/models.cc" "src/nn/CMakeFiles/diffy_nn.dir/models.cc.o" "gcc" "src/nn/CMakeFiles/diffy_nn.dir/models.cc.o.d"
+  "/root/repo/src/nn/trace.cc" "src/nn/CMakeFiles/diffy_nn.dir/trace.cc.o" "gcc" "src/nn/CMakeFiles/diffy_nn.dir/trace.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/diffy_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/tensor/CMakeFiles/diffy_tensor.dir/DependInfo.cmake"
+  "/root/repo/build/src/image/CMakeFiles/diffy_image.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

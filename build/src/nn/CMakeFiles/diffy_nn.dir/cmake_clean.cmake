@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/diffy_nn.dir/executor.cc.o"
+  "CMakeFiles/diffy_nn.dir/executor.cc.o.d"
+  "CMakeFiles/diffy_nn.dir/layer.cc.o"
+  "CMakeFiles/diffy_nn.dir/layer.cc.o.d"
+  "CMakeFiles/diffy_nn.dir/models.cc.o"
+  "CMakeFiles/diffy_nn.dir/models.cc.o.d"
+  "CMakeFiles/diffy_nn.dir/trace.cc.o"
+  "CMakeFiles/diffy_nn.dir/trace.cc.o.d"
+  "libdiffy_nn.a"
+  "libdiffy_nn.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/diffy_nn.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

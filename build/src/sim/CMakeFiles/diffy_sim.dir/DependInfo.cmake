@@ -1,0 +1,34 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sim/activity.cc" "src/sim/CMakeFiles/diffy_sim.dir/activity.cc.o" "gcc" "src/sim/CMakeFiles/diffy_sim.dir/activity.cc.o.d"
+  "/root/repo/src/sim/diffy_sim.cc" "src/sim/CMakeFiles/diffy_sim.dir/diffy_sim.cc.o" "gcc" "src/sim/CMakeFiles/diffy_sim.dir/diffy_sim.cc.o.d"
+  "/root/repo/src/sim/functional.cc" "src/sim/CMakeFiles/diffy_sim.dir/functional.cc.o" "gcc" "src/sim/CMakeFiles/diffy_sim.dir/functional.cc.o.d"
+  "/root/repo/src/sim/memsys.cc" "src/sim/CMakeFiles/diffy_sim.dir/memsys.cc.o" "gcc" "src/sim/CMakeFiles/diffy_sim.dir/memsys.cc.o.d"
+  "/root/repo/src/sim/pra.cc" "src/sim/CMakeFiles/diffy_sim.dir/pra.cc.o" "gcc" "src/sim/CMakeFiles/diffy_sim.dir/pra.cc.o.d"
+  "/root/repo/src/sim/runner.cc" "src/sim/CMakeFiles/diffy_sim.dir/runner.cc.o" "gcc" "src/sim/CMakeFiles/diffy_sim.dir/runner.cc.o.d"
+  "/root/repo/src/sim/scnn.cc" "src/sim/CMakeFiles/diffy_sim.dir/scnn.cc.o" "gcc" "src/sim/CMakeFiles/diffy_sim.dir/scnn.cc.o.d"
+  "/root/repo/src/sim/stripes.cc" "src/sim/CMakeFiles/diffy_sim.dir/stripes.cc.o" "gcc" "src/sim/CMakeFiles/diffy_sim.dir/stripes.cc.o.d"
+  "/root/repo/src/sim/vaa.cc" "src/sim/CMakeFiles/diffy_sim.dir/vaa.cc.o" "gcc" "src/sim/CMakeFiles/diffy_sim.dir/vaa.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/diffy_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/tensor/CMakeFiles/diffy_tensor.dir/DependInfo.cmake"
+  "/root/repo/build/src/nn/CMakeFiles/diffy_nn.dir/DependInfo.cmake"
+  "/root/repo/build/src/analysis/CMakeFiles/diffy_analysis.dir/DependInfo.cmake"
+  "/root/repo/build/src/encode/CMakeFiles/diffy_encode.dir/DependInfo.cmake"
+  "/root/repo/build/src/arch/CMakeFiles/diffy_arch.dir/DependInfo.cmake"
+  "/root/repo/build/src/image/CMakeFiles/diffy_image.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/diffy_sim.dir/activity.cc.o"
+  "CMakeFiles/diffy_sim.dir/activity.cc.o.d"
+  "CMakeFiles/diffy_sim.dir/diffy_sim.cc.o"
+  "CMakeFiles/diffy_sim.dir/diffy_sim.cc.o.d"
+  "CMakeFiles/diffy_sim.dir/functional.cc.o"
+  "CMakeFiles/diffy_sim.dir/functional.cc.o.d"
+  "CMakeFiles/diffy_sim.dir/memsys.cc.o"
+  "CMakeFiles/diffy_sim.dir/memsys.cc.o.d"
+  "CMakeFiles/diffy_sim.dir/pra.cc.o"
+  "CMakeFiles/diffy_sim.dir/pra.cc.o.d"
+  "CMakeFiles/diffy_sim.dir/runner.cc.o"
+  "CMakeFiles/diffy_sim.dir/runner.cc.o.d"
+  "CMakeFiles/diffy_sim.dir/scnn.cc.o"
+  "CMakeFiles/diffy_sim.dir/scnn.cc.o.d"
+  "CMakeFiles/diffy_sim.dir/stripes.cc.o"
+  "CMakeFiles/diffy_sim.dir/stripes.cc.o.d"
+  "CMakeFiles/diffy_sim.dir/vaa.cc.o"
+  "CMakeFiles/diffy_sim.dir/vaa.cc.o.d"
+  "libdiffy_sim.a"
+  "libdiffy_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/diffy_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

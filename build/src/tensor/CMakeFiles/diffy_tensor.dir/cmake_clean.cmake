@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/diffy_tensor.dir/tensor.cc.o"
+  "CMakeFiles/diffy_tensor.dir/tensor.cc.o.d"
+  "libdiffy_tensor.a"
+  "libdiffy_tensor.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/diffy_tensor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

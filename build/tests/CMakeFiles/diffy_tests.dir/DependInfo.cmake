@@ -1,0 +1,48 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_analysis.cc" "tests/CMakeFiles/diffy_tests.dir/test_analysis.cc.o" "gcc" "tests/CMakeFiles/diffy_tests.dir/test_analysis.cc.o.d"
+  "/root/repo/tests/test_arch.cc" "tests/CMakeFiles/diffy_tests.dir/test_arch.cc.o" "gcc" "tests/CMakeFiles/diffy_tests.dir/test_arch.cc.o.d"
+  "/root/repo/tests/test_bitops.cc" "tests/CMakeFiles/diffy_tests.dir/test_bitops.cc.o" "gcc" "tests/CMakeFiles/diffy_tests.dir/test_bitops.cc.o.d"
+  "/root/repo/tests/test_codecs.cc" "tests/CMakeFiles/diffy_tests.dir/test_codecs.cc.o" "gcc" "tests/CMakeFiles/diffy_tests.dir/test_codecs.cc.o.d"
+  "/root/repo/tests/test_diffconv.cc" "tests/CMakeFiles/diffy_tests.dir/test_diffconv.cc.o" "gcc" "tests/CMakeFiles/diffy_tests.dir/test_diffconv.cc.o.d"
+  "/root/repo/tests/test_executor.cc" "tests/CMakeFiles/diffy_tests.dir/test_executor.cc.o" "gcc" "tests/CMakeFiles/diffy_tests.dir/test_executor.cc.o.d"
+  "/root/repo/tests/test_experiment.cc" "tests/CMakeFiles/diffy_tests.dir/test_experiment.cc.o" "gcc" "tests/CMakeFiles/diffy_tests.dir/test_experiment.cc.o.d"
+  "/root/repo/tests/test_extensions.cc" "tests/CMakeFiles/diffy_tests.dir/test_extensions.cc.o" "gcc" "tests/CMakeFiles/diffy_tests.dir/test_extensions.cc.o.d"
+  "/root/repo/tests/test_fixed_point.cc" "tests/CMakeFiles/diffy_tests.dir/test_fixed_point.cc.o" "gcc" "tests/CMakeFiles/diffy_tests.dir/test_fixed_point.cc.o.d"
+  "/root/repo/tests/test_functional.cc" "tests/CMakeFiles/diffy_tests.dir/test_functional.cc.o" "gcc" "tests/CMakeFiles/diffy_tests.dir/test_functional.cc.o.d"
+  "/root/repo/tests/test_image.cc" "tests/CMakeFiles/diffy_tests.dir/test_image.cc.o" "gcc" "tests/CMakeFiles/diffy_tests.dir/test_image.cc.o.d"
+  "/root/repo/tests/test_layer_models.cc" "tests/CMakeFiles/diffy_tests.dir/test_layer_models.cc.o" "gcc" "tests/CMakeFiles/diffy_tests.dir/test_layer_models.cc.o.d"
+  "/root/repo/tests/test_memsys_energy.cc" "tests/CMakeFiles/diffy_tests.dir/test_memsys_energy.cc.o" "gcc" "tests/CMakeFiles/diffy_tests.dir/test_memsys_energy.cc.o.d"
+  "/root/repo/tests/test_rng.cc" "tests/CMakeFiles/diffy_tests.dir/test_rng.cc.o" "gcc" "tests/CMakeFiles/diffy_tests.dir/test_rng.cc.o.d"
+  "/root/repo/tests/test_scaling.cc" "tests/CMakeFiles/diffy_tests.dir/test_scaling.cc.o" "gcc" "tests/CMakeFiles/diffy_tests.dir/test_scaling.cc.o.d"
+  "/root/repo/tests/test_sims.cc" "tests/CMakeFiles/diffy_tests.dir/test_sims.cc.o" "gcc" "tests/CMakeFiles/diffy_tests.dir/test_sims.cc.o.d"
+  "/root/repo/tests/test_stats.cc" "tests/CMakeFiles/diffy_tests.dir/test_stats.cc.o" "gcc" "tests/CMakeFiles/diffy_tests.dir/test_stats.cc.o.d"
+  "/root/repo/tests/test_table_cli.cc" "tests/CMakeFiles/diffy_tests.dir/test_table_cli.cc.o" "gcc" "tests/CMakeFiles/diffy_tests.dir/test_table_cli.cc.o.d"
+  "/root/repo/tests/test_tensor.cc" "tests/CMakeFiles/diffy_tests.dir/test_tensor.cc.o" "gcc" "tests/CMakeFiles/diffy_tests.dir/test_tensor.cc.o.d"
+  "/root/repo/tests/test_trace.cc" "tests/CMakeFiles/diffy_tests.dir/test_trace.cc.o" "gcc" "tests/CMakeFiles/diffy_tests.dir/test_trace.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/diffy_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/energy/CMakeFiles/diffy_energy.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/diffy_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/encode/CMakeFiles/diffy_encode.dir/DependInfo.cmake"
+  "/root/repo/build/src/analysis/CMakeFiles/diffy_analysis.dir/DependInfo.cmake"
+  "/root/repo/build/src/nn/CMakeFiles/diffy_nn.dir/DependInfo.cmake"
+  "/root/repo/build/src/image/CMakeFiles/diffy_image.dir/DependInfo.cmake"
+  "/root/repo/build/src/tensor/CMakeFiles/diffy_tensor.dir/DependInfo.cmake"
+  "/root/repo/build/src/arch/CMakeFiles/diffy_arch.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/diffy_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")
