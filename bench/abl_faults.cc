@@ -1,0 +1,152 @@
+/**
+ * @file
+ * Ablation: fault propagation through the activation codecs and the
+ * re-anchoring containment knob.
+ *
+ * Diffy's storage advantage comes from keeping activations as X-axis
+ * deltas (DeltaD16) and reconstructing them by prefix summation — so
+ * a single corrupted stored bit can smear across a whole output row,
+ * a failure mode raw-value storage (NoCompression, RawD16) does not
+ * have. This bench quantifies that fragility: it sweeps codec x
+ * fault model x re-anchor interval, injecting seeded deterministic
+ * faults into encoded streams and decoding through the hardened
+ * path. Reported per cell: detection rate (structured decode error),
+ * silent-corruption rate, mean corrupted values per corrupted frame,
+ * the worst in-row corrupted run (blast radius), max absolute error,
+ * and PSNR. The DeltaD16.A<K> rows show the containment knob at
+ * work: the blast radius is capped at K while the footprint cost of
+ * the extra absolute anchors stays small.
+ *
+ * Deterministic: every number derives from --seed (default 1234), so
+ * identical invocations print byte-identical tables.
+ */
+
+#include <algorithm>
+#include <cstdio>
+
+#include "common/cli.hh"
+#include "common/rng.hh"
+#include "common/table.hh"
+#include "encode/schemes.hh"
+#include "fault/propagation.hh"
+
+using namespace diffy;
+
+namespace
+{
+
+/** Smooth ReLU-like activation tensor (DeltaD's favourable regime). */
+TensorI16
+syntheticActivations(std::uint64_t seed, int c, int h, int w)
+{
+    Rng rng(seed);
+    TensorI16 t(c, h, w);
+    for (int ch = 0; ch < c; ++ch) {
+        for (int y = 0; y < h; ++y) {
+            std::int32_t level =
+                1000 + static_cast<std::int32_t>(rng.below(3000));
+            for (int x = 0; x < w; ++x) {
+                if (rng.uniform() < 0.3) {
+                    t.at(ch, y, x) = 0;
+                } else {
+                    level += static_cast<std::int32_t>(rng.below(17)) - 8;
+                    level = level < 0 ? 0 : level;
+                    t.at(ch, y, x) = static_cast<std::int16_t>(level);
+                }
+            }
+        }
+    }
+    return t;
+}
+
+std::string
+fmtPsnr(const PropagationSummary &s)
+{
+    if (s.silentCorruptions == 0)
+        return "-";
+    return TextTable::num(s.meanPsnrDb, 1);
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    CliArgs args(argc, argv);
+    const auto seed =
+        static_cast<std::uint64_t>(args.getInt("seed", 1234));
+    const int trials =
+        std::max(1, static_cast<int>(args.getInt("trials", 100)));
+
+    TensorI16 clean = syntheticActivations(seed, 4, 16, 64);
+
+    struct CodecCase
+    {
+        std::string label;
+        std::unique_ptr<ActivationCodec> codec;
+    };
+    std::vector<CodecCase> codecs;
+    codecs.push_back({"NoCompression", makeNoCompressionCodec()});
+    codecs.push_back({"RawD16", makeRawDCodec(16)});
+    codecs.push_back({"DeltaD16", makeDeltaDCodec(16)});
+    codecs.push_back({"DeltaD16.A64", makeDeltaDCodec(16, 64)});
+    codecs.push_back({"DeltaD16.A16", makeDeltaDCodec(16, 16)});
+    codecs.push_back({"DeltaD16.A4", makeDeltaDCodec(16, 4)});
+
+    std::vector<FaultSpec> faults;
+    {
+        FaultSpec s;
+        s.model = FaultModel::SingleBit;
+        s.target = FaultTarget::Payload;
+        faults.push_back(s);
+        s.target = FaultTarget::Header;
+        faults.push_back(s);
+        s.model = FaultModel::Burst;
+        s.target = FaultTarget::Any;
+        s.burstLength = 8;
+        faults.push_back(s);
+        s.model = FaultModel::BitRate;
+        s.bitErrorRate = 1e-4;
+        faults.push_back(s);
+    }
+
+    TextTable table("Ablation: fault propagation by codec, fault model "
+                    "and re-anchor interval (" +
+                    std::to_string(trials) + " trials/cell)");
+    table.setHeader({"Codec", "bits/val", "Fault", "detected",
+                     "silent", "exact", "corrupt vals", "max run",
+                     "max |err|", "PSNR dB"});
+
+    for (const auto &cc : codecs) {
+        double bpv = cc.codec->bitsPerValue(clean);
+        for (const FaultSpec &spec : faults) {
+            // Per-cell seed mixes the user seed with stable indices so
+            // adding a row never reshuffles the others.
+            std::uint64_t cell_seed =
+                seed ^ Rng::seedFromString(cc.label + spec.describe());
+            PropagationSummary s = sweepFaults(*cc.codec, clean, spec,
+                                               trials, cell_seed);
+            double n = static_cast<double>(s.trials);
+            table.addRow(
+                {cc.label, TextTable::num(bpv, 2), spec.describe(),
+                 TextTable::percent(static_cast<double>(s.decodeErrors) / n),
+                 TextTable::percent(
+                     static_cast<double>(s.silentCorruptions) / n),
+                 TextTable::percent(static_cast<double>(s.exactDecodes) / n),
+                 TextTable::num(s.meanCorruptedValues, 1),
+                 std::to_string(s.maxCorruptedRun),
+                 std::to_string(s.maxAbsError), fmtPsnr(s)});
+        }
+    }
+    table.print();
+
+    std::printf(
+        "Reading: a payload flip corrupts exactly one value under raw\n"
+        "storage but smears to the end of the row under DeltaD16 (the\n"
+        "DR prefix sum); header flips desync the parse and are mostly\n"
+        "caught by the hardened decoder as Truncated/BadHeader. The\n"
+        "re-anchor interval K caps the silent blast radius at K values\n"
+        "(max run column) for a footprint cost visible in bits/val —\n"
+        "the containment knob trades storage for blast radius.\n");
+    return 0;
+}

@@ -2,9 +2,22 @@
 
 #include <algorithm>
 #include <sstream>
+#include <stdexcept>
 
 namespace diffy
 {
+
+std::string
+ConfigValidation::summary() const
+{
+    std::ostringstream os;
+    for (std::size_t i = 0; i < issues.size(); ++i) {
+        if (i)
+            os << "; ";
+        os << issues[i].field << ": " << issues[i].message;
+    }
+    return os.str();
+}
 
 std::string
 to_string(Design d)
@@ -80,6 +93,41 @@ AcceleratorConfig::describe() const
     os << ", AM " << (amBytes >> 10) << "KB, WM " << (wmBytes >> 10)
        << "KB, " << to_string(compression);
     return os.str();
+}
+
+ConfigValidation
+AcceleratorConfig::validate() const
+{
+    ConfigValidation v;
+    auto require = [&](bool ok, const char *field, std::string msg) {
+        if (!ok)
+            v.issues.push_back({field, std::move(msg)});
+    };
+    require(tiles >= 1, "tiles", "must be >= 1");
+    require(filtersPerTile >= 1, "filtersPerTile", "must be >= 1");
+    require(lanesPerFilter >= 1, "lanesPerFilter", "must be >= 1");
+    require(windowColumns >= 1, "windowColumns", "must be >= 1");
+    require(termsPerFilter >= 1, "termsPerFilter", "must be >= 1");
+    if (termsPerFilter >= 1 && lanesPerFilter >= 1)
+        require(termsPerFilter <= lanesPerFilter, "termsPerFilter",
+                "cannot exceed lanesPerFilter (T_x serializes lanes, "
+                "it never adds them)");
+    require(clockHz > 0.0, "clockHz", "must be positive");
+    require(amBytes > 0, "amBytes", "must be nonzero");
+    require(wmBytes > 0, "wmBytes", "must be nonzero");
+    // No windowColumns/design cross-check: VAA ignores the field, and
+    // reusing one config across designs (as the tests do) is legal.
+    return v;
+}
+
+const AcceleratorConfig &
+AcceleratorConfig::validated() const
+{
+    ConfigValidation v = validate();
+    if (!v.ok())
+        throw std::invalid_argument("AcceleratorConfig invalid: " +
+                                    v.summary());
+    return *this;
 }
 
 AcceleratorConfig

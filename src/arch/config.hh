@@ -21,9 +21,34 @@
 
 #include <cstdint>
 #include <string>
+#include <vector>
 
 namespace diffy
 {
+
+/** One field-level problem found by AcceleratorConfig::validate(). */
+struct ConfigIssue
+{
+    std::string field;   ///< offending field, e.g. "tiles"
+    std::string message; ///< what is wrong with it
+
+    bool operator==(const ConfigIssue &o) const = default;
+};
+
+/**
+ * Structured outcome of configuration validation: ok() or the full
+ * list of field-level issues, mirroring the structured DecodeResult
+ * convention of the hardened codec path (see DESIGN.md §7).
+ */
+struct ConfigValidation
+{
+    std::vector<ConfigIssue> issues;
+
+    bool ok() const { return issues.empty(); }
+
+    /** All issues joined as "field: message; ..." (empty when ok). */
+    std::string summary() const;
+};
 
 /** Which timing model a configuration drives. */
 enum class Design
@@ -113,6 +138,22 @@ struct AcceleratorConfig
 
     /** Human-readable one-line summary. */
     std::string describe() const;
+
+    /**
+     * Check every field for physical plausibility (positive geometry,
+     * a nonzero clock, termsPerFilter within the lane count). Returns
+     * all problems, not just the first.
+     */
+    ConfigValidation validate() const;
+
+    /**
+     * Throwing wrapper over validate(): returns *this when the
+     * configuration is sound, otherwise throws std::invalid_argument
+     * carrying the full issue summary. Simulation entry points call
+     * this so a bad configuration fails with a message naming the
+     * field instead of dividing by zero deep in a timing model.
+     */
+    const AcceleratorConfig &validated() const;
 };
 
 /** The paper's default VAA configuration (Table IV). */

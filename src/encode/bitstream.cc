@@ -34,16 +34,40 @@ BitReader::read(int bits)
 {
     if (bits < 1 || bits > 32)
         throw std::invalid_argument("BitReader: bits out of range");
-    if (!hasBits(static_cast<std::size_t>(bits)))
-        throw std::out_of_range("BitReader: stream exhausted");
     std::uint32_t value = 0;
+    if (!tryRead(bits, value))
+        throw std::out_of_range("BitReader: stream exhausted");
+    return value;
+}
+
+bool
+BitReader::tryRead(int bits, std::uint32_t &value)
+{
+    if (bits < 1 || bits > 32)
+        return false;
+    if (!hasBits(static_cast<std::size_t>(bits)))
+        return false;
+    std::uint32_t v = 0;
     for (int i = 0; i < bits; ++i) {
         std::size_t bit_index = pos_ + i;
         if ((bytes_[bit_index / 8] >> (bit_index % 8)) & 1)
-            value |= 1u << i;
+            v |= 1u << i;
     }
     pos_ += static_cast<std::size_t>(bits);
-    return value;
+    value = v;
+    return true;
+}
+
+bool
+BitReader::tryReadSigned(int bits, std::int32_t &value)
+{
+    std::uint32_t raw = 0;
+    if (!tryRead(bits, raw))
+        return false;
+    if (bits < 32 && (raw & (1u << (bits - 1))))
+        raw |= ~((1u << bits) - 1u); // sign extend
+    value = static_cast<std::int32_t>(raw);
+    return true;
 }
 
 std::int32_t

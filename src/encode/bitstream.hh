@@ -49,13 +49,31 @@ class BitReader
     /** Read @p bits as a sign-extended two's complement value. */
     std::int32_t readSigned(int bits);
 
+    /**
+     * Bounds-checked, non-throwing read used by the hardened decode
+     * path: returns false — leaving @p value and the read position
+     * untouched — when @p bits is outside 1..32 or fewer than @p bits
+     * remain in the buffer.
+     */
+    bool tryRead(int bits, std::uint32_t &value);
+
+    /** Non-throwing counterpart of readSigned(); see tryRead(). */
+    bool tryReadSigned(int bits, std::int32_t &value);
+
     /** Bits consumed so far. */
     std::size_t bitPosition() const { return pos_; }
+
+    /** Bits left before the end of the buffer. */
+    std::size_t bitsRemaining() const
+    {
+        std::size_t total = bytes_.size() * 8;
+        return pos_ < total ? total - pos_ : 0;
+    }
 
     /** True if at least @p bits remain. */
     bool hasBits(std::size_t bits) const
     {
-        return pos_ + bits <= bytes_.size() * 8;
+        return bits <= bitsRemaining();
     }
 
   private:

@@ -9,6 +9,31 @@
 namespace diffy
 {
 
+std::string
+to_string(DecodeStatus s)
+{
+    switch (s) {
+      case DecodeStatus::Ok:
+        return "Ok";
+      case DecodeStatus::BadShape:
+        return "BadShape";
+      case DecodeStatus::Truncated:
+        return "Truncated";
+      case DecodeStatus::BadHeader:
+        return "BadHeader";
+    }
+    return "?";
+}
+
+TensorI16
+ActivationCodec::decode(const EncodedTensor &enc) const
+{
+    DecodeResult r = tryDecode(enc);
+    if (!r.ok())
+        throw std::runtime_error(name() + " decode failed: " + r.message);
+    return std::move(r.tensor);
+}
+
 double
 ActivationCodec::bitsPerValue(const TensorI16 &t) const
 {
@@ -20,6 +45,45 @@ ActivationCodec::bitsPerValue(const TensorI16 &t) const
 
 namespace
 {
+
+/**
+ * Validate a decode target shape: every dimension nonnegative and the
+ * volume within kMaxDecodeElements (checked multiply-by-multiply so a
+ * hostile shape cannot overflow the size_t product either). On
+ * failure @p out carries a complete BadShape result.
+ */
+bool
+checkShape(const Shape3 &s, DecodeResult &out)
+{
+    auto fail = [&](const std::string &msg) {
+        out.status = DecodeStatus::BadShape;
+        out.message = msg;
+        return false;
+    };
+    if (s.c < 0 || s.h < 0 || s.w < 0)
+        return fail("negative dimension in shape");
+    std::size_t vol = static_cast<std::size_t>(s.c);
+    for (int d : {s.h, s.w}) {
+        if (d > 0 && vol > kMaxDecodeElements / static_cast<std::size_t>(d))
+            return fail("shape volume exceeds decode cap");
+        vol *= static_cast<std::size_t>(d);
+    }
+    if (vol > kMaxDecodeElements)
+        return fail("shape volume exceeds decode cap");
+    return true;
+}
+
+DecodeResult
+truncatedAt(const BitReader &br, std::size_t values_decoded,
+            const std::string &what)
+{
+    DecodeResult r;
+    r.status = DecodeStatus::Truncated;
+    r.message = "stream ended inside " + what;
+    r.errorBit = br.bitPosition();
+    r.valuesDecoded = values_decoded;
+    return r;
+}
 
 /** 16 bits per value, no metadata. */
 class NoCompressionCodec : public ActivationCodec
@@ -34,17 +98,26 @@ class NoCompressionCodec : public ActivationCodec
         const std::int16_t *data = t.data();
         for (std::size_t i = 0; i < t.size(); ++i)
             bw.writeSigned(data[i], 16);
-        return {t.shape(), bw.bitCount(), bw.bytes()};
+        return {t.shape(), bw.bitCount(), bw.bytes(), {}};
     }
 
-    TensorI16
-    decode(const EncodedTensor &enc) const override
+    DecodeResult
+    tryDecode(const EncodedTensor &enc) const override
     {
+        DecodeResult r;
+        if (!checkShape(enc.shape, r))
+            return r;
         TensorI16 t(enc.shape);
         BitReader br(enc.bytes);
-        for (std::size_t i = 0; i < t.size(); ++i)
-            t.data()[i] = static_cast<std::int16_t>(br.readSigned(16));
-        return t;
+        for (std::size_t i = 0; i < t.size(); ++i) {
+            std::int32_t v = 0;
+            if (!br.tryReadSigned(16, v))
+                return truncatedAt(br, i, "a 16b value");
+            t.data()[i] = static_cast<std::int16_t>(v);
+        }
+        r.tensor = std::move(t);
+        r.valuesDecoded = r.tensor.size();
+        return r;
     }
 };
 
@@ -62,6 +135,7 @@ class RlezCodec : public ActivationCodec
     encode(const TensorI16 &t) const override
     {
         BitWriter bw;
+        std::vector<BitRange> headers;
         const std::int16_t *data = t.data();
         std::size_t i = 0;
         while (i < t.size()) {
@@ -70,6 +144,7 @@ class RlezCodec : public ActivationCodec
                 ++run;
                 ++i;
             }
+            headers.push_back({bw.bitCount(), 4});
             if (i < t.size()) {
                 bw.write(static_cast<std::uint32_t>(run), 4);
                 bw.writeSigned(data[i], 16);
@@ -80,25 +155,33 @@ class RlezCodec : public ActivationCodec
                 bw.writeSigned(0, 16);
             }
         }
-        return {t.shape(), bw.bitCount(), bw.bytes()};
+        return {t.shape(), bw.bitCount(), bw.bytes(), std::move(headers)};
     }
 
-    TensorI16
-    decode(const EncodedTensor &enc) const override
+    DecodeResult
+    tryDecode(const EncodedTensor &enc) const override
     {
+        DecodeResult r;
+        if (!checkShape(enc.shape, r))
+            return r;
         TensorI16 t(enc.shape);
         BitReader br(enc.bytes);
         std::size_t i = 0;
         while (i < t.size()) {
-            int run = static_cast<int>(br.read(4));
-            std::int16_t value =
-                static_cast<std::int16_t>(br.readSigned(16));
-            for (int z = 0; z < run && i < t.size(); ++z)
+            std::uint32_t run = 0;
+            std::int32_t value = 0;
+            if (!br.tryRead(4, run))
+                return truncatedAt(br, i, "an RLEz run header");
+            if (!br.tryReadSigned(16, value))
+                return truncatedAt(br, i, "an RLEz value");
+            for (std::uint32_t z = 0; z < run && i < t.size(); ++z)
                 t.data()[i++] = 0;
             if (i < t.size())
-                t.data()[i++] = value;
+                t.data()[i++] = static_cast<std::int16_t>(value);
         }
-        return t;
+        r.tensor = std::move(t);
+        r.valuesDecoded = r.tensor.size();
+        return r;
     }
 };
 
@@ -112,6 +195,7 @@ class RleCodec : public ActivationCodec
     encode(const TensorI16 &t) const override
     {
         BitWriter bw;
+        std::vector<BitRange> headers;
         const std::int16_t *data = t.data();
         std::size_t i = 0;
         while (i < t.size()) {
@@ -121,27 +205,36 @@ class RleCodec : public ActivationCodec
                    run < 16) {
                 ++run;
             }
+            headers.push_back({bw.bitCount(), 4});
             bw.write(static_cast<std::uint32_t>(run - 1), 4);
             bw.writeSigned(value, 16);
             i += static_cast<std::size_t>(run);
         }
-        return {t.shape(), bw.bitCount(), bw.bytes()};
+        return {t.shape(), bw.bitCount(), bw.bytes(), std::move(headers)};
     }
 
-    TensorI16
-    decode(const EncodedTensor &enc) const override
+    DecodeResult
+    tryDecode(const EncodedTensor &enc) const override
     {
+        DecodeResult r;
+        if (!checkShape(enc.shape, r))
+            return r;
         TensorI16 t(enc.shape);
         BitReader br(enc.bytes);
         std::size_t i = 0;
         while (i < t.size()) {
-            int run = static_cast<int>(br.read(4)) + 1;
-            std::int16_t value =
-                static_cast<std::int16_t>(br.readSigned(16));
-            for (int r = 0; r < run && i < t.size(); ++r)
-                t.data()[i++] = value;
+            std::uint32_t run = 0;
+            std::int32_t value = 0;
+            if (!br.tryRead(4, run))
+                return truncatedAt(br, i, "an RLE run header");
+            if (!br.tryReadSigned(16, value))
+                return truncatedAt(br, i, "an RLE value");
+            for (std::uint32_t k = 0; k <= run && i < t.size(); ++k)
+                t.data()[i++] = static_cast<std::int16_t>(value);
         }
-        return t;
+        r.tensor = std::move(t);
+        r.valuesDecoded = r.tensor.size();
+        return r;
     }
 };
 
@@ -173,19 +266,26 @@ class ProfiledCodec : public ActivationCodec
             v = v < lo ? lo : (v > hi ? hi : v);
             bw.writeSigned(v, precision_);
         }
-        return {t.shape(), bw.bitCount(), bw.bytes()};
+        return {t.shape(), bw.bitCount(), bw.bytes(), {}};
     }
 
-    TensorI16
-    decode(const EncodedTensor &enc) const override
+    DecodeResult
+    tryDecode(const EncodedTensor &enc) const override
     {
+        DecodeResult r;
+        if (!checkShape(enc.shape, r))
+            return r;
         TensorI16 t(enc.shape);
         BitReader br(enc.bytes);
         for (std::size_t i = 0; i < t.size(); ++i) {
-            t.data()[i] =
-                static_cast<std::int16_t>(br.readSigned(precision_));
+            std::int32_t v = 0;
+            if (!br.tryReadSigned(precision_, v))
+                return truncatedAt(br, i, "a fixed-precision value");
+            t.data()[i] = static_cast<std::int16_t>(v);
         }
-        return t;
+        r.tensor = std::move(t);
+        r.valuesDecoded = r.tensor.size();
+        return r;
     }
 
   private:
@@ -212,35 +312,48 @@ class RawDCodec : public ActivationCodec
     encode(const TensorI16 &t) const override
     {
         BitWriter bw;
+        std::vector<BitRange> headers;
         const std::int16_t *data = t.data();
         for (std::size_t start = 0; start < t.size();
              start += static_cast<std::size_t>(groupSize_)) {
             std::size_t len = std::min(
                 static_cast<std::size_t>(groupSize_), t.size() - start);
             int bits = groupBitsNeeded(data + start, len);
+            headers.push_back({bw.bitCount(), 4});
             bw.write(static_cast<std::uint32_t>(bits - 1), 4);
             for (std::size_t i = 0; i < len; ++i)
                 bw.writeSigned(data[start + i], bits);
         }
-        return {t.shape(), bw.bitCount(), bw.bytes()};
+        return {t.shape(), bw.bitCount(), bw.bytes(), std::move(headers)};
     }
 
-    TensorI16
-    decode(const EncodedTensor &enc) const override
+    DecodeResult
+    tryDecode(const EncodedTensor &enc) const override
     {
+        DecodeResult r;
+        if (!checkShape(enc.shape, r))
+            return r;
         TensorI16 t(enc.shape);
         BitReader br(enc.bytes);
         for (std::size_t start = 0; start < t.size();
              start += static_cast<std::size_t>(groupSize_)) {
             std::size_t len = std::min(
                 static_cast<std::size_t>(groupSize_), t.size() - start);
-            int bits = static_cast<int>(br.read(4)) + 1;
+            std::uint32_t hdr = 0;
+            if (!br.tryRead(4, hdr))
+                return truncatedAt(br, start, "a RawD group header");
+            // hdr + 1 is 1..16: every 4-bit header is a legal width.
+            int bits = static_cast<int>(hdr) + 1;
             for (std::size_t i = 0; i < len; ++i) {
-                t.data()[start + i] =
-                    static_cast<std::int16_t>(br.readSigned(bits));
+                std::int32_t v = 0;
+                if (!br.tryReadSigned(bits, v))
+                    return truncatedAt(br, start + i, "a RawD value");
+                t.data()[start + i] = static_cast<std::int16_t>(v);
             }
         }
-        return t;
+        r.tensor = std::move(t);
+        r.valuesDecoded = r.tensor.size();
+        return r;
     }
 
   private:
@@ -250,27 +363,47 @@ class RawDCodec : public ActivationCodec
 /**
  * Dynamic per-group precision over the X-axis delta stream. Rows lead
  * with a raw value; deltas span up to 17 bits so the group header is
- * 5 bits (see file comment).
+ * 5 bits (see file comment). A positive reanchor interval K stores
+ * every K-th value of a row as an absolute value, bounding how far a
+ * corrupted delta can propagate (the containment knob studied by
+ * bench/abl_faults).
  */
 class DeltaDCodec : public ActivationCodec
 {
   public:
-    explicit DeltaDCodec(int group_size) : groupSize_(group_size)
+    /** Widest legal field: 17 bits covers any int16 delta. */
+    static constexpr int kMaxFieldBits = 17;
+
+    DeltaDCodec(int group_size, int reanchor_interval)
+        : groupSize_(group_size), reanchor_(reanchor_interval)
     {
         if (group_size < 1)
             throw std::invalid_argument("DeltaDCodec: bad group size");
+        if (reanchor_interval < 0)
+            throw std::invalid_argument(
+                "DeltaDCodec: bad reanchor interval");
     }
 
     std::string
     name() const override
     {
-        return "DeltaD" + std::to_string(groupSize_);
+        std::string n = "DeltaD" + std::to_string(groupSize_);
+        if (reanchor_ > 0)
+            n += ".A" + std::to_string(reanchor_);
+        return n;
+    }
+
+    bool
+    isAnchor(int x) const
+    {
+        return x == 0 || (reanchor_ > 0 && x % reanchor_ == 0);
     }
 
     EncodedTensor
     encode(const TensorI16 &t) const override
     {
-        // Delta stream in row-major within each (channel, row).
+        // Delta stream in row-major within each (channel, row);
+        // anchors carry the raw value.
         std::vector<std::int32_t> stream;
         stream.reserve(t.size());
         for (int c = 0; c < t.channels(); ++c) {
@@ -278,12 +411,13 @@ class DeltaDCodec : public ActivationCodec
                 std::int32_t prev = 0;
                 for (int x = 0; x < t.width(); ++x) {
                     std::int32_t cur = t.at(c, y, x);
-                    stream.push_back(x == 0 ? cur : cur - prev);
+                    stream.push_back(isAnchor(x) ? cur : cur - prev);
                     prev = cur;
                 }
             }
         }
         BitWriter bw;
+        std::vector<BitRange> headers;
         for (std::size_t start = 0; start < stream.size();
              start += static_cast<std::size_t>(groupSize_)) {
             std::size_t len = std::min(
@@ -295,35 +429,58 @@ class DeltaDCodec : public ActivationCodec
                 if (b > bits)
                     bits = b;
             }
+            headers.push_back({bw.bitCount(), 5});
             bw.write(static_cast<std::uint32_t>(bits - 1), 5);
             for (std::size_t i = 0; i < len; ++i)
                 bw.writeSigned(stream[start + i], bits);
         }
-        return {t.shape(), bw.bitCount(), bw.bytes()};
+        return {t.shape(), bw.bitCount(), bw.bytes(), std::move(headers)};
     }
 
-    TensorI16
-    decode(const EncodedTensor &enc) const override
+    DecodeResult
+    tryDecode(const EncodedTensor &enc) const override
     {
-        std::vector<std::int32_t> stream(
-            Shape3(enc.shape).volume());
+        DecodeResult r;
+        if (!checkShape(enc.shape, r))
+            return r;
+        std::vector<std::int32_t> stream(Shape3(enc.shape).volume());
         BitReader br(enc.bytes);
         for (std::size_t start = 0; start < stream.size();
              start += static_cast<std::size_t>(groupSize_)) {
             std::size_t len = std::min(
                 static_cast<std::size_t>(groupSize_),
                 stream.size() - start);
-            int bits = static_cast<int>(br.read(5)) + 1;
-            for (std::size_t i = 0; i < len; ++i)
-                stream[start + i] = br.readSigned(bits);
+            std::uint32_t hdr = 0;
+            if (!br.tryRead(5, hdr))
+                return truncatedAt(br, start, "a DeltaD group header");
+            int bits = static_cast<int>(hdr) + 1;
+            if (bits > kMaxFieldBits) {
+                // A 5-bit header can declare up to 32 bits; anything
+                // past 17 cannot come from our encoder and must be
+                // rejected rather than trusted.
+                r.status = DecodeStatus::BadHeader;
+                r.message = "DeltaD group declares " +
+                            std::to_string(bits) +
+                            " bits (legal max " +
+                            std::to_string(kMaxFieldBits) + ")";
+                r.errorBit = br.bitPosition() - 5;
+                r.valuesDecoded = start;
+                return r;
+            }
+            for (std::size_t i = 0; i < len; ++i) {
+                if (!br.tryReadSigned(bits, stream[start + i]))
+                    return truncatedAt(br, start + i, "a DeltaD field");
+            }
         }
         TensorI16 t(enc.shape);
         std::size_t pos = 0;
         for (int c = 0; c < t.channels(); ++c) {
             for (int y = 0; y < t.height(); ++y) {
-                std::int32_t acc = 0;
+                // 64-bit accumulator: a hostile stream can feed a long
+                // row of maximal deltas, which would overflow int32.
+                std::int64_t acc = 0;
                 for (int x = 0; x < t.width(); ++x) {
-                    if (x == 0)
+                    if (isAnchor(x))
                         acc = stream[pos];
                     else
                         acc += stream[pos];
@@ -332,11 +489,14 @@ class DeltaDCodec : public ActivationCodec
                 }
             }
         }
-        return t;
+        r.tensor = std::move(t);
+        r.valuesDecoded = r.tensor.size();
+        return r;
     }
 
   private:
     int groupSize_;
+    int reanchor_;
 };
 
 } // namespace
@@ -372,9 +532,9 @@ makeRawDCodec(int group_size)
 }
 
 std::unique_ptr<ActivationCodec>
-makeDeltaDCodec(int group_size)
+makeDeltaDCodec(int group_size, int reanchor_interval)
 {
-    return std::make_unique<DeltaDCodec>(group_size);
+    return std::make_unique<DeltaDCodec>(group_size, reanchor_interval);
 }
 
 std::unique_ptr<ActivationCodec>

@@ -21,6 +21,13 @@
  *                    bits, so the group header is 5 bits — one more
  *                    than the paper's raw-value header — keeping the
  *                    codec lossless for arbitrary inputs.
+ *
+ * Decoding is hardened: tryDecode() accepts *any* byte sequence and
+ * returns either a valid tensor or a structured error (DecodeResult)
+ * — never a crash, hang, or out-of-bounds read. Encoders additionally
+ * record where their metadata fields (group-precision headers, run
+ * lengths) sit in the stream, so the fault-injection subsystem
+ * (src/fault) can target header bits and payload bits separately.
  */
 
 #ifndef DIFFY_ENCODE_SCHEMES_HH
@@ -36,13 +43,72 @@
 namespace diffy
 {
 
+/** Bit interval [first, first + count) inside an encoded stream. */
+struct BitRange
+{
+    std::size_t first = 0;
+    std::size_t count = 0;
+
+    bool contains(std::size_t bit) const
+    {
+        return bit >= first && bit < first + count;
+    }
+
+    bool operator==(const BitRange &o) const = default;
+};
+
 /** Encoded form of one tensor. */
 struct EncodedTensor
 {
     Shape3 shape;
     std::size_t bits = 0; ///< exact payload+metadata size in bits
     std::vector<std::uint8_t> bytes;
+    /**
+     * Metadata fields of the stream (group-precision headers, RLE run
+     * lengths), in stream order. Empty for schemes without metadata.
+     * Fault injection uses these to separate header from payload bits.
+     */
+    std::vector<BitRange> headerBits;
 };
+
+/** Outcome classes of a hardened decode. */
+enum class DecodeStatus
+{
+    Ok,        ///< stream decoded to a complete tensor
+    BadShape,  ///< negative/overflowing dims or over the decode cap
+    Truncated, ///< stream ended before the tensor was complete
+    BadHeader  ///< a declared group precision exceeds the legal width
+};
+
+std::string to_string(DecodeStatus s);
+
+/**
+ * Result of a hardened decode: either a valid tensor (ok()) or a
+ * structured error with diagnostics. The tensor is only meaningful
+ * when ok() — on error it holds whatever prefix decoded cleanly,
+ * which the fault-propagation analyzer inspects but ordinary callers
+ * should discard.
+ */
+struct DecodeResult
+{
+    DecodeStatus status = DecodeStatus::Ok;
+    TensorI16 tensor;
+    /** Human-readable diagnostic; empty when ok(). */
+    std::string message;
+    /** Bit position of the first violation (errors only). */
+    std::size_t errorBit = 0;
+    /** Values written before the error (== volume when ok()). */
+    std::size_t valuesDecoded = 0;
+
+    bool ok() const { return status == DecodeStatus::Ok; }
+};
+
+/**
+ * Upper bound on the element count tryDecode() will allocate for.
+ * A hostile EncodedTensor can declare any shape; this cap turns an
+ * attempted multi-GB allocation into a clean BadShape error.
+ */
+inline constexpr std::size_t kMaxDecodeElements = std::size_t{1} << 28;
 
 /** Interface of an activation codec. */
 class ActivationCodec
@@ -55,8 +121,14 @@ class ActivationCodec
     /** Encode a tensor; the result records its exact bit count. */
     virtual EncodedTensor encode(const TensorI16 &t) const = 0;
 
-    /** Decode an encode() result back to a tensor. */
-    virtual TensorI16 decode(const EncodedTensor &enc) const = 0;
+    /**
+     * Hardened decode: any byte sequence yields a valid tensor or a
+     * clean structured error — never undefined behaviour.
+     */
+    virtual DecodeResult tryDecode(const EncodedTensor &enc) const = 0;
+
+    /** Decode an encode() result; throws std::runtime_error on error. */
+    TensorI16 decode(const EncodedTensor &enc) const;
 
     /** Mean bits per value, metadata included. */
     double bitsPerValue(const TensorI16 &t) const;
@@ -77,8 +149,19 @@ std::unique_ptr<ActivationCodec> makeProfiledCodec(int precision_bits);
 /** Dynamic per-group precision over raw values. */
 std::unique_ptr<ActivationCodec> makeRawDCodec(int group_size);
 
-/** Dynamic per-group precision over X-axis deltas. */
-std::unique_ptr<ActivationCodec> makeDeltaDCodec(int group_size);
+/**
+ * Dynamic per-group precision over X-axis deltas.
+ *
+ * @param reanchor_interval Error-containment knob: when > 0, every
+ *        K-th value of a row (x % K == 0) is stored as an absolute
+ *        value rather than a delta. A corrupted delta then propagates
+ *        only to the next anchor instead of across the whole row,
+ *        trading a small footprint increase for a bounded blast
+ *        radius. 0 (the default, the paper's scheme) anchors only at
+ *        row heads.
+ */
+std::unique_ptr<ActivationCodec> makeDeltaDCodec(int group_size,
+                                                 int reanchor_interval = 0);
 
 /**
  * Codec for a Compression enum value. Profiled requires the layer's

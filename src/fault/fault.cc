@@ -1,0 +1,175 @@
+#include "fault/fault.hh"
+
+#include <algorithm>
+#include <cstdio>
+
+namespace diffy
+{
+
+std::string
+to_string(FaultModel m)
+{
+    switch (m) {
+      case FaultModel::SingleBit:
+        return "single-bit";
+      case FaultModel::Burst:
+        return "burst";
+      case FaultModel::BitRate:
+        return "bit-rate";
+    }
+    return "?";
+}
+
+std::string
+to_string(FaultTarget t)
+{
+    switch (t) {
+      case FaultTarget::Any:
+        return "any";
+      case FaultTarget::Payload:
+        return "payload";
+      case FaultTarget::Header:
+        return "header";
+    }
+    return "?";
+}
+
+std::string
+FaultSpec::describe() const
+{
+    char buf[64];
+    switch (model) {
+      case FaultModel::SingleBit:
+        std::snprintf(buf, sizeof buf, "%d-bit", flips);
+        break;
+      case FaultModel::Burst:
+        std::snprintf(buf, sizeof buf, "burst%d", burstLength);
+        break;
+      case FaultModel::BitRate:
+        std::snprintf(buf, sizeof buf, "ber%.0e", bitErrorRate);
+        break;
+    }
+    return std::string(buf) + "@" + to_string(target);
+}
+
+namespace
+{
+
+void
+flipBit(std::vector<std::uint8_t> &bytes, std::size_t bit)
+{
+    bytes[bit / 8] ^= static_cast<std::uint8_t>(1u << (bit % 8));
+}
+
+/** Positions in [0, total_bits) belonging to the target class. */
+std::vector<std::size_t>
+candidateBits(std::size_t total_bits, const std::vector<BitRange> &headers,
+              FaultTarget target)
+{
+    if (target == FaultTarget::Any) {
+        std::vector<std::size_t> all(total_bits);
+        for (std::size_t b = 0; b < total_bits; ++b)
+            all[b] = b;
+        return all;
+    }
+    std::vector<bool> is_header(total_bits, false);
+    for (const BitRange &r : headers) {
+        std::size_t end = std::min(r.first + r.count, total_bits);
+        for (std::size_t b = r.first; b < end; ++b)
+            is_header[b] = true;
+    }
+    std::vector<std::size_t> out;
+    for (std::size_t b = 0; b < total_bits; ++b) {
+        if (is_header[b] == (target == FaultTarget::Header))
+            out.push_back(b);
+    }
+    return out;
+}
+
+} // namespace
+
+FaultReport
+FaultInjector::injectIntoBits(std::vector<std::uint8_t> &bytes,
+                              std::size_t total_bits,
+                              const std::vector<BitRange> &headers,
+                              const FaultSpec &spec)
+{
+    FaultReport report;
+    // Never index past the buffer, whatever the declared bit count.
+    total_bits = std::min(total_bits, bytes.size() * 8);
+    std::vector<std::size_t> candidates =
+        candidateBits(total_bits, headers, spec.target);
+    if (candidates.empty())
+        return report;
+
+    switch (spec.model) {
+      case FaultModel::SingleBit: {
+        // Sample without replacement by swap-and-shrink.
+        std::size_t want = std::min<std::size_t>(
+            spec.flips > 0 ? static_cast<std::size_t>(spec.flips) : 0,
+            candidates.size());
+        for (std::size_t k = 0; k < want; ++k) {
+            std::size_t j =
+                k + static_cast<std::size_t>(
+                        rng_.below(candidates.size() - k));
+            std::swap(candidates[k], candidates[j]);
+            report.flippedBits.push_back(candidates[k]);
+        }
+        break;
+      }
+      case FaultModel::Burst: {
+        std::size_t anchor = candidates[static_cast<std::size_t>(
+            rng_.below(candidates.size()))];
+        std::size_t len = spec.burstLength > 0
+                              ? static_cast<std::size_t>(spec.burstLength)
+                              : 1;
+        for (std::size_t b = anchor;
+             b < anchor + len && b < total_bits; ++b)
+            report.flippedBits.push_back(b);
+        break;
+      }
+      case FaultModel::BitRate: {
+        for (std::size_t b : candidates) {
+            if (rng_.uniform() < spec.bitErrorRate)
+                report.flippedBits.push_back(b);
+        }
+        break;
+      }
+    }
+
+    std::sort(report.flippedBits.begin(), report.flippedBits.end());
+    for (std::size_t b : report.flippedBits)
+        flipBit(bytes, b);
+    return report;
+}
+
+FaultReport
+FaultInjector::inject(EncodedTensor &enc, const FaultSpec &spec)
+{
+    return injectIntoBits(enc.bytes, enc.bits, enc.headerBits, spec);
+}
+
+FaultReport
+FaultInjector::inject(TensorI16 &t, const FaultSpec &spec)
+{
+    FaultSpec raw_spec = spec;
+    raw_spec.target = FaultTarget::Any; // raw tensors are all payload
+    // View the tensor as a little-endian byte buffer, reusing the
+    // bitstream path so models behave identically on both.
+    std::vector<std::uint8_t> bytes(t.size() * 2);
+    for (std::size_t i = 0; i < t.size(); ++i) {
+        auto u = static_cast<std::uint16_t>(t.data()[i]);
+        bytes[2 * i] = static_cast<std::uint8_t>(u & 0xFF);
+        bytes[2 * i + 1] = static_cast<std::uint8_t>(u >> 8);
+    }
+    FaultReport report =
+        injectIntoBits(bytes, bytes.size() * 8, {}, raw_spec);
+    for (std::size_t i = 0; i < t.size(); ++i) {
+        auto u = static_cast<std::uint16_t>(
+            bytes[2 * i] | (bytes[2 * i + 1] << 8));
+        t.data()[i] = static_cast<std::int16_t>(u);
+    }
+    return report;
+}
+
+} // namespace diffy

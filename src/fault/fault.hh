@@ -1,0 +1,113 @@
+/**
+ * @file
+ * Seeded, deterministic fault injection for encoded bitstreams and
+ * raw tensors.
+ *
+ * Diffy stores activations as X-axis deltas (DeltaD16), so a single
+ * corrupted bit can smear across an entire output row during
+ * reconstruction — a failure mode raw-value storage does not have.
+ * This module provides the measurement half of quantifying that
+ * fragility: it flips bits under configurable fault models
+ * (single-bit, contiguous burst, uniform per-bit rate), optionally
+ * restricted to payload bits or to the group-precision/run-length
+ * header bits that the codecs record in EncodedTensor::headerBits.
+ *
+ * All randomness comes from the repo's seeded Rng, so any injection
+ * is exactly replayable from (seed, spec): same seed, same flips.
+ */
+
+#ifndef DIFFY_FAULT_FAULT_HH
+#define DIFFY_FAULT_FAULT_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/rng.hh"
+#include "encode/schemes.hh"
+#include "tensor/tensor.hh"
+
+namespace diffy
+{
+
+/** How faulted bits are distributed over the target. */
+enum class FaultModel
+{
+    SingleBit, ///< @c flips independent single-bit upsets
+    Burst,     ///< one contiguous run of @c burstLength flipped bits
+    BitRate    ///< each candidate bit flips with prob @c bitErrorRate
+};
+
+/** Which part of an encoded stream faults may land in. */
+enum class FaultTarget
+{
+    Any,     ///< the whole stream
+    Payload, ///< value bits only (outside every header range)
+    Header   ///< group-precision / run-length metadata bits only
+};
+
+std::string to_string(FaultModel m);
+std::string to_string(FaultTarget t);
+
+/** One fault-injection configuration. */
+struct FaultSpec
+{
+    FaultModel model = FaultModel::SingleBit;
+    FaultTarget target = FaultTarget::Any;
+    /** SingleBit: number of distinct upsets per injection. */
+    int flips = 1;
+    /** Burst: contiguous bits flipped (anchored inside the target). */
+    int burstLength = 8;
+    /** BitRate: per-bit flip probability over the target bits. */
+    double bitErrorRate = 1e-4;
+
+    /** Short label, e.g. "1-bit@header" or "burst8@any". */
+    std::string describe() const;
+};
+
+/** Which bits an injection flipped (absolute stream positions). */
+struct FaultReport
+{
+    std::vector<std::size_t> flippedBits; ///< sorted ascending
+
+    bool operator==(const FaultReport &o) const = default;
+};
+
+/**
+ * Deterministic bit-flipping engine. One injector can serve many
+ * injections; each call advances the generator, so a fresh injector
+ * from the same seed replays the same sequence of injections.
+ */
+class FaultInjector
+{
+  public:
+    explicit FaultInjector(std::uint64_t seed) : rng_(seed) {}
+
+    /**
+     * Flip bits of @p enc in place per @p spec. Candidate positions
+     * are restricted to [0, enc.bits) and to the spec's target class;
+     * a Burst is anchored on a target bit but may run past class
+     * boundaries (bursts are physical, not format-aware). Returns the
+     * flipped positions, sorted. If the target class is empty (e.g.
+     * Header on NoCompression) nothing is flipped.
+     */
+    FaultReport inject(EncodedTensor &enc, const FaultSpec &spec);
+
+    /**
+     * Flip bits of a raw tensor in place. Every bit of every int16
+     * value is payload, so the spec's target is ignored.
+     */
+    FaultReport inject(TensorI16 &t, const FaultSpec &spec);
+
+  private:
+    FaultReport injectIntoBits(std::vector<std::uint8_t> &bytes,
+                               std::size_t total_bits,
+                               const std::vector<BitRange> &headers,
+                               const FaultSpec &spec);
+
+    Rng rng_;
+};
+
+} // namespace diffy
+
+#endif // DIFFY_FAULT_FAULT_HH

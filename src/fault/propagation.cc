@@ -1,0 +1,109 @@
+#include "fault/propagation.hh"
+
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+
+namespace diffy
+{
+
+PropagationMetrics
+compareTensors(const TensorI16 &clean, const TensorI16 &decoded)
+{
+    if (!(clean.shape() == decoded.shape()))
+        throw std::invalid_argument("compareTensors: shape mismatch");
+    PropagationMetrics m;
+    m.totalValues = clean.size();
+    double sq_err = 0.0;
+    for (int c = 0; c < clean.channels(); ++c) {
+        for (int y = 0; y < clean.height(); ++y) {
+            std::size_t run = 0;
+            for (int x = 0; x < clean.width(); ++x) {
+                std::int32_t err = static_cast<std::int32_t>(
+                                       decoded.at(c, y, x)) -
+                                   clean.at(c, y, x);
+                if (err != 0) {
+                    ++m.corruptedValues;
+                    ++run;
+                    if (run > m.maxCorruptedRun)
+                        m.maxCorruptedRun = run;
+                    std::int32_t a = err < 0 ? -err : err;
+                    if (a > m.maxAbsError)
+                        m.maxAbsError = a;
+                    sq_err += static_cast<double>(err) * err;
+                } else {
+                    run = 0;
+                }
+            }
+        }
+    }
+    if (m.corruptedValues == 0 || m.totalValues == 0) {
+        m.psnrDb = std::numeric_limits<double>::infinity();
+    } else {
+        // PSNR over the int16 dynamic range (peak 65535).
+        double mse = sq_err / static_cast<double>(m.totalValues);
+        m.psnrDb = 10.0 * std::log10(65535.0 * 65535.0 / mse);
+    }
+    return m;
+}
+
+PropagationMetrics
+analyzeFaultedDecode(const ActivationCodec &codec, const TensorI16 &clean,
+                     const FaultSpec &spec, std::uint64_t seed)
+{
+    EncodedTensor enc = codec.encode(clean);
+    FaultInjector injector(seed);
+    injector.inject(enc, spec);
+    DecodeResult dec = codec.tryDecode(enc);
+    if (!dec.ok()) {
+        PropagationMetrics m;
+        m.decodeError = true;
+        m.status = dec.status;
+        m.totalValues = clean.size();
+        return m;
+    }
+    return compareTensors(clean, dec.tensor);
+}
+
+PropagationSummary
+sweepFaults(const ActivationCodec &codec, const TensorI16 &clean,
+            const FaultSpec &spec, int trials, std::uint64_t seed)
+{
+    // Encode once; each trial faults a private copy.
+    const EncodedTensor enc = codec.encode(clean);
+    Rng seeder(seed);
+    PropagationSummary s;
+    double psnr_sum = 0.0;
+    double corrupted_sum = 0.0;
+    for (int trial = 0; trial < trials; ++trial) {
+        FaultInjector injector(seeder.next());
+        EncodedTensor faulted = enc;
+        injector.inject(faulted, spec);
+        DecodeResult dec = codec.tryDecode(faulted);
+        ++s.trials;
+        if (!dec.ok()) {
+            ++s.decodeErrors;
+            continue;
+        }
+        PropagationMetrics m = compareTensors(clean, dec.tensor);
+        if (m.corruptedValues == 0) {
+            ++s.exactDecodes;
+            continue;
+        }
+        ++s.silentCorruptions;
+        corrupted_sum += static_cast<double>(m.corruptedValues);
+        psnr_sum += m.psnrDb;
+        if (m.maxCorruptedRun > s.maxCorruptedRun)
+            s.maxCorruptedRun = m.maxCorruptedRun;
+        if (m.maxAbsError > s.maxAbsError)
+            s.maxAbsError = m.maxAbsError;
+    }
+    if (s.silentCorruptions > 0) {
+        s.meanCorruptedValues =
+            corrupted_sum / static_cast<double>(s.silentCorruptions);
+        s.meanPsnrDb = psnr_sum / static_cast<double>(s.silentCorruptions);
+    }
+    return s;
+}
+
+} // namespace diffy

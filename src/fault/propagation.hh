@@ -1,0 +1,97 @@
+/**
+ * @file
+ * Error-propagation analysis over faulted codec streams.
+ *
+ * The question Diffy's delta storage raises (and the paper does not
+ * quantify): when a stored bit flips, how far does the error travel
+ * once the DR engine reconstructs values by prefix summation? The
+ * analyzer encodes a clean tensor, injects faults, decodes through
+ * the hardened path and compares: corrupted-value count, the longest
+ * corrupted run inside a row (the blast radius that re-anchoring is
+ * meant to bound), max absolute error, and PSNR against the clean
+ * tensor. Structured decode errors are counted separately from
+ * silent corruption — a detected failure is a far better outcome
+ * than a plausible-looking wrong tensor.
+ */
+
+#ifndef DIFFY_FAULT_PROPAGATION_HH
+#define DIFFY_FAULT_PROPAGATION_HH
+
+#include <cstdint>
+
+#include "encode/schemes.hh"
+#include "fault/fault.hh"
+#include "tensor/tensor.hh"
+
+namespace diffy
+{
+
+/** Outcome of decoding one faulted stream against its clean tensor. */
+struct PropagationMetrics
+{
+    /** Hardened decoder returned a structured error. */
+    bool decodeError = false;
+    DecodeStatus status = DecodeStatus::Ok;
+
+    std::size_t totalValues = 0;
+    /** Values differing from the clean tensor (successful decodes). */
+    std::size_t corruptedValues = 0;
+    /**
+     * Longest contiguous corrupted span within one (channel, row) —
+     * the row-direction blast radius of the fault.
+     */
+    std::size_t maxCorruptedRun = 0;
+    std::int32_t maxAbsError = 0;
+    /**
+     * PSNR in dB against the clean tensor over the int16 dynamic
+     * range; +infinity when the decode is exact.
+     */
+    double psnrDb = 0.0;
+};
+
+/** Value-level comparison of a decoded tensor against the clean one. */
+PropagationMetrics compareTensors(const TensorI16 &clean,
+                                  const TensorI16 &decoded);
+
+/**
+ * Encode @p clean with @p codec, inject one fault per @p spec using
+ * @p seed, decode through the hardened path and compare.
+ */
+PropagationMetrics analyzeFaultedDecode(const ActivationCodec &codec,
+                                        const TensorI16 &clean,
+                                        const FaultSpec &spec,
+                                        std::uint64_t seed);
+
+/** Aggregate of many independent injection trials. */
+struct PropagationSummary
+{
+    std::size_t trials = 0;
+    /** Trials whose decode returned a structured error (detected). */
+    std::size_t decodeErrors = 0;
+    /** Trials that decoded OK but with wrong values (silent). */
+    std::size_t silentCorruptions = 0;
+    /** Trials whose decode was bit-exact despite the fault. */
+    std::size_t exactDecodes = 0;
+
+    /** Mean corrupted values over silently-corrupted trials. */
+    double meanCorruptedValues = 0.0;
+    /** Worst row-direction blast radius over all trials. */
+    std::size_t maxCorruptedRun = 0;
+    std::int32_t maxAbsError = 0;
+    /** Mean PSNR (dB) over silently-corrupted trials. */
+    double meanPsnrDb = 0.0;
+};
+
+/**
+ * Run @p trials independent injections (per-trial seeds derived
+ * deterministically from @p seed) and aggregate. Exactly reproducible:
+ * same (codec, clean, spec, trials, seed) → same summary.
+ */
+PropagationSummary sweepFaults(const ActivationCodec &codec,
+                               const TensorI16 &clean,
+                               const FaultSpec &spec, int trials,
+                               std::uint64_t seed);
+
+} // namespace diffy
+
+#endif // DIFFY_FAULT_PROPAGATION_HH

@@ -12,6 +12,7 @@ NetworkComputeResult
 simulateCompute(const NetworkTrace &trace, const AcceleratorConfig &cfg,
                 DiffyMode diffy_mode)
 {
+    cfg.validated(); // fail with a field-level message, not a 0-division
     switch (cfg.design) {
       case Design::Vaa:
         return simulateVaa(trace, cfg);

@@ -8,6 +8,7 @@
 
 #include "arch/config.hh"
 #include "arch/memtech.hh"
+#include "sim/runner.hh"
 
 namespace diffy
 {
@@ -81,6 +82,64 @@ TEST(MemTechLadder, KnownRelativeOrdering)
               memTechByName("HBM3").totalGBs());
     EXPECT_DOUBLE_EQ(memTechByName("DDR4-3200").totalGBs(),
                      memTechByName("LPDDR4-3200").totalGBs());
+}
+
+TEST(ConfigValidation, DefaultsAreValid)
+{
+    EXPECT_TRUE(defaultVaaConfig().validate().ok());
+    EXPECT_TRUE(defaultPraConfig().validate().ok());
+    EXPECT_TRUE(defaultDiffyConfig().validate().ok());
+    EXPECT_EQ(defaultDiffyConfig().validate().summary(), "");
+    // validated() returns the config itself on success.
+    EXPECT_EQ(defaultDiffyConfig().validated().tiles, 4);
+}
+
+TEST(ConfigValidation, ReportsEveryIssueWithFieldNames)
+{
+    AcceleratorConfig cfg = defaultDiffyConfig();
+    cfg.tiles = 0;
+    cfg.clockHz = -1.0;
+    cfg.amBytes = 0;
+    ConfigValidation v = cfg.validate();
+    ASSERT_EQ(v.issues.size(), 3u); // all problems, not just the first
+    EXPECT_EQ(v.issues[0].field, "tiles");
+    EXPECT_EQ(v.issues[1].field, "clockHz");
+    EXPECT_EQ(v.issues[2].field, "amBytes");
+    EXPECT_NE(v.summary().find("tiles: "), std::string::npos);
+    EXPECT_NE(v.summary().find("; "), std::string::npos);
+}
+
+TEST(ConfigValidation, TermsCannotExceedLanes)
+{
+    AcceleratorConfig cfg = defaultDiffyConfig();
+    cfg.termsPerFilter = cfg.lanesPerFilter + 1;
+    ConfigValidation v = cfg.validate();
+    ASSERT_FALSE(v.ok());
+    EXPECT_EQ(v.issues[0].field, "termsPerFilter");
+}
+
+TEST(ConfigValidation, ValidatedThrowsWithSummary)
+{
+    AcceleratorConfig cfg = defaultDiffyConfig();
+    cfg.filtersPerTile = -4;
+    try {
+        cfg.validated();
+        FAIL() << "expected std::invalid_argument";
+    } catch (const std::invalid_argument &e) {
+        EXPECT_NE(std::string(e.what()).find("filtersPerTile"),
+                  std::string::npos);
+    }
+}
+
+TEST(ConfigValidation, SimulatorRejectsBadConfigCleanly)
+{
+    // The runner entry point validates before any timing model runs,
+    // so a zero-lane config fails with a named field instead of a
+    // division by zero inside the simulator.
+    NetworkTrace trace;
+    AcceleratorConfig cfg = defaultDiffyConfig();
+    cfg.lanesPerFilter = 0;
+    EXPECT_THROW(simulateCompute(trace, cfg), std::invalid_argument);
 }
 
 TEST(AcceleratorConfig, DesignNamesRoundTrip)

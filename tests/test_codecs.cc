@@ -220,6 +220,97 @@ TEST(ProfiledCodec, RejectsBadPrecision)
 {
     EXPECT_THROW(makeProfiledCodec(0), std::invalid_argument);
     EXPECT_THROW(makeProfiledCodec(17), std::invalid_argument);
+    // The makeCodec() path (profiled bits from a layer profile) gets
+    // the same validation: a precision wider than the legal 16 bits
+    // must be rejected, not trusted.
+    EXPECT_THROW(makeCodec(Compression::Profiled, 40),
+                 std::invalid_argument);
+}
+
+// ---------------------------------------------------------------
+// Hardened decode: truncation and hostile headers
+// ---------------------------------------------------------------
+
+TEST_P(LosslessCodecRoundTrip, TruncatedStreamsReportCleanError)
+{
+    auto codec = make();
+    TensorI16 t = sparseSmoothTensor(21);
+    const EncodedTensor valid = codec->encode(t);
+    ASSERT_FALSE(valid.bytes.empty());
+    // Drop 1 byte, a quarter, half, and everything: each cut removes
+    // needed fields, so the hardened decoder must report Truncated —
+    // and the throwing wrapper must surface it as an exception.
+    for (std::size_t keep :
+         {valid.bytes.size() - 1, valid.bytes.size() * 3 / 4,
+          valid.bytes.size() / 2, std::size_t{0}}) {
+        EncodedTensor cut = valid;
+        cut.bytes.resize(keep);
+        DecodeResult r = codec->tryDecode(cut);
+        EXPECT_EQ(r.status, DecodeStatus::Truncated)
+            << codec->name() << " keep=" << keep;
+        EXPECT_FALSE(r.message.empty());
+        EXPECT_LE(r.errorBit, keep * 8);
+        EXPECT_THROW(codec->decode(cut), std::runtime_error);
+    }
+}
+
+TEST(ProfiledCodec, TruncatedStreamReportsCleanError)
+{
+    auto codec = makeProfiledCodec(11);
+    TensorI16 t = randomTensor(5, 2, 4, 8, 1024);
+    EncodedTensor enc = codec->encode(t);
+    enc.bytes.resize(enc.bytes.size() / 2);
+    EXPECT_EQ(codec->tryDecode(enc).status, DecodeStatus::Truncated);
+}
+
+TEST(DeltaDCodec, RejectsOverwideGroupHeader)
+{
+    // A 5-bit DeltaD group header can declare up to 32-bit fields, but
+    // deltas of int16 data never need more than 17: anything wider
+    // cannot come from the encoder and must be rejected as BadHeader.
+    BitWriter bw;
+    bw.write(31, 5); // declares 32-bit fields
+    for (int i = 0; i < 16; ++i)
+        bw.write(0xFFFFFFFFu, 32);
+    EncodedTensor enc;
+    enc.shape = {1, 1, 16};
+    enc.bits = bw.bitCount();
+    enc.bytes = bw.bytes();
+    DecodeResult r = makeDeltaDCodec(16)->tryDecode(enc);
+    EXPECT_EQ(r.status, DecodeStatus::BadHeader);
+    EXPECT_EQ(r.errorBit, 0u);
+    EXPECT_THROW(makeDeltaDCodec(16)->decode(enc), std::runtime_error);
+
+    // The widest legal header (17-bit fields) still decodes.
+    BitWriter ok;
+    ok.write(16, 5); // 17-bit fields
+    for (int i = 0; i < 16; ++i)
+        ok.writeSigned(-40000, 17); // a legal 17-bit delta
+    EncodedTensor legal;
+    legal.shape = {1, 1, 16};
+    legal.bits = ok.bitCount();
+    legal.bytes = ok.bytes();
+    EXPECT_TRUE(makeDeltaDCodec(16)->tryDecode(legal).ok());
+}
+
+TEST(HardenedDecode, PartialPrefixReportedOnTruncation)
+{
+    auto codec = makeRawDCodec(16);
+    TensorI16 t = randomTensor(22, 1, 2, 32);
+    EncodedTensor enc = codec->encode(t);
+    enc.bytes.resize(enc.bytes.size() / 2);
+    DecodeResult r = codec->tryDecode(enc);
+    ASSERT_EQ(r.status, DecodeStatus::Truncated);
+    EXPECT_GT(r.valuesDecoded, 0u);
+    EXPECT_LT(r.valuesDecoded, t.size());
+}
+
+TEST(DecodeStatusStrings, AllNamed)
+{
+    EXPECT_EQ(to_string(DecodeStatus::Ok), "Ok");
+    EXPECT_EQ(to_string(DecodeStatus::BadShape), "BadShape");
+    EXPECT_EQ(to_string(DecodeStatus::Truncated), "Truncated");
+    EXPECT_EQ(to_string(DecodeStatus::BadHeader), "BadHeader");
 }
 
 // ---------------------------------------------------------------
