@@ -27,7 +27,27 @@ main(int argc, char **argv)
 
     AcceleratorConfig vaa = defaultVaaConfig();
 
-    for (Design design : {Design::Pra, Design::Diffy}) {
+    // Flatten the design x network x scheme grid into sweep cells;
+    // sweepCells() reduces in cell order, so the tables below are
+    // byte-identical at any --threads count.
+    const Design designs[] = {Design::Pra, Design::Diffy};
+    const std::size_t n_schemes = std::size(schemes);
+    const std::size_t n_cells =
+        std::size(designs) * traced.size() * n_schemes;
+    std::vector<double> speedups =
+        sweepCells(params, n_cells, [&](SweepJob &job) {
+            std::size_t si = job.index % n_schemes;
+            std::size_t ni = (job.index / n_schemes) % traced.size();
+            Design design = designs[job.index / (n_schemes * traced.size())];
+            AcceleratorConfig cfg = design == Design::Pra
+                                        ? defaultPraConfig()
+                                        : defaultDiffyConfig();
+            cfg.compression = schemes[si];
+            return speedupOver(traced[ni], cfg, vaa, mem, params);
+        });
+
+    std::size_t cell = 0;
+    for (Design design : designs) {
         TextTable table("Fig 11: " + to_string(design) +
                         " speedup over VAA (" + mem.label() + ", " +
                         std::to_string(params.frameWidth) + "x" +
@@ -37,15 +57,11 @@ main(int argc, char **argv)
             header.push_back(to_string(s));
         table.setHeader(header);
 
-        std::vector<std::vector<double>> columns(std::size(schemes));
+        std::vector<std::vector<double>> columns(n_schemes);
         for (const auto &net : traced) {
             std::vector<std::string> row = {net.spec.name};
-            for (std::size_t si = 0; si < std::size(schemes); ++si) {
-                AcceleratorConfig cfg =
-                    design == Design::Pra ? defaultPraConfig()
-                                          : defaultDiffyConfig();
-                cfg.compression = schemes[si];
-                double speedup = speedupOver(net, cfg, vaa, mem, params);
+            for (std::size_t si = 0; si < n_schemes; ++si) {
+                double speedup = speedups[cell++];
                 row.push_back(TextTable::factor(speedup));
                 columns[si].push_back(speedup);
             }

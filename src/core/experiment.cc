@@ -1,6 +1,7 @@
 #include "core/experiment.hh"
 
 #include <algorithm>
+#include <stdexcept>
 
 #include "common/cli.hh"
 
@@ -24,7 +25,62 @@ ExperimentParams::fromCli(int argc, const char *const *argv)
     params.classificationCropDivisor = static_cast<int>(args.getInt(
         "class-crop-div", params.classificationCropDivisor));
     params.cacheDir = args.getString("cache", params.cacheDir);
+    params.threads = static_cast<int>(args.getInt("threads", params.threads));
+    params.sweepSeed = static_cast<std::uint64_t>(
+        args.getInt("sweep-seed", static_cast<std::int64_t>(params.sweepSeed)));
+
+    ConfigValidation v = params.validate();
+    // An explicit --threads must name a worker count; only the absent
+    // flag means "auto". This also catches non-numeric values, which
+    // the parser maps to 0. (Negative values are already flagged by
+    // validate().)
+    if (args.has("threads") && params.threads == 0)
+        v.issues.push_back(
+            {"threads", "--threads expects a positive integer, got \"" +
+                            args.getString("threads", "") + "\""});
+    if (!v.ok())
+        throw std::invalid_argument("ExperimentParams invalid: " +
+                                    v.summary());
     return params;
+}
+
+ConfigValidation
+ExperimentParams::validate() const
+{
+    ConfigValidation v;
+    auto require = [&](bool ok, const char *field, std::string msg) {
+        if (!ok)
+            v.issues.push_back({field, std::move(msg)});
+    };
+    require(crop >= 1, "crop", "must be >= 1");
+    require(scenes >= 1, "scenes", "must be >= 1");
+    require(frameHeight >= 1, "frameHeight", "must be >= 1");
+    require(frameWidth >= 1, "frameWidth", "must be >= 1");
+    require(memChannels >= 1, "memChannels", "must be >= 1");
+    require(classificationCropDivisor >= 1, "classificationCropDivisor",
+            "must be >= 1");
+    require(threads >= 0, "threads",
+            "must be >= 0 (0 = auto via DIFFY_THREADS)");
+    require(threads <= kMaxSweepThreads, "threads",
+            "exceeds the limit of " + std::to_string(kMaxSweepThreads));
+    return v;
+}
+
+const ExperimentParams &
+ExperimentParams::validated() const
+{
+    ConfigValidation v = validate();
+    if (!v.ok())
+        throw std::invalid_argument("ExperimentParams invalid: " +
+                                    v.summary());
+    return *this;
+}
+
+SweepScheduler
+makeSweepScheduler(const ExperimentParams &params)
+{
+    params.validated();
+    return SweepScheduler(params.threads, params.sweepSeed);
 }
 
 std::vector<TracedNetwork>
@@ -35,12 +91,18 @@ traceSuite(const std::vector<NetworkSpec> &suite,
     std::vector<SceneParams> scenes =
         defaultEvalScenes(params.scenes, params.crop);
 
-    std::vector<TracedNetwork> traced;
-    traced.reserve(suite.size());
-    for (const auto &net : suite) {
-        TracedNetwork tn;
-        tn.spec = net;
-        for (auto scene : scenes) {
+    // Flatten the network x scene grid into jobs up front so the
+    // scheduler's in-order reduction rebuilds the exact serial layout.
+    struct TraceJob
+    {
+        std::size_t netIndex;
+        SceneParams scene;
+    };
+    std::vector<TraceJob> jobs;
+    jobs.reserve(suite.size() * scenes.size());
+    for (std::size_t ni = 0; ni < suite.size(); ++ni) {
+        const NetworkSpec &net = suite[ni];
+        for (SceneParams scene : scenes) {
             // Classification models run at (a crop of) their native
             // resolution; CI-DNNs use the experiment crop.
             if (net.nativeResolution > 0) {
@@ -52,8 +114,30 @@ traceSuite(const std::vector<NetworkSpec> &suite,
                 scene.width = crop;
                 scene.height = crop;
             }
-            tn.traces.push_back(cache.get(net, scene, opts));
+            jobs.push_back({ni, scene});
         }
+    }
+
+    // Tracing dominates sweep wall-clock (float convolutions); the
+    // TraceCache is single-flight and thread-safe, so every bench
+    // parallelizes here without individual rewrites.
+    SweepScheduler scheduler = makeSweepScheduler(params);
+    std::vector<NetworkTrace> traces =
+        scheduler.map(jobs.size(), [&](SweepJob &job) {
+            const TraceJob &tj = jobs[job.index];
+            return cache.get(suite[tj.netIndex], tj.scene, opts);
+        });
+    maybeReportSweepStats(scheduler.stats(), "traceSuite");
+
+    std::vector<TracedNetwork> traced;
+    traced.reserve(suite.size());
+    std::size_t next = 0;
+    for (const auto &net : suite) {
+        TracedNetwork tn;
+        tn.spec = net;
+        tn.traces.reserve(scenes.size());
+        for (std::size_t si = 0; si < scenes.size(); ++si)
+            tn.traces.push_back(std::move(traces[next++]));
         traced.push_back(std::move(tn));
     }
     return traced;

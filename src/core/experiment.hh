@@ -21,6 +21,7 @@
 #include "core/trace_cache.hh"
 #include "image/catalog.hh"
 #include "nn/models.hh"
+#include "runtime/sweep.hh"
 #include "sim/runner.hh"
 
 namespace diffy
@@ -47,10 +48,59 @@ struct ExperimentParams
     int classificationCropDivisor = 2;
     /** Trace cache directory ("" disables). */
     std::string cacheDir = "traces";
+    /**
+     * Sweep worker threads; 0 = auto (the DIFFY_THREADS environment
+     * variable, defaulting to 1). Output tables are byte-identical at
+     * every thread count (see runtime/sweep.hh).
+     */
+    int threads = 0;
+    /** Seed namespace for per-job sweep RNGs. */
+    std::uint64_t sweepSeed = 0;
 
-    /** Build from argc/argv (--crop, --scenes, --frame-h, ...). */
+    /**
+     * Build from argc/argv (--crop, --scenes, --frame-h, --threads,
+     * ...).
+     * @throws std::invalid_argument (with the full field-level issue
+     *         summary) on out-of-range values, e.g. a non-positive or
+     *         absurd --threads.
+     */
     static ExperimentParams fromCli(int argc, const char *const *argv);
+
+    /**
+     * Check every field for plausibility (positive geometry and scene
+     * counts, thread count within [0, kMaxSweepThreads]). Returns all
+     * problems, not just the first — the same structured-validation
+     * convention as AcceleratorConfig::validate().
+     */
+    ConfigValidation validate() const;
+
+    /** Throwing wrapper over validate(), mirroring AcceleratorConfig. */
+    const ExperimentParams &validated() const;
 };
+
+/**
+ * Scheduler configured for the experiment: resolves params.threads
+ * (0 = DIFFY_THREADS, else 1) and seeds jobs from params.sweepSeed.
+ */
+SweepScheduler makeSweepScheduler(const ExperimentParams &params);
+
+/**
+ * Deterministic parallel map over a flattened experiment grid:
+ * evaluates @p fn(SweepJob&) for cells [0, cellCount) on the
+ * experiment's worker threads and returns the results in cell order,
+ * so downstream table construction is byte-identical at any thread
+ * count. When DIFFY_SWEEP_STATS is set, a utilization summary is
+ * printed to stderr (never stdout, which carries the tables).
+ */
+template <typename Fn>
+auto
+sweepCells(const ExperimentParams &params, std::size_t cellCount, Fn &&fn)
+{
+    SweepScheduler scheduler = makeSweepScheduler(params);
+    auto results = scheduler.map(cellCount, std::forward<Fn>(fn));
+    maybeReportSweepStats(scheduler.stats(), "cells");
+    return results;
+}
 
 /** Traces of one network over several scenes. */
 struct TracedNetwork

@@ -4,13 +4,22 @@
 #include <filesystem>
 #include <fstream>
 #include <sstream>
+#include <utility>
 
 namespace diffy
 {
 
-TraceCache::TraceCache(std::string directory)
-    : directory_(std::move(directory))
-{}
+TraceCache::TraceCache(std::string directory, Tracer tracer)
+    : directory_(std::move(directory)), tracer_(std::move(tracer))
+{
+    if (!tracer_) {
+        tracer_ = [](const NetworkSpec &net, const SceneParams &scene,
+                     const ExecutorOptions &opts) {
+            Tensor3<float> rgb = renderScene(scene);
+            return runNetwork(net, rgb, opts);
+        };
+    }
+}
 
 std::string
 TraceCache::cacheKey(const NetworkSpec &net, const SceneParams &scene,
@@ -29,13 +38,13 @@ TraceCache::cacheKey(const NetworkSpec &net, const SceneParams &scene,
 }
 
 NetworkTrace
-TraceCache::get(const NetworkSpec &net, const SceneParams &scene,
-                const ExecutorOptions &opts)
+TraceCache::compute(const std::string &key, const NetworkSpec &net,
+                    const SceneParams &scene,
+                    const ExecutorOptions &opts) const
 {
     std::filesystem::path path;
     if (!directory_.empty()) {
-        path = std::filesystem::path(directory_) /
-               (cacheKey(net, scene, opts) + ".trace");
+        path = std::filesystem::path(directory_) / (key + ".trace");
         if (std::filesystem::exists(path)) {
             std::ifstream in(path, std::ios::binary);
             try {
@@ -47,18 +56,74 @@ TraceCache::get(const NetworkSpec &net, const SceneParams &scene,
         }
     }
 
-    Tensor3<float> rgb = renderScene(scene);
-    NetworkTrace trace = runNetwork(net, rgb, opts);
+    NetworkTrace trace = tracer_(net, scene, opts);
 
     if (!directory_.empty()) {
         std::error_code ec;
         std::filesystem::create_directories(directory_, ec);
         if (!ec) {
-            std::ofstream out(path, std::ios::binary);
-            saveTrace(trace, out);
+            // Write-to-temp + rename: a concurrent reader (or another
+            // process) never sees a partially written trace file.
+            std::filesystem::path tmp = path;
+            tmp += ".tmp";
+            {
+                std::ofstream out(tmp, std::ios::binary);
+                saveTrace(trace, out);
+            }
+            std::filesystem::rename(tmp, path, ec);
+            if (ec)
+                std::filesystem::remove(tmp, ec);
         }
     }
     return trace;
+}
+
+NetworkTrace
+TraceCache::get(const NetworkSpec &net, const SceneParams &scene,
+                const ExecutorOptions &opts)
+{
+    const std::string key = cacheKey(net, scene, opts);
+
+    {
+        std::shared_lock<std::shared_mutex> lock(mutex_);
+        auto it = entries_.find(key);
+        if (it != entries_.end()) {
+            std::shared_future<NetworkTrace> future = it->second;
+            lock.unlock();
+            return future.get();
+        }
+    }
+
+    std::promise<NetworkTrace> promise;
+    {
+        std::unique_lock<std::shared_mutex> lock(mutex_);
+        auto it = entries_.find(key);
+        if (it != entries_.end()) {
+            // Lost the install race: wait on the winner's flight.
+            std::shared_future<NetworkTrace> future = it->second;
+            lock.unlock();
+            return future.get();
+        }
+        entries_.emplace(key, promise.get_future().share());
+    }
+
+    // Single-flight: this thread owns the computation for `key`; any
+    // concurrent requester blocks on the shared_future installed
+    // above. Tracing runs outside the lock so other keys make
+    // progress meanwhile.
+    try {
+        NetworkTrace trace = compute(key, net, scene, opts);
+        promise.set_value(trace);
+        return trace;
+    } catch (...) {
+        // Waiters inherit the failure via the future; drop the entry
+        // so a later get() can retry instead of replaying a stale
+        // exception forever.
+        promise.set_exception(std::current_exception());
+        std::unique_lock<std::shared_mutex> lock(mutex_);
+        entries_.erase(key);
+        throw;
+    }
 }
 
 } // namespace diffy

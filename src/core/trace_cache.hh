@@ -1,18 +1,31 @@
 /**
  * @file
- * On-disk cache of forward-pass traces.
+ * On-disk + in-memory cache of forward-pass traces, safe for
+ * concurrent use.
  *
  * Several bench binaries consume the same (network, scene, crop)
  * forward passes; the cache keys traces by those parameters plus the
  * executor options and stores them under a cache directory (default
  * "traces/" beneath the working directory) so repeated runs skip the
  * float convolutions.
+ *
+ * Concurrency model (see DESIGN.md §8): lookups of completed entries
+ * take a shared lock; the first requester of a missing key installs a
+ * shared_future under an exclusive lock and then traces outside any
+ * lock, so N sweep workers asking for the same trace block on one
+ * single-flight computation instead of tracing N times. Disk stores
+ * are write-to-temp + atomic rename, so a concurrent reader (even in
+ * another process) never observes a half-written trace file.
  */
 
 #ifndef DIFFY_CORE_TRACE_CACHE_HH
 #define DIFFY_CORE_TRACE_CACHE_HH
 
+#include <functional>
+#include <future>
+#include <shared_mutex>
 #include <string>
+#include <unordered_map>
 
 #include "image/synth.hh"
 #include "nn/executor.hh"
@@ -21,19 +34,27 @@
 namespace diffy
 {
 
-/** Load-or-compute cache of network traces. */
+/** Load-or-compute cache of network traces. Thread-safe. */
 class TraceCache
 {
   public:
+    /** Trace computation hook (tests inject a counting stub). */
+    using Tracer = std::function<NetworkTrace(
+        const NetworkSpec &, const SceneParams &, const ExecutorOptions &)>;
+
     /**
      * @param directory cache directory; created on first store. An
      *                  empty string disables disk caching entirely.
+     * @param tracer    computes a missing trace; defaults to
+     *                  renderScene + runNetwork.
      */
-    explicit TraceCache(std::string directory = "traces");
+    explicit TraceCache(std::string directory = "traces",
+                        Tracer tracer = {});
 
     /**
      * Return the trace of @p net on the scene, computing and caching
-     * it if absent.
+     * it if absent. Concurrent calls for the same key share one
+     * computation; calls for different keys proceed in parallel.
      */
     NetworkTrace get(const NetworkSpec &net, const SceneParams &scene,
                      const ExecutorOptions &opts = {});
@@ -44,7 +65,16 @@ class TraceCache
                                 const ExecutorOptions &opts);
 
   private:
+    NetworkTrace compute(const std::string &key, const NetworkSpec &net,
+                         const SceneParams &scene,
+                         const ExecutorOptions &opts) const;
+
     std::string directory_;
+    Tracer tracer_;
+    /** Completed and in-flight entries, keyed by cacheKey(). */
+    std::unordered_map<std::string, std::shared_future<NetworkTrace>>
+        entries_;
+    std::shared_mutex mutex_;
 };
 
 } // namespace diffy

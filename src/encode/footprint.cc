@@ -21,7 +21,9 @@ double
 measuredBitsPerValue(const TensorI16 &imap, Compression scheme,
                      int profiled_bits)
 {
-    static std::unordered_map<std::uint64_t, double> cache;
+    // thread_local: memoized pure function; keeps sweep workers
+    // lock-free (see DESIGN.md §8 shared-state audit).
+    thread_local std::unordered_map<std::uint64_t, double> cache;
     std::uint64_t key = contentHash64(imap.data(),
                                       imap.size() * sizeof(std::int16_t));
     key ^= static_cast<std::uint64_t>(scheme) * 0x9E3779B97F4A7C15ULL;
@@ -38,7 +40,8 @@ measuredBitsPerValue(const TensorI16 &imap, Compression scheme,
 int
 layerProfiledBits(const LayerTrace &layer)
 {
-    static std::unordered_map<std::uint64_t, int> cache;
+    // thread_local for the same reason as measuredBitsPerValue above.
+    thread_local std::unordered_map<std::uint64_t, int> cache;
     std::uint64_t key = contentHash64(
         layer.imap.data(), layer.imap.size() * sizeof(std::int16_t));
     auto it = cache.find(key);

@@ -1,0 +1,183 @@
+#include "runtime/sweep.hh"
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <exception>
+#include <sstream>
+#include <stdexcept>
+
+#include "runtime/thread_pool.hh"
+
+namespace diffy
+{
+
+namespace
+{
+
+using Clock = std::chrono::steady_clock;
+
+double
+secondsSince(Clock::time_point start)
+{
+    return std::chrono::duration<double>(Clock::now() - start).count();
+}
+
+/** splitmix64 step (same constants as common/rng.cc). */
+std::uint64_t
+splitmix64(std::uint64_t &state)
+{
+    state += 0x9E3779B97F4A7C15ULL;
+    std::uint64_t z = state;
+    z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+    z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+    return z ^ (z >> 31);
+}
+
+int
+checkedThreadCount(long value, const std::string &source)
+{
+    if (value <= 0)
+        throw std::invalid_argument(
+            "threads: must be a positive integer (" + source + ")");
+    if (value > kMaxSweepThreads)
+        throw std::invalid_argument(
+            "threads: " + std::to_string(value) + " exceeds the limit of " +
+            std::to_string(kMaxSweepThreads) + " (" + source + ")");
+    return static_cast<int>(value);
+}
+
+} // namespace
+
+double
+SweepStats::utilization() const
+{
+    double capacity = wallSeconds * threads;
+    return capacity > 0.0 ? busySeconds / capacity : 0.0;
+}
+
+std::string
+SweepStats::summary() const
+{
+    std::ostringstream os;
+    os.precision(3);
+    os << std::fixed;
+    os << "sweep: " << jobs << " jobs on " << threads << " thread"
+       << (threads == 1 ? "" : "s") << ", wall " << wallSeconds
+       << "s, busy " << busySeconds << "s (job min " << minJobSeconds
+       << "s / max " << maxJobSeconds << "s), utilization ";
+    os.precision(1);
+    os << utilization() * 100.0 << "%";
+    return os.str();
+}
+
+bool
+sweepStatsEnabled()
+{
+    const char *env = std::getenv("DIFFY_SWEEP_STATS");
+    return env != nullptr && *env != '\0' && std::string(env) != "0";
+}
+
+void
+maybeReportSweepStats(const SweepStats &stats, const std::string &label)
+{
+    if (!sweepStatsEnabled())
+        return;
+    std::fprintf(stderr, "%s: %s\n", label.c_str(),
+                 stats.summary().c_str());
+}
+
+SweepScheduler::SweepScheduler(int threads, std::uint64_t baseSeed)
+    : threads_(resolveThreadCount(threads)), baseSeed_(baseSeed)
+{}
+
+int
+SweepScheduler::resolveThreadCount(int requested)
+{
+    if (requested != 0)
+        return checkedThreadCount(requested, "requested");
+    const char *env = std::getenv("DIFFY_THREADS");
+    if (env == nullptr || *env == '\0')
+        return 1;
+    char *end = nullptr;
+    long value = std::strtol(env, &end, 10);
+    if (end == env || *end != '\0')
+        throw std::invalid_argument(
+            "threads: DIFFY_THREADS=\"" + std::string(env) +
+            "\" is not an integer");
+    return checkedThreadCount(value, "DIFFY_THREADS");
+}
+
+std::uint64_t
+SweepScheduler::jobSeed(std::uint64_t baseSeed, std::size_t index)
+{
+    // Two splitmix64 rounds give every (baseSeed, index) pair an
+    // avalanche-mixed, collision-resistant stream seed.
+    std::uint64_t state = baseSeed;
+    splitmix64(state);
+    state ^= static_cast<std::uint64_t>(index);
+    return splitmix64(state);
+}
+
+void
+SweepScheduler::run(std::size_t jobCount,
+                    const std::function<void(SweepJob &)> &body)
+{
+    stats_ = SweepStats{};
+    stats_.threads = threads_;
+    stats_.jobs = jobCount;
+    if (jobCount == 0)
+        return;
+
+    std::vector<double> jobSeconds(jobCount, 0.0);
+    Clock::time_point sweepStart = Clock::now();
+
+    auto executeJob = [&](std::size_t index) {
+        Clock::time_point jobStart = Clock::now();
+        SweepJob job{index, Rng(jobSeed(baseSeed_, index))};
+        body(job);
+        jobSeconds[index] = secondsSince(jobStart);
+    };
+
+    if (threads_ == 1 || jobCount == 1) {
+        // Inline serial execution: identical job contexts and
+        // reduction order, no pool overhead. This is the reference
+        // behaviour every thread count must reproduce byte-for-byte.
+        for (std::size_t i = 0; i < jobCount; ++i)
+            executeJob(i);
+    } else {
+        std::size_t workerCount =
+            std::min<std::size_t>(static_cast<std::size_t>(threads_),
+                                  jobCount);
+        std::vector<std::exception_ptr> errors(jobCount);
+        {
+            ThreadPool pool(static_cast<int>(workerCount));
+            for (std::size_t i = 0; i < jobCount; ++i) {
+                pool.submit([&, i] {
+                    try {
+                        executeJob(i);
+                    } catch (...) {
+                        errors[i] = std::current_exception();
+                    }
+                });
+            }
+            pool.wait();
+        }
+        // Deterministic failure: the lowest-index error wins, no
+        // matter which job happened to fail first on the clock.
+        for (const auto &error : errors)
+            if (error)
+                std::rethrow_exception(error);
+    }
+
+    stats_.wallSeconds = secondsSince(sweepStart);
+    stats_.minJobSeconds = jobSeconds[0];
+    for (double s : jobSeconds) {
+        stats_.busySeconds += s;
+        stats_.minJobSeconds = std::min(stats_.minJobSeconds, s);
+        stats_.maxJobSeconds = std::max(stats_.maxJobSeconds, s);
+    }
+}
+
+} // namespace diffy

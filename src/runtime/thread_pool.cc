@@ -1,0 +1,90 @@
+#include "runtime/thread_pool.hh"
+
+#include <stdexcept>
+#include <utility>
+
+namespace diffy
+{
+
+ThreadPool::ThreadPool(int threads)
+{
+    if (threads <= 0)
+        throw std::invalid_argument(
+            "ThreadPool: thread count must be positive, got " +
+            std::to_string(threads));
+    workers_.reserve(static_cast<std::size_t>(threads));
+    for (int i = 0; i < threads; ++i)
+        workers_.emplace_back([this] { workerLoop(); });
+}
+
+ThreadPool::~ThreadPool()
+{
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        stopping_ = true;
+    }
+    workAvailable_.notify_all();
+    for (auto &worker : workers_)
+        worker.join();
+    // Any captured exception dies with the pool; destructors must not
+    // throw. Callers that care go through wait() first.
+}
+
+void
+ThreadPool::submit(std::function<void()> job)
+{
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        if (stopping_)
+            throw std::logic_error("ThreadPool: submit after shutdown");
+        queue_.push_back(std::move(job));
+    }
+    workAvailable_.notify_one();
+}
+
+void
+ThreadPool::wait()
+{
+    std::unique_lock<std::mutex> lock(mutex_);
+    idle_.wait(lock, [this] { return queue_.empty() && active_ == 0; });
+    if (firstError_) {
+        std::exception_ptr error = std::exchange(firstError_, nullptr);
+        lock.unlock();
+        std::rethrow_exception(error);
+    }
+}
+
+void
+ThreadPool::workerLoop()
+{
+    for (;;) {
+        std::function<void()> job;
+        {
+            std::unique_lock<std::mutex> lock(mutex_);
+            workAvailable_.wait(
+                lock, [this] { return stopping_ || !queue_.empty(); });
+            // Graceful shutdown: drain the queue before exiting even
+            // when stopping_ is already set.
+            if (queue_.empty())
+                return;
+            job = std::move(queue_.front());
+            queue_.pop_front();
+            ++active_;
+        }
+        try {
+            job();
+        } catch (...) {
+            std::lock_guard<std::mutex> lock(mutex_);
+            if (!firstError_)
+                firstError_ = std::current_exception();
+        }
+        {
+            std::lock_guard<std::mutex> lock(mutex_);
+            --active_;
+            if (queue_.empty() && active_ == 0)
+                idle_.notify_all();
+        }
+    }
+}
+
+} // namespace diffy

@@ -1,0 +1,76 @@
+/**
+ * @file
+ * Fixed-size worker thread pool.
+ *
+ * The pool backs the sweep scheduler (see runtime/sweep.hh) but is
+ * usable on its own: submit() enqueues a job, wait() blocks until the
+ * queue drains and every in-flight job retires, and destruction is a
+ * graceful shutdown — all jobs submitted before the destructor runs
+ * are completed, never dropped.
+ *
+ * A job that throws does not take down its worker thread: the first
+ * escaped exception (in completion order) is captured and rethrown by
+ * the next wait() call. Callers that need deterministic exception
+ * selection across jobs (the sweep scheduler does) should catch inside
+ * the job and pick a winner themselves.
+ */
+
+#ifndef DIFFY_RUNTIME_THREAD_POOL_HH
+#define DIFFY_RUNTIME_THREAD_POOL_HH
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <exception>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace diffy
+{
+
+/** Fixed-size thread pool with graceful shutdown. */
+class ThreadPool
+{
+  public:
+    /**
+     * Spawn @p threads workers.
+     * @throws std::invalid_argument when @p threads is not positive.
+     */
+    explicit ThreadPool(int threads);
+
+    /** Graceful shutdown: completes every queued job, then joins. */
+    ~ThreadPool();
+
+    ThreadPool(const ThreadPool &) = delete;
+    ThreadPool &operator=(const ThreadPool &) = delete;
+
+    /** Enqueue a job. Must not be called after shutdown began. */
+    void submit(std::function<void()> job);
+
+    /**
+     * Block until the queue is empty and no job is executing, then
+     * rethrow the first captured job exception, if any.
+     */
+    void wait();
+
+    /** Number of worker threads. */
+    int threadCount() const { return static_cast<int>(workers_.size()); }
+
+  private:
+    void workerLoop();
+
+    std::vector<std::thread> workers_;
+    std::deque<std::function<void()>> queue_;
+    mutable std::mutex mutex_;
+    std::condition_variable workAvailable_;
+    std::condition_variable idle_;
+    std::size_t active_ = 0;
+    bool stopping_ = false;
+    std::exception_ptr firstError_;
+};
+
+} // namespace diffy
+
+#endif // DIFFY_RUNTIME_THREAD_POOL_HH

@@ -53,7 +53,11 @@ walkKey(const LayerTrace &layer, int lanes, int cols, bool differential,
 std::unordered_map<std::uint64_t, WalkResult> &
 walkCache()
 {
-    static std::unordered_map<std::uint64_t, WalkResult> cache;
+    // thread_local: sweep workers memoize independently. The cached
+    // walk is a pure function of its key, so per-thread duplication
+    // costs only memory, while a shared map would need a lock on the
+    // hottest path of the timing model.
+    thread_local std::unordered_map<std::uint64_t, WalkResult> cache;
     return cache;
 }
 

@@ -7,6 +7,9 @@
 
 #include <gtest/gtest.h>
 
+#include <stdexcept>
+#include <string>
+
 #include "core/experiment.hh"
 
 namespace diffy
@@ -38,6 +41,42 @@ TEST(ExperimentParams, CliOverrides)
     EXPECT_EQ(p.frameHeight, 540);
     EXPECT_EQ(p.frameWidth, 960);
     EXPECT_EQ(experimentMemTech(p).label(), "HBM2-x2");
+}
+
+TEST(ExperimentParams, ValidateFlagsBadFields)
+{
+    ExperimentParams p;
+    EXPECT_TRUE(p.validate().ok());
+
+    p.crop = 0;
+    p.scenes = -1;
+    p.threads = -2;
+    ConfigValidation v = p.validate();
+    ASSERT_EQ(v.issues.size(), 3u);
+    EXPECT_EQ(v.issues[0].field, "crop");
+    EXPECT_EQ(v.issues[1].field, "scenes");
+    EXPECT_EQ(v.issues[2].field, "threads");
+    EXPECT_THROW(p.validated(), std::invalid_argument);
+}
+
+TEST(ExperimentParams, ThreadsCliAcceptedAndValidated)
+{
+    const char *ok[] = {"prog", "--threads", "8"};
+    EXPECT_EQ(ExperimentParams::fromCli(3, ok).threads, 8);
+
+    // Non-positive, non-numeric and absurd counts are rejected with a
+    // structured error naming the field.
+    for (const char *bad : {"0", "-3", "eight", "4096"}) {
+        const char *argv[] = {"prog", "--threads", bad};
+        try {
+            ExperimentParams::fromCli(3, argv);
+            FAIL() << "--threads " << bad << " should be rejected";
+        } catch (const std::invalid_argument &e) {
+            EXPECT_NE(std::string(e.what()).find("threads"),
+                      std::string::npos)
+                << e.what();
+        }
+    }
 }
 
 TEST(TraceSuite, ProducesOneTracePerScene)

@@ -1,0 +1,288 @@
+/**
+ * @file
+ * Tests for the parallel execution runtime: thread pool lifecycle and
+ * exception capture, sweep-scheduler determinism (byte-identical
+ * reduction at any thread count), deterministic exception selection,
+ * and single-flight concurrency of the trace cache.
+ *
+ * These tests are built into their own binary (diffy_runtime_tests) so
+ * the ThreadSanitizer CI job can run exactly the concurrency surface.
+ */
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <cstdlib>
+#include <set>
+#include <sstream>
+#include <stdexcept>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/table.hh"
+#include "core/experiment.hh"
+#include "core/trace_cache.hh"
+#include "runtime/sweep.hh"
+#include "runtime/thread_pool.hh"
+
+namespace diffy
+{
+namespace
+{
+
+// ---------------------------------------------------------------- pool
+
+TEST(ThreadPool, RunsEveryJob)
+{
+    ThreadPool pool(4);
+    std::atomic<int> count{0};
+    for (int i = 0; i < 100; ++i)
+        pool.submit([&count] { ++count; });
+    pool.wait();
+    EXPECT_EQ(count.load(), 100);
+}
+
+TEST(ThreadPool, ShutdownCompletesPendingJobs)
+{
+    std::atomic<int> count{0};
+    {
+        // Two workers, many slow-ish jobs: most of the queue is still
+        // pending when the destructor runs. Graceful shutdown must
+        // drain it, not drop it.
+        ThreadPool pool(2);
+        for (int i = 0; i < 64; ++i)
+            pool.submit([&count] {
+                std::this_thread::sleep_for(std::chrono::microseconds(200));
+                ++count;
+            });
+    }
+    EXPECT_EQ(count.load(), 64);
+}
+
+TEST(ThreadPool, WaitRethrowsJobException)
+{
+    ThreadPool pool(2);
+    pool.submit([] { throw std::runtime_error("job blew up"); });
+    EXPECT_THROW(pool.wait(), std::runtime_error);
+    // The error is consumed: the pool stays usable afterwards.
+    std::atomic<int> count{0};
+    pool.submit([&count] { ++count; });
+    pool.wait();
+    EXPECT_EQ(count.load(), 1);
+}
+
+TEST(ThreadPool, RejectsNonPositiveThreadCount)
+{
+    EXPECT_THROW(ThreadPool(0), std::invalid_argument);
+    EXPECT_THROW(ThreadPool(-2), std::invalid_argument);
+}
+
+// ----------------------------------------------------------- scheduler
+
+/**
+ * A deterministic stand-in workload: every job draws from its own
+ * seeded RNG and does a little arithmetic, so any cross-thread state
+ * leakage or order dependence changes the rendered table.
+ */
+std::string
+renderSweepTable(int threads, std::size_t jobs)
+{
+    SweepScheduler scheduler(threads, /*baseSeed=*/42);
+    std::vector<double> values =
+        scheduler.map(jobs, [](SweepJob &job) {
+            double v = 0.0;
+            for (int i = 0; i < 16; ++i)
+                v += job.rng.uniform();
+            return v + static_cast<double>(job.index);
+        });
+    TextTable table("sweep");
+    table.setHeader({"job", "value"});
+    for (std::size_t i = 0; i < values.size(); ++i)
+        table.addRow({std::to_string(i), TextTable::num(values[i], 6)});
+    return table.render();
+}
+
+TEST(SweepScheduler, TableBytesIdenticalAcrossThreadCounts)
+{
+    std::string serial = renderSweepTable(1, 48);
+    EXPECT_EQ(renderSweepTable(2, 48), serial);
+    EXPECT_EQ(renderSweepTable(8, 48), serial);
+}
+
+TEST(SweepScheduler, JobSeedsAreStableAndDistinct)
+{
+    EXPECT_EQ(SweepScheduler::jobSeed(7, 3), SweepScheduler::jobSeed(7, 3));
+    std::set<std::uint64_t> seeds;
+    for (std::size_t i = 0; i < 1000; ++i)
+        seeds.insert(SweepScheduler::jobSeed(7, i));
+    EXPECT_EQ(seeds.size(), 1000u);
+    EXPECT_NE(SweepScheduler::jobSeed(7, 0), SweepScheduler::jobSeed(8, 0));
+}
+
+TEST(SweepScheduler, LowestIndexExceptionWins)
+{
+    for (int threads : {1, 4}) {
+        SweepScheduler scheduler(threads);
+        try {
+            scheduler.forEach(32, [](SweepJob &job) {
+                // Several jobs fail; which one runs first depends on
+                // scheduling, but the rethrown error must not.
+                if (job.index == 5 || job.index == 13 || job.index == 27)
+                    throw std::runtime_error(
+                        "boom at job " + std::to_string(job.index));
+            });
+            FAIL() << "expected an exception at " << threads << " threads";
+        } catch (const std::runtime_error &e) {
+            EXPECT_STREQ(e.what(), "boom at job 5")
+                << "at " << threads << " threads";
+        }
+    }
+}
+
+TEST(SweepScheduler, RecordsTimingCounters)
+{
+    SweepScheduler scheduler(2);
+    scheduler.forEach(8, [](SweepJob &) {
+        std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    });
+    const SweepStats &stats = scheduler.stats();
+    EXPECT_EQ(stats.jobs, 8u);
+    EXPECT_EQ(stats.threads, 2);
+    EXPECT_GT(stats.wallSeconds, 0.0);
+    EXPECT_GE(stats.busySeconds, 8 * 0.001);
+    EXPECT_GE(stats.maxJobSeconds, stats.minJobSeconds);
+    EXPECT_GT(stats.utilization(), 0.0);
+    EXPECT_NE(stats.summary().find("8 jobs"), std::string::npos);
+}
+
+TEST(SweepScheduler, ResolveThreadCountValidates)
+{
+    EXPECT_EQ(SweepScheduler::resolveThreadCount(3), 3);
+    EXPECT_THROW(SweepScheduler::resolveThreadCount(-1),
+                 std::invalid_argument);
+    EXPECT_THROW(SweepScheduler::resolveThreadCount(kMaxSweepThreads + 1),
+                 std::invalid_argument);
+
+    ::setenv("DIFFY_THREADS", "5", 1);
+    EXPECT_EQ(SweepScheduler::resolveThreadCount(0), 5);
+    // An explicit request wins over the environment.
+    EXPECT_EQ(SweepScheduler::resolveThreadCount(2), 2);
+    ::setenv("DIFFY_THREADS", "zero", 1);
+    EXPECT_THROW(SweepScheduler::resolveThreadCount(0),
+                 std::invalid_argument);
+    ::setenv("DIFFY_THREADS", "-4", 1);
+    EXPECT_THROW(SweepScheduler::resolveThreadCount(0),
+                 std::invalid_argument);
+    ::unsetenv("DIFFY_THREADS");
+    EXPECT_EQ(SweepScheduler::resolveThreadCount(0), 1);
+}
+
+// --------------------------------------------------------- trace cache
+
+/** Tiny network/scene pair so stub traces stay cheap. */
+SceneParams
+testScene(int seed)
+{
+    SceneParams scene;
+    scene.width = 16;
+    scene.height = 16;
+    scene.seed = static_cast<std::uint64_t>(seed);
+    return scene;
+}
+
+TEST(TraceCacheConcurrent, SingleFlightTracesOncePerKey)
+{
+    std::atomic<int> traceCalls{0};
+    TraceCache cache(
+        "", [&traceCalls](const NetworkSpec &, const SceneParams &scene,
+                          const ExecutorOptions &) {
+            ++traceCalls;
+            // Stretch the computation so every worker is inside get()
+            // for the same key while the first one still traces.
+            std::this_thread::sleep_for(std::chrono::milliseconds(5));
+            NetworkTrace trace;
+            trace.network = "stub";
+            trace.frameHeight = scene.height;
+            trace.frameWidth = scene.width;
+            return trace;
+        });
+
+    NetworkSpec net = makeIrCnn();
+    {
+        ThreadPool pool(8);
+        for (int i = 0; i < 8; ++i)
+            pool.submit([&] {
+                NetworkTrace t = cache.get(net, testScene(1));
+                EXPECT_EQ(t.network, "stub");
+            });
+        pool.wait();
+    }
+    EXPECT_EQ(traceCalls.load(), 1);
+
+    // A different key is its own flight.
+    cache.get(net, testScene(2));
+    EXPECT_EQ(traceCalls.load(), 2);
+    // And a repeated key hits the in-memory entry.
+    cache.get(net, testScene(1));
+    EXPECT_EQ(traceCalls.load(), 2);
+}
+
+TEST(TraceCacheConcurrent, FailedFlightPropagatesAndRetries)
+{
+    std::atomic<int> traceCalls{0};
+    TraceCache cache("", [&traceCalls](const NetworkSpec &,
+                                       const SceneParams &,
+                                       const ExecutorOptions &)
+                         -> NetworkTrace {
+        if (++traceCalls == 1)
+            throw std::runtime_error("transient trace failure");
+        NetworkTrace trace;
+        trace.network = "recovered";
+        return trace;
+    });
+    NetworkSpec net = makeIrCnn();
+    EXPECT_THROW(cache.get(net, testScene(1)), std::runtime_error);
+    // The failed entry was evicted: the next get retries.
+    EXPECT_EQ(cache.get(net, testScene(1)).network, "recovered");
+}
+
+// ------------------------------------------------- end-to-end sweeps
+
+TEST(TraceSuiteParallel, MatchesSerialTraces)
+{
+    ExperimentParams params;
+    params.crop = 24;
+    params.scenes = 2;
+    params.cacheDir = ""; // hermetic: no disk cache
+    params.threads = 1;
+    auto serial = traceSuite({makeIrCnn()}, params);
+    params.threads = 4;
+    auto parallel = traceSuite({makeIrCnn()}, params);
+
+    ASSERT_EQ(parallel.size(), serial.size());
+    ASSERT_EQ(parallel[0].traces.size(), serial[0].traces.size());
+    for (std::size_t si = 0; si < serial[0].traces.size(); ++si) {
+        const NetworkTrace &a = serial[0].traces[si];
+        const NetworkTrace &b = parallel[0].traces[si];
+        ASSERT_EQ(a.layers.size(), b.layers.size());
+        for (std::size_t li = 0; li < a.layers.size(); ++li)
+            EXPECT_EQ(a.layers[li].imap, b.layers[li].imap)
+                << "scene " << si << " layer " << li;
+    }
+}
+
+TEST(SweepCells, ReducesInCellOrder)
+{
+    ExperimentParams params;
+    params.threads = 4;
+    std::vector<std::size_t> cells =
+        sweepCells(params, 64, [](SweepJob &job) { return job.index; });
+    ASSERT_EQ(cells.size(), 64u);
+    for (std::size_t i = 0; i < cells.size(); ++i)
+        EXPECT_EQ(cells[i], i);
+}
+
+} // namespace
+} // namespace diffy
