@@ -28,8 +28,11 @@ main(int argc, char **argv)
     TextTable table("Fig 16: Diffy speedup over VAA per tile "
                     "configuration T_x");
     std::vector<std::string> header = {"Network"};
-    for (int t : terms)
-        header.push_back("T" + std::to_string(t));
+    for (int t : terms) {
+        std::string label = "T";
+        label += std::to_string(t);
+        header.push_back(std::move(label));
+    }
     table.setHeader(header);
 
     std::vector<std::vector<double>> cols(std::size(terms));

@@ -59,6 +59,41 @@ BM_BoothTerms(benchmark::State &state)
 BENCHMARK(BM_BoothTerms);
 
 void
+BM_BoothTermsPlane(benchmark::State &state)
+{
+    Rng rng(7);
+    std::vector<std::int16_t> values(4096);
+    for (auto &v : values)
+        v = static_cast<std::int16_t>(rng.below(65536) - 32768);
+    std::vector<std::uint8_t> terms(values.size());
+    for (auto _ : state) {
+        boothTermsPlane(values.data(), terms.data(), values.size());
+        benchmark::DoNotOptimize(terms.data());
+        benchmark::ClobberMemory();
+    }
+    state.SetItemsProcessed(state.iterations() *
+                            static_cast<std::int64_t>(values.size()));
+}
+BENCHMARK(BM_BoothTermsPlane);
+
+void
+BM_ContentHash(benchmark::State &state)
+{
+    Rng rng(9);
+    std::vector<std::int16_t> values(32768);
+    for (auto &v : values)
+        v = static_cast<std::int16_t>(rng.below(65536) - 32768);
+    const std::size_t bytes = values.size() * sizeof(std::int16_t);
+    for (auto _ : state) {
+        std::uint64_t h = contentHash64(values.data(), bytes);
+        benchmark::DoNotOptimize(h);
+    }
+    state.SetBytesProcessed(state.iterations() *
+                            static_cast<std::int64_t>(bytes));
+}
+BENCHMARK(BM_ContentHash);
+
+void
 BM_CodecEncode(benchmark::State &state)
 {
     auto scheme = static_cast<Compression>(state.range(0));
@@ -122,6 +157,9 @@ BM_PalletWalk(benchmark::State &state)
     lt.weights = FilterBankI16(64, 64, 3, 3, 1);
     AcceleratorConfig cfg = defaultDiffyConfig();
     for (auto _ : state) {
+        // Clear the memo cache so every iteration times the real term
+        // tensor build + pallet walk rather than a cache hit.
+        clearWalkCache();
         auto stats = simulateTermSerialLayer(lt, cfg, differential);
         benchmark::DoNotOptimize(stats.computeCycles);
     }

@@ -1,0 +1,39 @@
+#!/usr/bin/env bash
+# Run the hot-kernel microbenchmarks (Booth counting, term planes,
+# content hash, PRA/Diffy pallet walk) and capture machine-readable
+# results for perf-regression tracking.
+#
+# Usage: bench/run_micro.sh [BUILD_DIR] [OUT_JSON]
+#   BUILD_DIR defaults to "build", OUT_JSON to "BENCH_kernels.json".
+#   BENCH_MIN_TIME (seconds, default 0.05) bounds per-benchmark time.
+#
+# The console table goes to stdout; the JSON (with full context) is
+# written to OUT_JSON. CI uploads the JSON as an artifact so the
+# trajectory across PRs stays visible.
+set -euo pipefail
+
+BUILD_DIR="${1:-build}"
+OUT="${2:-BENCH_kernels.json}"
+MIN_TIME="${BENCH_MIN_TIME:-0.05}"
+BIN="$BUILD_DIR/bench/micro_kernels"
+FILTER='BM_BoothTerms|BM_BoothTermsPlane|BM_ContentHash|BM_PalletWalk'
+
+if [ ! -x "$BIN" ]; then
+    echo "error: $BIN not built (cmake --build $BUILD_DIR --target micro_kernels)" >&2
+    exit 1
+fi
+
+# google-benchmark >= 1.7 wants a "0.05s" suffix; older releases only
+# accept a bare double. Probe which spelling this binary understands.
+MT="${MIN_TIME}s"
+if ! "$BIN" --benchmark_list_tests --benchmark_min_time="$MT" \
+        >/dev/null 2>&1; then
+    MT="$MIN_TIME"
+fi
+
+"$BIN" --benchmark_filter="$FILTER" \
+       --benchmark_min_time="$MT" \
+       --benchmark_out="$OUT" \
+       --benchmark_out_format=json
+
+echo "wrote $OUT"

@@ -1,9 +1,51 @@
 #include "analysis/terms.hh"
 
+#include <algorithm>
+#include <array>
+#include <vector>
+
 #include "common/bitops.hh"
 
 namespace diffy
 {
+
+namespace
+{
+
+/**
+ * Fold a batch-produced term plane into TermStats: bucket counts are
+ * tallied in a flat array (a 32-bit value has at most 32 NAF terms)
+ * and committed to the map-backed histogram once per batch, keeping
+ * the per-value work at a couple of array ops.
+ */
+class TermAccumulator
+{
+  public:
+    void
+    add(const std::uint8_t *terms, std::size_t n)
+    {
+        for (std::size_t i = 0; i < n; ++i)
+            ++counts_[terms[i]];
+    }
+
+    void
+    commit(TermStats &stats) const
+    {
+        for (std::size_t t = 0; t < counts_.size(); ++t) {
+            if (counts_[t] == 0)
+                continue;
+            stats.termHistogram.add(static_cast<std::int64_t>(t),
+                                    counts_[t]);
+            stats.values += counts_[t];
+            stats.totalTerms += t * counts_[t];
+        }
+    }
+
+  private:
+    std::array<std::uint64_t, 33> counts_{};
+};
+
+} // namespace
 
 void
 TermStats::merge(const TermStats &other)
@@ -19,13 +61,17 @@ rawTermStats(const TensorI16 &t)
 {
     TermStats stats;
     const std::int16_t *data = t.data();
-    for (std::size_t i = 0; i < t.size(); ++i) {
-        int terms = boothTerms(data[i]);
-        stats.termHistogram.add(terms);
-        ++stats.values;
-        stats.zeroValues += data[i] == 0;
-        stats.totalTerms += static_cast<std::uint64_t>(terms);
+    const std::size_t n = t.size();
+    TermAccumulator acc;
+    std::array<std::uint8_t, 4096> plane;
+    for (std::size_t i = 0; i < n; i += plane.size()) {
+        const std::size_t chunk = std::min(plane.size(), n - i);
+        boothTermsPlane(data + i, plane.data(), chunk);
+        acc.add(plane.data(), chunk);
+        for (std::size_t j = 0; j < chunk; ++j)
+            stats.zeroValues += data[i + j] == 0;
     }
+    acc.commit(stats);
     return stats;
 }
 
@@ -33,21 +79,30 @@ TermStats
 deltaTermStats(const TensorI16 &t)
 {
     TermStats stats;
+    const int w = t.width();
+    TermAccumulator acc;
+    std::vector<std::int32_t> drow(static_cast<std::size_t>(w));
+    std::vector<std::uint8_t> plane(static_cast<std::size_t>(w));
     for (int c = 0; c < t.channels(); ++c) {
         for (int y = 0; y < t.height(); ++y) {
-            std::int32_t prev = 0;
-            for (int x = 0; x < t.width(); ++x) {
-                std::int32_t cur = t.at(c, y, x);
-                std::int32_t v = (x == 0) ? cur : cur - prev;
-                int terms = boothTerms(v);
-                stats.termHistogram.add(terms);
-                ++stats.values;
-                stats.zeroValues += v == 0;
-                stats.totalTerms += static_cast<std::uint64_t>(terms);
-                prev = cur;
-            }
+            const std::int16_t *row = t.data() +
+                                      (static_cast<std::size_t>(c) *
+                                           t.height() +
+                                       y) *
+                                          w;
+            if (w > 0)
+                drow[0] = row[0];
+            for (int x = 1; x < w; ++x)
+                drow[x] =
+                    static_cast<std::int32_t>(row[x]) - row[x - 1];
+            boothTermsPlane(drow.data(), plane.data(),
+                            static_cast<std::size_t>(w));
+            acc.add(plane.data(), static_cast<std::size_t>(w));
+            for (int x = 0; x < w; ++x)
+                stats.zeroValues += drow[x] == 0;
         }
     }
+    acc.commit(stats);
     return stats;
 }
 

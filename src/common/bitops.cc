@@ -1,26 +1,72 @@
 #include "common/bitops.hh"
 
-#include <cstdlib>
+#include <bit>
+#include <cstring>
 
 namespace diffy
 {
 
+namespace
+{
+
+/**
+ * NAF weight of a sign-extended value that is at least two bits away
+ * from the edges of its integer type: writing v in non-adjacent form,
+ * a digit position is nonzero exactly where v and 3v disagree, so the
+ * term count is popcount(v ^ 3v). For negative v both operands share
+ * the sign-extension bits, which cancel in the xor.
+ */
+inline int
+nafWeight32(std::int32_t v)
+{
+    return std::popcount(static_cast<std::uint32_t>(v ^ (3 * v)));
+}
+
+inline int
+nafWeight64(std::int64_t v)
+{
+    return std::popcount(static_cast<std::uint64_t>(v ^ (3 * v)));
+}
+
+/** Branch-free magnitude fold: v >= 0 ? v : ~v (see bitsNeeded()). */
+inline std::uint32_t
+foldSign32(std::int32_t v)
+{
+    return static_cast<std::uint32_t>(v ^ (v >> 31));
+}
+
+} // namespace
+
 int
 boothTerms(std::int64_t v)
 {
-    // Non-adjacent form: strip one signed digit per iteration.
-    int count = 0;
-    while (v != 0) {
-        if (v & 1) {
-            // d in {+1, -1} chosen so that (v - d) is divisible by 4,
-            // which guarantees non-adjacency of the produced digits.
-            std::int64_t d = 2 - (v & 3);
-            v -= d;
-            ++count;
-        }
-        v >>= 1;
-    }
-    return count;
+    // Bit-parallel NAF weight: popcount(v ^ 3v). The identity needs
+    // the two top bits of 3v to survive, so evaluate in 128 bits to
+    // stay exact over the whole int64 domain (the hot callers only
+    // ever pass 16/17-bit quantities, but the contract is int64).
+    const auto w =
+        static_cast<unsigned __int128>(static_cast<__int128>(v));
+    const unsigned __int128 x = w ^ (3 * w);
+    return std::popcount(static_cast<std::uint64_t>(x)) +
+           std::popcount(static_cast<std::uint64_t>(x >> 64));
+}
+
+void
+boothTermsPlane(const std::int16_t *src, std::uint8_t *dst, std::size_t n)
+{
+    // 3v of an int16 fits in 18 bits, so 32-bit lanes are exact; the
+    // loop is branch-free and auto-vectorizes.
+    for (std::size_t i = 0; i < n; ++i)
+        dst[i] = static_cast<std::uint8_t>(nafWeight32(src[i]));
+}
+
+void
+boothTermsPlane(const std::int32_t *src, std::uint8_t *dst, std::size_t n)
+{
+    // 64-bit lanes keep 3v exact for any int32 (deltas of int16
+    // streams need 17 bits; the encode-side callers pass int32).
+    for (std::size_t i = 0; i < n; ++i)
+        dst[i] = static_cast<std::uint8_t>(nafWeight64(src[i]));
 }
 
 std::vector<int>
@@ -30,6 +76,8 @@ boothDecompose(std::int64_t v)
     int exponent = 0;
     while (v != 0) {
         if (v & 1) {
+            // d in {+1, -1} chosen so that (v - d) is divisible by 4,
+            // which guarantees non-adjacency of the produced digits.
             std::int64_t d = 2 - (v & 3);
             if (d > 0)
                 terms.push_back(exponent);
@@ -59,63 +107,95 @@ boothReconstruct(const std::vector<int> &terms)
 int
 onesTerms(std::int64_t v)
 {
-    std::uint64_t mag = static_cast<std::uint64_t>(v < 0 ? -v : v);
-    int count = 0;
-    while (mag) {
-        count += mag & 1;
-        mag >>= 1;
-    }
-    return count;
+    const auto u = static_cast<std::uint64_t>(v);
+    const std::uint64_t mag = v < 0 ? 0 - u : u;
+    return std::popcount(mag);
 }
 
 int
 bitsNeeded(std::int64_t v)
 {
-    // Width of the shortest two's complement representation.
-    if (v == 0)
-        return 1;
-    int bits = 1; // sign bit
-    if (v > 0) {
-        while (v) {
-            ++bits;
-            v >>= 1;
-        }
-        return bits;
+    // Width of the shortest two's complement representation. A
+    // non-negative v needs bit_width(v) magnitude bits plus a sign
+    // bit; a negative v fits in n bits iff v >= -2^(n-1), i.e. iff
+    // bit_width(~v) < n. Both cases collapse to folding the sign.
+    const auto m = static_cast<std::uint64_t>(v < 0 ? ~v : v);
+    return std::bit_width(m) + 1;
+}
+
+void
+bitsNeededPlane(const std::int16_t *src, std::uint8_t *dst, std::size_t n)
+{
+    for (std::size_t i = 0; i < n; ++i) {
+        dst[i] = static_cast<std::uint8_t>(
+            std::bit_width(foldSign32(src[i])) + 1);
     }
-    // Negative: -2^(n-1) fits in n bits.
-    std::int64_t mag = -v;
-    int magBits = 0;
-    while (mag) {
-        ++magBits;
-        mag >>= 1;
+}
+
+void
+bitsNeededPlane(const std::int32_t *src, std::uint8_t *dst, std::size_t n)
+{
+    for (std::size_t i = 0; i < n; ++i) {
+        dst[i] = static_cast<std::uint8_t>(
+            std::bit_width(foldSign32(src[i])) + 1);
     }
-    if (-v == (std::int64_t{1} << (magBits - 1)))
-        return magBits; // exactly -2^(k-1) fits in k bits
-    return magBits + 1;
 }
 
 std::uint64_t
 contentHash64(const void *data, std::size_t bytes, std::uint64_t seed)
 {
+    // Murmur3-style 8-bytes-per-step mixing. This hashes every imap
+    // on every pallet-walk and footprint memo lookup, so per-byte
+    // FNV-1a was a measurable cost. Keys only in-memory caches: the
+    // value may change across library versions (and between hosts of
+    // different endianness) but is stable within a run and across
+    // runs on one build — which is all the memo caches need.
+    const std::uint64_t c1 = 0x87C37B91114253D5ULL;
+    const std::uint64_t c2 = 0x4CF5AD432745937FULL;
     const auto *p = static_cast<const unsigned char *>(data);
-    std::uint64_t h = seed;
-    for (std::size_t i = 0; i < bytes; ++i) {
-        h ^= p[i];
-        h *= 0x100000001B3ULL;
+    std::uint64_t h = seed ^ (static_cast<std::uint64_t>(bytes) * c1);
+
+    std::size_t i = 0;
+    for (; i + 8 <= bytes; i += 8) {
+        std::uint64_t k;
+        std::memcpy(&k, p + i, 8);
+        k *= c1;
+        k = std::rotl(k, 31);
+        k *= c2;
+        h ^= k;
+        h = std::rotl(h, 27);
+        h = h * 5 + 0x52DCE729ULL;
     }
+    if (i < bytes) {
+        std::uint64_t k = 0;
+        for (std::size_t t = 0; i + t < bytes; ++t)
+            k |= static_cast<std::uint64_t>(p[i + t]) << (8 * t);
+        k *= c1;
+        k = std::rotl(k, 31);
+        k *= c2;
+        h ^= k;
+    }
+
+    // fmix64 finalizer: full avalanche so the memo maps see
+    // well-distributed buckets even for near-identical imaps.
+    h ^= h >> 33;
+    h *= 0xFF51AFD7ED558CCDULL;
+    h ^= h >> 33;
+    h *= 0xC4CEB9FE1A85EC53ULL;
+    h ^= h >> 33;
     return h;
 }
 
 int
 groupBitsNeeded(const std::int16_t *group, std::size_t n)
 {
-    int bits = 1;
-    for (std::size_t i = 0; i < n; ++i) {
-        int b = bitsNeeded(group[i]);
-        if (b > bits)
-            bits = b;
-    }
-    return bits;
+    // bit_width(a | b) == max(bit_width(a), bit_width(b)), so or-ing
+    // the sign-folded magnitudes gives the group maximum in one
+    // branch-free reduction.
+    std::uint32_t m = 0;
+    for (std::size_t i = 0; i < n; ++i)
+        m |= foldSign32(group[i]);
+    return std::bit_width(m) + 1;
 }
 
 } // namespace diffy

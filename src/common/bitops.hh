@@ -13,6 +13,7 @@
 #ifndef DIFFY_COMMON_BITOPS_HH
 #define DIFFY_COMMON_BITOPS_HH
 
+#include <cstddef>
 #include <cstdint>
 #include <vector>
 
@@ -25,10 +26,27 @@ namespace diffy
  * two a PRA-style serial inner product unit must process. Zero has
  * zero terms. The count is symmetric: boothTerms(v) == boothTerms(-v).
  *
+ * Computed bit-parallel as popcount(v ^ 3v): the NAF digit at
+ * position i is nonzero exactly where v and 3v differ, so the whole
+ * count is O(1) instead of one iteration per signed digit.
+ *
  * @param v Two's complement value (any 16-bit quantity fits).
  * @return Number of nonzero signed digits in the NAF of v.
  */
 int boothTerms(std::int64_t v);
+
+/**
+ * Batched boothTerms() over a contiguous value plane:
+ * dst[i] = boothTerms(src[i]) for i in [0, n). The int16 overload is
+ * the term-tensor producer of the cycle simulators; the int32
+ * overload serves differential streams, whose deltas need 17 bits.
+ * Branch-free and auto-vectorizable; NAF counts of 16/32-bit values
+ * always fit a uint8.
+ */
+void boothTermsPlane(const std::int16_t *src, std::uint8_t *dst,
+                     std::size_t n);
+void boothTermsPlane(const std::int32_t *src, std::uint8_t *dst,
+                     std::size_t n);
 
 /**
  * Decompose @p v into its canonical-signed-digit terms.
@@ -59,6 +77,17 @@ int onesTerms(std::int64_t v);
 int bitsNeeded(std::int64_t v);
 
 /**
+ * Batched bitsNeeded() over a contiguous value plane:
+ * dst[i] = bitsNeeded(src[i]). Feeds the precision-serial (Dynamic
+ * Stripes style) cost tensors the same way boothTermsPlane() feeds
+ * the term-serial ones.
+ */
+void bitsNeededPlane(const std::int16_t *src, std::uint8_t *dst,
+                     std::size_t n);
+void bitsNeededPlane(const std::int32_t *src, std::uint8_t *dst,
+                     std::size_t n);
+
+/**
  * Minimum two's complement width able to represent every element of
  * @p group. Used by the dynamic per-group precision detectors
  * (RawD16 / DeltaD16 style schemes). Empty groups need 1 bit.
@@ -66,8 +95,11 @@ int bitsNeeded(std::int64_t v);
 int groupBitsNeeded(const std::int16_t *group, std::size_t n);
 
 /**
- * 64-bit FNV-1a content hash. Used by the simulation and footprint
- * memo caches to identify identical value streams cheaply.
+ * 64-bit content hash (Murmur3-style, 8 bytes per mixing step). Used
+ * by the simulation and footprint memo caches to identify identical
+ * value streams cheaply. Deterministic for a given build of the
+ * library; keys in-memory caches only, so the value is free to change
+ * across library versions.
  */
 std::uint64_t contentHash64(const void *data, std::size_t bytes,
                             std::uint64_t seed = 0xCBF29CE484222325ULL);

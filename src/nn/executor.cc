@@ -1,7 +1,10 @@
 #include "nn/executor.hh"
 
+#include <algorithm>
 #include <cmath>
 #include <stdexcept>
+#include <string>
+#include <unordered_map>
 
 #include "common/fixed_point.hh"
 #include "common/rng.hh"
@@ -50,16 +53,8 @@ convolve(const Tensor3<float> &input, const Tensor4<float> &weights,
                         int ox_lo = 0;
                         if (dx < 0)
                             ox_lo = (-dx + stride - 1) / stride;
-                        int ox_hi = out_w;
-                        if (dx >= 0) {
-                            int limit = (in_w - 1 - dx) / stride + 1;
-                            if (limit < ox_hi)
-                                ox_hi = limit;
-                        } else {
-                            int limit = (in_w - 1 - dx) / stride + 1;
-                            if (limit < ox_hi)
-                                ox_hi = limit;
-                        }
+                        const int ox_hi =
+                            std::min(out_w, (in_w - 1 - dx) / stride + 1);
                         if (stride == 1) {
                             const float *ip = in_row + dx + ox_lo;
                             float *op = out_row + ox_lo;
@@ -281,6 +276,57 @@ quantizeTensor(const Tensor3<float> &t, double rel_error,
     return out;
 }
 
+/**
+ * Synthesized weights of one layer, in both the quantized form the
+ * trace carries and the dequantized float form the forward pass
+ * consumes.
+ */
+struct PreparedWeights
+{
+    FilterBankI16 quantized;
+    int fracBits = 0;
+    Tensor4<float> dequantized;
+};
+
+/**
+ * Memoized weight synthesis + dequantization. Weight generation is a
+ * pure function of (network, layer, options), and sweeps replay the
+ * same network over many scenes — so the per-frame gaussian synthesis
+ * and the float rebuild were pure waste. thread_local keeps sweep
+ * workers lock-free (same idiom as the sim/encode memo caches).
+ */
+const PreparedWeights &
+preparedWeights(const NetworkSpec &net, const ConvLayerSpec &layer,
+                const ExecutorOptions &opts)
+{
+    thread_local std::unordered_map<std::string, PreparedWeights> cache;
+    // Tests build ad-hoc specs that reuse names with different shapes,
+    // so the key covers every input synthesizeWeights() reads.
+    std::string key = net.name + '/' + layer.name + '#' +
+                      std::to_string(layer.inChannels) + 'x' +
+                      std::to_string(layer.outChannels) + 'k' +
+                      std::to_string(layer.kernel) + '@' +
+                      std::to_string(opts.weightSeed) + '/' +
+                      std::to_string(opts.sparsitySeed) + '/' +
+                      std::to_string(opts.weightSparsity);
+    auto it = cache.find(key);
+    if (it == cache.end()) {
+        PreparedWeights pw;
+        pw.quantized = synthesizeWeights(net, layer, opts, &pw.fracBits);
+        const auto &shape = pw.quantized.shape();
+        pw.dequantized =
+            Tensor4<float>(shape.k, shape.c, shape.h, shape.w);
+        const double wscale =
+            static_cast<double>(std::int64_t{1} << pw.fracBits);
+        for (std::size_t i = 0; i < pw.quantized.size(); ++i) {
+            pw.dequantized.data()[i] =
+                static_cast<float>(pw.quantized.data()[i] / wscale);
+        }
+        it = cache.emplace(std::move(key), std::move(pw)).first;
+    }
+    return it->second;
+}
+
 } // namespace
 
 Tensor3<float>
@@ -361,21 +407,20 @@ runNetwork(const NetworkSpec &net, const Tensor3<float> &rgb,
         activ = adaptToLayer(std::move(activ), cur_divisor, layer);
         cur_divisor = layer.resolutionDivisor;
 
+        // Weight synthesis and dequantization are hoisted into a
+        // per-(net, layer, options) memo: scene sweeps rebuild the
+        // same banks for every frame otherwise.
+        const PreparedWeights &pw = preparedWeights(net, layer, opts);
+
         LayerTrace lt;
         lt.spec = layer;
-        lt.weights = synthesizeWeights(net, layer, opts, &lt.weightFracBits);
+        lt.weights = pw.quantized;
+        lt.weightFracBits = pw.fracBits;
         lt.imap = quantizeTensor(activ, opts.activationRelError,
                                  &lt.imapFracBits);
 
         // Float forward for the next layer's input.
-        Tensor4<float> wf(lt.weights.shape().k, lt.weights.shape().c,
-                          lt.weights.shape().h, lt.weights.shape().w);
-        const double wscale =
-            static_cast<double>(std::int64_t{1} << lt.weightFracBits);
-        for (std::size_t i = 0; i < wf.size(); ++i) {
-            wf.data()[i] = static_cast<float>(lt.weights.data()[i] / wscale);
-        }
-        Tensor3<float> out = convolve(activ, wf, layer.stride,
+        Tensor3<float> out = convolve(activ, pw.dequantized, layer.stride,
                                       layer.dilation);
         if (layer.relu) {
             for (std::size_t i = 0; i < out.size(); ++i) {

@@ -1,5 +1,7 @@
 #include "sim/activity.hh"
 
+#include <vector>
+
 #include "common/bitops.hh"
 
 namespace diffy
@@ -10,23 +12,45 @@ computeTermTensors(const LayerTrace &layer, WalkCost cost)
 {
     const TensorI16 &imap = layer.imap;
     const int stride = layer.spec.stride;
-    auto metric = [cost](std::int32_t v) -> std::uint8_t {
-        if (cost == WalkCost::BoothTerms)
-            return static_cast<std::uint8_t>(boothTerms(v));
-        return static_cast<std::uint8_t>(bitsNeeded(v));
-    };
+    const int channels = imap.channels();
+    const int h = imap.height();
+    const int w = imap.width();
+
     TermTensors tt;
     tt.raw = Tensor3<std::uint8_t>(imap.shape());
     tt.delta = Tensor3<std::uint8_t>(imap.shape());
-    for (int c = 0; c < imap.channels(); ++c) {
-        for (int y = 0; y < imap.height(); ++y) {
-            for (int x = 0; x < imap.width(); ++x) {
-                std::int32_t cur = imap.at(c, y, x);
-                tt.raw.at(c, y, x) = metric(cur);
-                std::int32_t prev =
-                    x >= stride ? imap.at(c, y, x - stride) : 0;
-                tt.delta.at(c, y, x) = metric(cur - prev);
-            }
+
+    // Raw plane: one contiguous batched pass over the whole imap.
+    const std::int16_t *src = imap.data();
+    if (cost == WalkCost::BoothTerms)
+        boothTermsPlane(src, tt.raw.data(), imap.size());
+    else
+        bitsNeededPlane(src, tt.raw.data(), imap.size());
+
+    // Delta plane: deltas of int16 values need 17 bits, so each row is
+    // staged in an int32 scratch row and batch-converted. Positions
+    // x < stride have no in-row predecessor and stay raw (delta
+    // against zero).
+    std::vector<std::int32_t> drow(static_cast<std::size_t>(w));
+    const int head = stride < w ? stride : w;
+    for (int c = 0; c < channels; ++c) {
+        for (int y = 0; y < h; ++y) {
+            const std::int16_t *row =
+                src + (static_cast<std::size_t>(c) * h + y) * w;
+            std::uint8_t *dst =
+                tt.delta.data() +
+                (static_cast<std::size_t>(c) * h + y) * w;
+            for (int x = 0; x < head; ++x)
+                drow[x] = row[x];
+            for (int x = head; x < w; ++x)
+                drow[x] = static_cast<std::int32_t>(row[x]) -
+                          row[x - stride];
+            if (cost == WalkCost::BoothTerms)
+                boothTermsPlane(drow.data(), dst,
+                                static_cast<std::size_t>(w));
+            else
+                bitsNeededPlane(drow.data(), dst,
+                                static_cast<std::size_t>(w));
         }
     }
     return tt;

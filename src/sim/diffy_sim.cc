@@ -1,7 +1,6 @@
 #include "sim/diffy_sim.hh"
 
-#include <algorithm>
-#include <cmath>
+#include <cstdint>
 
 #include "sim/pra.hh"
 
@@ -14,13 +13,14 @@ namespace
 /**
  * Delta-out occupancy per pallet: each of the windowColumns output
  * bricks takes two steps (fetch+activate the reference brick, then
- * subtract and write), per concurrent filter brick.
+ * subtract and write), per concurrent filter brick. Integer by
+ * construction; kept integral until the floor comparison.
  */
-double
+std::int64_t
 deltaOutCyclesPerPallet(const AcceleratorConfig &cfg)
 {
     const int filter_bricks = (cfg.filtersPerTile + 15) / 16;
-    return 2.0 * cfg.windowColumns * filter_bricks;
+    return std::int64_t{2} * cfg.windowColumns * filter_bricks;
 }
 
 /** Apply the Delta-out occupancy floor to a differential result. */
@@ -31,12 +31,16 @@ applyDeltaOutFloor(LayerComputeStats stats, const LayerTrace &layer,
     const int out_w = layer.outWidth();
     const int out_h = layer.outHeight();
     // Spatial work-sharing spreads the pallets (and their Delta-out
-    // write-backs) across the surplus tiles.
+    // write-backs) across the surplus tiles. The pallet count is an
+    // exact integer (ceil-div), scaled by the spatial split only at
+    // the end.
+    const std::int64_t pallet_rows =
+        (out_w + cfg.windowColumns - 1) / cfg.windowColumns;
     const double pallets =
-        static_cast<double>(out_h) *
-        std::ceil(static_cast<double>(out_w) / cfg.windowColumns) /
+        static_cast<double>(out_h * pallet_rows) /
         cfg.spatialSplit(layer.spec.outChannels);
-    const double floor_cycles = pallets * deltaOutCyclesPerPallet(cfg);
+    const double floor_cycles =
+        pallets * static_cast<double>(deltaOutCyclesPerPallet(cfg));
     if (stats.computeCycles < floor_cycles) {
         // The engine, not the SIP grid, paces the layer.
         const double scale = floor_cycles / stats.computeCycles;

@@ -2,7 +2,9 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstddef>
 #include <unordered_map>
+#include <vector>
 
 #include "common/bitops.hh"
 
@@ -24,7 +26,7 @@ struct WalkResult
  * contents/shape, the kernel geometry and the (lanes, columns,
  * differential) grid parameters — not on filter counts, tiles, the
  * memory system or the compression scheme, all of which the sweep
- * benches vary. Keyed by a 64-bit FNV-1a content hash mixed with the
+ * benches vary. Keyed by a 64-bit content hash mixed with the
  * geometry, which is ~50x cheaper than the walk itself.
  */
 std::uint64_t
@@ -89,29 +91,23 @@ assembleStats(const LayerTrace &layer, const AcceleratorConfig &cfg,
     return stats;
 }
 
-} // namespace
-
-} // namespace diffy
-
-namespace diffy
-{
-
-LayerComputeStats
-simulateTermSerialLayer(const LayerTrace &layer,
-                        const AcceleratorConfig &cfg, bool differential,
-                        WalkCost cost)
+/**
+ * The uncached pallet walk. Term counts live in flat uint8 planes
+ * (half the cache footprint of the int16 imap) addressed through
+ * hoisted row base pointers; cycle and term tallies accumulate in
+ * integers — every step cost is a small integer, so the int64 totals
+ * convert exactly to the doubles the old double-accumulating walk
+ * produced, keeping bench output byte-identical.
+ */
+WalkResult
+walkLayer(const LayerTrace &layer, const AcceleratorConfig &cfg,
+          bool differential, WalkCost cost)
 {
     const auto &spec = layer.spec;
     const int out_h = layer.outHeight();
     const int out_w = layer.outWidth();
     const int cols = cfg.windowColumns;
     const int lanes = cfg.termsPerFilter;
-
-    const std::uint64_t key =
-        walkKey(layer, lanes, cols, differential, cost);
-    auto cached = walkCache().find(key);
-    if (cached != walkCache().end())
-        return assembleStats(layer, cfg, cached->second);
 
     const TermTensors tt = computeTermTensors(layer, cost);
     const TensorI16 &imap = layer.imap;
@@ -123,20 +119,27 @@ simulateTermSerialLayer(const LayerTrace &layer,
     const int pad = spec.samePad();
     const int c_bricks = (spec.inChannels + lanes - 1) / lanes;
 
-    double cycles = 0.0;
-    double useful_terms = 0.0;
+    const std::uint8_t *raw_base = tt.raw.data();
+    const std::uint8_t *delta_base = tt.delta.data();
+    const std::size_t chan_stride =
+        static_cast<std::size_t>(in_h) * in_w;
+
+    std::int64_t cycles = 0;
+    std::int64_t useful_terms = 0;
 
     // Per-SIP weight staging lets the window columns of a pallet slip
     // against each other; they synchronize only when the pallet
     // retires (the next pallet needs the shared dispatcher). Within a
     // column, the termsPerFilter activation lanes of a step share the
     // SIP adder tree and advance at the pace of their widest value.
-    std::vector<double> col_cycles(static_cast<std::size_t>(cols));
+    std::vector<std::int64_t> col_cycles(static_cast<std::size_t>(cols));
+    std::vector<int> step_max(static_cast<std::size_t>(cols));
 
     for (int oy = 0; oy < out_h; ++oy) {
         for (int px = 0; px < out_w; px += cols) {
             const int cols_here = std::min(cols, out_w - px);
-            std::fill(col_cycles.begin(), col_cycles.end(), 0.0);
+            std::fill(col_cycles.begin(),
+                      col_cycles.begin() + cols_here, 0);
             for (int cb = 0; cb < c_bricks; ++cb) {
                 const int c_lo = cb * lanes;
                 const int c_hi =
@@ -147,50 +150,153 @@ simulateTermSerialLayer(const LayerTrace &layer,
                         // Padding rows: zero terms; every column still
                         // spends the minimum cycle per kx step.
                         for (int j = 0; j < cols_here; ++j)
-                            col_cycles[j] += static_cast<double>(k);
+                            col_cycles[j] += k;
                         continue;
                     }
+                    const std::size_t row_off =
+                        static_cast<std::size_t>(iy) * in_w;
                     for (int kx = 0; kx < k; ++kx) {
-                        for (int j = 0; j < cols_here; ++j) {
-                            const int wx = px + j;
-                            const int ix = wx * s + kx * d - pad;
-                            const bool raw = !differential || wx == 0;
-                            int step_max = 0;
-                            if (ix >= 0 && ix < in_w) {
-                                const auto &terms =
-                                    raw ? tt.raw : tt.delta;
-                                for (int c = c_lo; c < c_hi; ++c) {
-                                    int t = terms.at(c, iy, ix);
-                                    useful_terms += t;
-                                    if (t > step_max)
-                                        step_max = t;
-                                }
-                            } else if (!raw && ix - s >= 0 &&
-                                       ix - s < in_w) {
-                                // The tap reads padding but the
-                                // previous window's tap did not: the
-                                // delta is -a[ix-s], whose Booth terms
-                                // equal the raw terms at ix-s.
-                                for (int c = c_lo; c < c_hi; ++c) {
-                                    int t = tt.raw.at(c, iy, ix - s);
-                                    useful_terms += t;
-                                    if (t > step_max)
-                                        step_max = t;
+                        // ix of window column j is x0 + j*s; interior
+                        // columns [j_lo, j_hi) have ix in [0, in_w).
+                        const int x0 = px * s + kx * d - pad;
+                        int j_lo = x0 < 0 ? (-x0 + s - 1) / s : 0;
+                        if (j_lo > cols_here)
+                            j_lo = cols_here;
+                        int j_hi =
+                            x0 < in_w
+                                ? std::min(cols_here,
+                                           (in_w - 1 - x0) / s + 1)
+                                : 0;
+                        if (j_hi < j_lo)
+                            j_hi = j_lo;
+                        std::fill(step_max.begin(),
+                                  step_max.begin() + cols_here, 0);
+
+                        // Boundary columns: taps in the zero padding
+                        // contribute nothing, except the differential
+                        // case where the tap reads padding but the
+                        // previous window's tap did not — the delta is
+                        // -a[ix-s], whose term count equals the raw
+                        // count at ix-s.
+                        auto boundaryColumn = [&](int j) {
+                            const int ix = x0 + j * s;
+                            const bool raw =
+                                !differential || px + j == 0;
+                            if (raw || ix - s < 0 || ix - s >= in_w)
+                                return;
+                            const std::size_t off =
+                                row_off + static_cast<std::size_t>(ix) -
+                                s;
+                            int sm = 0;
+                            for (int c = c_lo; c < c_hi; ++c) {
+                                const int t =
+                                    raw_base[c * chan_stride + off];
+                                useful_terms += t;
+                                if (t > sm)
+                                    sm = t;
+                            }
+                            step_max[j] = sm;
+                        };
+                        for (int j = 0; j < j_lo; ++j)
+                            boundaryColumn(j);
+                        for (int j = j_hi; j < cols_here; ++j)
+                            boundaryColumn(j);
+
+                        // Interior columns are all in bounds; all of
+                        // them read the delta stream in differential
+                        // mode except window x == 0 (the raw anchor of
+                        // each output row), peeled off below so the
+                        // main loop is branch-free.
+                        int ji = j_lo;
+                        if (differential && px == 0 && j_lo == 0 &&
+                            j_hi > 0) {
+                            const std::size_t off =
+                                row_off + static_cast<std::size_t>(x0);
+                            int sm = 0;
+                            for (int c = c_lo; c < c_hi; ++c) {
+                                const int t =
+                                    raw_base[c * chan_stride + off];
+                                useful_terms += t;
+                                if (t > sm)
+                                    sm = t;
+                            }
+                            step_max[0] = sm;
+                            ji = 1;
+                        }
+                        if (ji < j_hi) {
+                            const std::uint8_t *plane =
+                                differential ? delta_base : raw_base;
+                            const int nj = j_hi - ji;
+                            int *smp = step_max.data() + ji;
+                            std::int64_t sum = 0;
+                            for (int c = c_lo; c < c_hi; ++c) {
+                                const std::uint8_t *pr =
+                                    plane + c * chan_stride + row_off +
+                                    (x0 + static_cast<std::ptrdiff_t>(
+                                              ji) *
+                                              s);
+                                if (s == 1) {
+                                    for (int t = 0; t < nj; ++t) {
+                                        const int v = pr[t];
+                                        sum += v;
+                                        if (v > smp[t])
+                                            smp[t] = v;
+                                    }
+                                } else {
+                                    for (int t = 0; t < nj; ++t) {
+                                        const int v =
+                                            pr[static_cast<std::size_t>(
+                                                   t) *
+                                               s];
+                                        sum += v;
+                                        if (v > smp[t])
+                                            smp[t] = v;
+                                    }
                                 }
                             }
-                            col_cycles[j] += std::max(1, step_max);
+                            useful_terms += sum;
                         }
+
+                        for (int j = 0; j < cols_here; ++j)
+                            col_cycles[j] +=
+                                step_max[j] > 1 ? step_max[j] : 1;
                     }
                 }
             }
-            double pallet = 0.0;
+            std::int64_t pallet = 0;
             for (int j = 0; j < cols_here; ++j)
                 pallet = std::max(pallet, col_cycles[j]);
             cycles += pallet;
         }
     }
 
-    WalkResult result{cycles, useful_terms};
+    return WalkResult{static_cast<double>(cycles),
+                      static_cast<double>(useful_terms)};
+}
+
+} // namespace
+
+void
+clearWalkCache()
+{
+    walkCache().clear();
+}
+
+LayerComputeStats
+simulateTermSerialLayer(const LayerTrace &layer,
+                        const AcceleratorConfig &cfg, bool differential,
+                        WalkCost cost)
+{
+    const int cols = cfg.windowColumns;
+    const int lanes = cfg.termsPerFilter;
+
+    const std::uint64_t key =
+        walkKey(layer, lanes, cols, differential, cost);
+    auto cached = walkCache().find(key);
+    if (cached != walkCache().end())
+        return assembleStats(layer, cfg, cached->second);
+
+    WalkResult result = walkLayer(layer, cfg, differential, cost);
     walkCache().emplace(key, result);
     return assembleStats(layer, cfg, result);
 }

@@ -35,6 +35,14 @@ LayerComputeStats simulateTermSerialLayer(const LayerTrace &layer,
                                           WalkCost cost
                                           = WalkCost::BoothTerms);
 
+/**
+ * Drop this thread's memoized pallet walks. The walk cache is keyed by
+ * imap content and geometry, so repeated simulations of the same layer
+ * are normally free; the micro-kernel benchmarks clear it between
+ * iterations to time the real walk.
+ */
+void clearWalkCache();
+
 /** Simulate one layer on PRA. */
 LayerComputeStats simulatePraLayer(const LayerTrace &layer,
                                    const AcceleratorConfig &cfg);

@@ -6,6 +6,9 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <vector>
+
 #include "common/bitops.hh"
 #include "common/rng.hh"
 
@@ -58,6 +61,90 @@ TEST(BoothTerms, NeverMoreThanOnesTermsPlusOne)
         auto v = static_cast<std::int64_t>(rng.below(1 << 16)) - (1 << 15);
         EXPECT_LE(boothTerms(v), onesTerms(v) + 1) << v;
     }
+}
+
+TEST(BoothTerms, BitParallelMatchesDecompositionExhaustivelyInt16)
+{
+    // The O(1) popcount(v ^ 3v) NAF identity must agree with the
+    // digit-stripping decomposition over the entire int16 domain —
+    // the domain every simulator call site draws from.
+    for (int v = -32768; v <= 32767; ++v) {
+        ASSERT_EQ(boothTerms(v),
+                  static_cast<int>(boothDecompose(v).size()))
+            << v;
+    }
+}
+
+TEST(BoothTerms, BitParallelMatchesDecompositionAtWideMagnitudes)
+{
+    Rng rng(19);
+    for (int i = 0; i < 2000; ++i) {
+        std::int64_t v =
+            static_cast<std::int64_t>(rng.next()) >> (i % 40);
+        EXPECT_EQ(boothTerms(v),
+                  static_cast<int>(boothDecompose(v).size()))
+            << v;
+    }
+    EXPECT_EQ(boothTerms(std::int64_t{1} << 62), 1);
+    EXPECT_EQ(boothTerms(-(std::int64_t{1} << 62)), 1);
+}
+
+TEST(BoothTermsPlane, MatchesScalarOnRandomValues)
+{
+    Rng rng(21);
+    std::vector<std::int16_t> src(1037); // odd length: exercises tails
+    for (auto &v : src)
+        v = static_cast<std::int16_t>(rng.below(65536) - 32768);
+    src[0] = 0;
+    src[1] = 32767;
+    src[2] = -32768;
+    std::vector<std::uint8_t> dst(src.size());
+    boothTermsPlane(src.data(), dst.data(), src.size());
+    for (std::size_t i = 0; i < src.size(); ++i)
+        ASSERT_EQ(dst[i], boothTerms(src[i])) << "i=" << i;
+}
+
+TEST(BoothTermsPlane, MatchesScalarOnCorrelatedDeltas)
+{
+    // int32 overload, fed the 17-bit deltas of a slowly varying
+    // stream — exactly what computeTermTensors() stages per row.
+    Rng rng(23);
+    std::vector<std::int32_t> src;
+    std::int32_t prev = 1000;
+    for (int i = 0; i < 4000; ++i) {
+        std::int32_t cur = std::max(
+            0, std::min(32767,
+                        prev + static_cast<std::int32_t>(rng.below(33)) -
+                            16));
+        src.push_back(cur - prev);
+        prev = cur;
+    }
+    src.push_back(65535);
+    src.push_back(-65535);
+    std::vector<std::uint8_t> dst(src.size());
+    boothTermsPlane(src.data(), dst.data(), src.size());
+    for (std::size_t i = 0; i < src.size(); ++i)
+        ASSERT_EQ(dst[i], boothTerms(src[i])) << "i=" << i;
+}
+
+TEST(BitsNeededPlane, MatchesScalar)
+{
+    std::vector<std::int16_t> src16;
+    for (int v = -2048; v <= 2048; ++v)
+        src16.push_back(static_cast<std::int16_t>(v));
+    src16.push_back(32767);
+    src16.push_back(-32768);
+    std::vector<std::uint8_t> dst(src16.size());
+    bitsNeededPlane(src16.data(), dst.data(), src16.size());
+    for (std::size_t i = 0; i < src16.size(); ++i)
+        ASSERT_EQ(dst[i], bitsNeeded(src16[i])) << src16[i];
+
+    std::vector<std::int32_t> src32 = {0,     1,      -1,    -65535,
+                                       65535, -32768, 32767, 123456};
+    dst.assign(src32.size(), 0);
+    bitsNeededPlane(src32.data(), dst.data(), src32.size());
+    for (std::size_t i = 0; i < src32.size(); ++i)
+        ASSERT_EQ(dst[i], bitsNeeded(src32[i])) << src32[i];
 }
 
 TEST(BoothDecompose, RoundTripsRandomValues)
@@ -131,6 +218,41 @@ TEST(BitsNeeded, ValueRepresentableAtReportedWidth)
             EXPECT_TRUE(v < lo2 || v > hi2) << v << " fits " << bits - 1;
         }
     }
+}
+
+TEST(ContentHash64, GoldenValues)
+{
+    // Pinned outputs of the 8-bytes-per-step mixer. The hash keys
+    // in-memory memo caches only (pallet walks, footprint
+    // measurements), so changing it merely invalidates those caches
+    // once per process — but it must stay deterministic across runs
+    // and builds of one library version. If you intentionally change
+    // the mixing, update these values and note the cache-key change
+    // in the commit message.
+    EXPECT_EQ(contentHash64(nullptr, 0), 0xEFD01F60BA992926ULL);
+    const char abc[] = "abc";
+    EXPECT_EQ(contentHash64(abc, 3), 0x2AF526A9A8F57274ULL);
+    const char s16[] = "0123456789ABCDEF";
+    EXPECT_EQ(contentHash64(s16, 16), 0x1005C5D320178D75ULL);
+    EXPECT_EQ(contentHash64(s16, 13), 0xC0E6FE0AC972810DULL);
+    std::vector<std::int16_t> ramp(256);
+    for (int i = 0; i < 256; ++i)
+        ramp[i] = static_cast<std::int16_t>(i * 257 - 32768);
+    EXPECT_EQ(contentHash64(ramp.data(), ramp.size() * 2),
+              0xE5993A5E1A66607AULL);
+    EXPECT_EQ(contentHash64(abc, 3, 1), 0x7EFAAAE78ECAD9A9ULL);
+}
+
+TEST(ContentHash64, SensitiveToLengthSeedAndContent)
+{
+    const char buf[] = "0123456789ABCDEF0123456789ABCDEF";
+    EXPECT_NE(contentHash64(buf, 32), contentHash64(buf, 31));
+    EXPECT_NE(contentHash64(buf, 32), contentHash64(buf, 32, 1));
+    char mutated[32];
+    for (int i = 0; i < 32; ++i)
+        mutated[i] = buf[i];
+    mutated[17] ^= 1;
+    EXPECT_NE(contentHash64(buf, 32), contentHash64(mutated, 32));
 }
 
 TEST(GroupBitsNeeded, TakesGroupMaximum)

@@ -8,6 +8,9 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <vector>
+
 #include "common/rng.hh"
 #include "image/synth.hh"
 #include "nn/executor.hh"
@@ -82,6 +85,144 @@ TEST(TermTensors, StrideDistanceDeltas)
     // x < stride: raw values 0 and 4.
     EXPECT_EQ(tt.delta.at(0, 0, 0), 0);
     EXPECT_EQ(tt.delta.at(0, 0, 1), 1);
+}
+
+/**
+ * Straightforward per-tap reference of the term-serial pallet walk
+ * (the pre-optimization algorithm): no interior/boundary split, no
+ * hoisted row pointers, double accumulation. The production walk in
+ * sim/pra.cc must reproduce it exactly.
+ */
+LayerComputeStats
+referenceTermSerialLayer(const LayerTrace &layer,
+                         const AcceleratorConfig &cfg, bool differential,
+                         WalkCost cost)
+{
+    const auto &spec = layer.spec;
+    const int out_h = layer.outHeight();
+    const int out_w = layer.outWidth();
+    const int cols = cfg.windowColumns;
+    const int lanes = cfg.termsPerFilter;
+
+    const TermTensors tt = computeTermTensors(layer, cost);
+    const int in_h = layer.imap.height();
+    const int in_w = layer.imap.width();
+    const int k = spec.kernel;
+    const int d = spec.dilation;
+    const int s = spec.stride;
+    const int pad = spec.samePad();
+    const int c_bricks = (spec.inChannels + lanes - 1) / lanes;
+
+    double cycles = 0.0;
+    double useful_terms = 0.0;
+    std::vector<double> col_cycles(static_cast<std::size_t>(cols));
+
+    for (int oy = 0; oy < out_h; ++oy) {
+        for (int px = 0; px < out_w; px += cols) {
+            const int cols_here = std::min(cols, out_w - px);
+            std::fill(col_cycles.begin(), col_cycles.end(), 0.0);
+            for (int cb = 0; cb < c_bricks; ++cb) {
+                const int c_lo = cb * lanes;
+                const int c_hi = std::min(c_lo + lanes, spec.inChannels);
+                for (int ky = 0; ky < k; ++ky) {
+                    const int iy = oy * s + ky * d - pad;
+                    if (iy < 0 || iy >= in_h) {
+                        for (int j = 0; j < cols_here; ++j)
+                            col_cycles[j] += static_cast<double>(k);
+                        continue;
+                    }
+                    for (int kx = 0; kx < k; ++kx) {
+                        for (int j = 0; j < cols_here; ++j) {
+                            const int wx = px + j;
+                            const int ix = wx * s + kx * d - pad;
+                            const bool raw = !differential || wx == 0;
+                            int step_max = 0;
+                            if (ix >= 0 && ix < in_w) {
+                                const auto &terms =
+                                    raw ? tt.raw : tt.delta;
+                                for (int c = c_lo; c < c_hi; ++c) {
+                                    int t = terms.at(c, iy, ix);
+                                    useful_terms += t;
+                                    if (t > step_max)
+                                        step_max = t;
+                                }
+                            } else if (!raw && ix - s >= 0 &&
+                                       ix - s < in_w) {
+                                for (int c = c_lo; c < c_hi; ++c) {
+                                    int t = tt.raw.at(c, iy, ix - s);
+                                    useful_terms += t;
+                                    if (t > step_max)
+                                        step_max = t;
+                                }
+                            }
+                            col_cycles[j] += std::max(1, step_max);
+                        }
+                    }
+                }
+            }
+            double pallet = 0.0;
+            for (int j = 0; j < cols_here; ++j)
+                pallet = std::max(pallet, col_cycles[j]);
+            cycles += pallet;
+        }
+    }
+
+    LayerComputeStats stats;
+    stats.layerName = spec.name;
+    stats.computeCycles = cycles *
+                          cfg.filterGroups(spec.outChannels) /
+                          cfg.spatialSplit(spec.outChannels);
+    stats.usefulSlots = useful_terms * spec.outChannels;
+    return stats;
+}
+
+TEST(TermSerialWalk, MatchesReferenceAcrossGeometries)
+{
+    Rng rng(77);
+    struct Geometry
+    {
+        int c, h, w, kernel, stride, dilation;
+    };
+    const Geometry geoms[] = {
+        {20, 9, 18, 3, 1, 1}, // channels cross the 16-lane brick
+        {4, 7, 7, 5, 1, 1},   // kernel reach exceeds the interior
+        {8, 6, 33, 3, 2, 1},  // strided, width not a pallet multiple
+        {8, 5, 12, 3, 1, 2},  // dilated taps
+        {3, 4, 4, 3, 2, 2},   // tiny imap: mostly boundary columns
+        {16, 8, 16, 1, 1, 1}, // pointwise
+    };
+    for (const auto &g : geoms) {
+        TensorI16 imap(g.c, g.h, g.w);
+        for (std::size_t i = 0; i < imap.size(); ++i) {
+            imap.data()[i] =
+                static_cast<std::int16_t>(rng.below(2048) - 512);
+        }
+        LayerTrace lt =
+            makeLayer(imap, 24, g.kernel, g.stride, g.dilation);
+        for (AcceleratorConfig cfg :
+             {defaultDiffyConfig(), defaultPraConfig()}) {
+            cfg.windowColumns = 5; // force ragged pallets too
+            for (bool differential : {false, true}) {
+                for (WalkCost cost :
+                     {WalkCost::BoothTerms, WalkCost::BitSerial}) {
+                    clearWalkCache();
+                    auto got = simulateTermSerialLayer(lt, cfg,
+                                                       differential, cost);
+                    auto want = referenceTermSerialLayer(
+                        lt, cfg, differential, cost);
+                    EXPECT_DOUBLE_EQ(got.computeCycles,
+                                     want.computeCycles)
+                        << g.c << 'x' << g.h << 'x' << g.w << " k"
+                        << g.kernel << " s" << g.stride << " d"
+                        << g.dilation << " diff=" << differential;
+                    EXPECT_DOUBLE_EQ(got.usefulSlots, want.usefulSlots)
+                        << g.c << 'x' << g.h << 'x' << g.w << " k"
+                        << g.kernel << " s" << g.stride << " d"
+                        << g.dilation << " diff=" << differential;
+                }
+            }
+        }
+    }
 }
 
 TEST(VaaSim, ClosedFormCycles)
