@@ -120,7 +120,9 @@ bitsNeeded(std::int64_t v)
     // bit; a negative v fits in n bits iff v >= -2^(n-1), i.e. iff
     // bit_width(~v) < n. Both cases collapse to folding the sign.
     const auto m = static_cast<std::uint64_t>(v < 0 ? ~v : v);
-    return std::bit_width(m) + 1;
+    // bit_width returns the operand's unsigned type; the value is at
+    // most 64, so the narrowing to int is exact.
+    return static_cast<int>(std::bit_width(m)) + 1;
 }
 
 void

@@ -1,0 +1,88 @@
+#include "common/cache_registry.hh"
+
+#include <algorithm>
+#include <mutex>
+
+namespace diffy
+{
+
+namespace
+{
+
+struct Entry
+{
+    std::string name;
+    ThreadCacheClearFn fn;
+};
+
+struct Registry
+{
+    std::mutex mutex;
+    std::vector<Entry> entries;
+};
+
+/**
+ * Meyers singleton: safe to touch from any TU's static initializers
+ * and from concurrently running sweep threads. The mutex guards
+ * registration (static-init time, plus tests) against concurrent
+ * clears; hooks are copied out before invocation so a hook may not
+ * re-enter the registry.
+ */
+Registry &
+registry()
+{
+    static Registry r;
+    return r;
+}
+
+} // namespace
+
+bool
+registerThreadCacheClear(const char *name, ThreadCacheClearFn fn)
+{
+    Registry &r = registry();
+    std::lock_guard<std::mutex> lock(r.mutex);
+    auto same = [&](const Entry &e) {
+        return e.fn == fn && e.name == name;
+    };
+    if (std::none_of(r.entries.begin(), r.entries.end(), same))
+        r.entries.push_back(Entry{name, fn});
+    return true;
+}
+
+void
+clearRegisteredThreadCaches()
+{
+    std::vector<ThreadCacheClearFn> fns;
+    {
+        Registry &r = registry();
+        std::lock_guard<std::mutex> lock(r.mutex);
+        fns.reserve(r.entries.size());
+        for (const Entry &e : r.entries)
+            fns.push_back(e.fn);
+    }
+    for (ThreadCacheClearFn fn : fns)
+        fn();
+}
+
+std::vector<std::string>
+registeredThreadCacheNames()
+{
+    Registry &r = registry();
+    std::lock_guard<std::mutex> lock(r.mutex);
+    std::vector<std::string> names;
+    names.reserve(r.entries.size());
+    for (const Entry &e : r.entries)
+        names.push_back(e.name);
+    return names;
+}
+
+std::size_t
+registeredThreadCacheCount()
+{
+    Registry &r = registry();
+    std::lock_guard<std::mutex> lock(r.mutex);
+    return r.entries.size();
+}
+
+} // namespace diffy

@@ -4,6 +4,7 @@
 
 #include "analysis/precision.hh"
 #include "common/bitops.hh"
+#include "common/cache_registry.hh"
 #include "encode/schemes.hh"
 
 namespace diffy
@@ -11,6 +12,23 @@ namespace diffy
 
 namespace
 {
+
+// thread_local: memoized pure functions; keeps sweep workers
+// lock-free (see DESIGN.md §8 shared-state audit). Cleared through
+// the central registry (DESIGN.md §10, rule R2).
+std::unordered_map<std::uint64_t, double> &
+bitsPerValueCache()
+{
+    thread_local std::unordered_map<std::uint64_t, double> cache;
+    return cache;
+}
+
+std::unordered_map<std::uint64_t, int> &
+profiledBitsCache()
+{
+    thread_local std::unordered_map<std::uint64_t, int> cache;
+    return cache;
+}
 
 /**
  * Memoized bits/value measurements. Encoding a layer with a real
@@ -21,9 +39,7 @@ double
 measuredBitsPerValue(const TensorI16 &imap, Compression scheme,
                      int profiled_bits)
 {
-    // thread_local: memoized pure function; keeps sweep workers
-    // lock-free (see DESIGN.md §8 shared-state audit).
-    thread_local std::unordered_map<std::uint64_t, double> cache;
+    auto &cache = bitsPerValueCache();
     std::uint64_t key = contentHash64(imap.data(),
                                       imap.size() * sizeof(std::int16_t));
     key ^= static_cast<std::uint64_t>(scheme) * 0x9E3779B97F4A7C15ULL;
@@ -40,8 +56,7 @@ measuredBitsPerValue(const TensorI16 &imap, Compression scheme,
 int
 layerProfiledBits(const LayerTrace &layer)
 {
-    // thread_local for the same reason as measuredBitsPerValue above.
-    thread_local std::unordered_map<std::uint64_t, int> cache;
+    auto &cache = profiledBitsCache();
     std::uint64_t key = contentHash64(
         layer.imap.data(), layer.imap.size() * sizeof(std::int16_t));
     auto it = cache.find(key);
@@ -75,6 +90,15 @@ omapValuesAtFrame(const LayerTrace &layer, int frame_h, int frame_w)
 }
 
 } // namespace
+
+void
+clearFootprintCaches()
+{
+    bitsPerValueCache().clear();
+    profiledBitsCache().clear();
+}
+
+DIFFY_REGISTER_THREAD_CACHE(encode_footprint_memos, clearFootprintCaches);
 
 double
 NetworkFootprint::totalBits() const

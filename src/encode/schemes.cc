@@ -37,7 +37,7 @@ ActivationCodec::decode(const EncodedTensor &enc) const
 double
 ActivationCodec::bitsPerValue(const TensorI16 &t) const
 {
-    if (t.size() == 0)
+    if (t.empty())
         return 0.0;
     return static_cast<double>(encode(t).bits) /
            static_cast<double>(t.size());

@@ -6,6 +6,7 @@
 #include <string>
 #include <unordered_map>
 
+#include "common/cache_registry.hh"
 #include "common/fixed_point.hh"
 #include "common/rng.hh"
 
@@ -288,18 +289,27 @@ struct PreparedWeights
     Tensor4<float> dequantized;
 };
 
+// thread_local keeps sweep workers lock-free (same idiom as the
+// sim/encode memo caches); cleared through the central registry
+// (DESIGN.md §10, rule R2).
+std::unordered_map<std::string, PreparedWeights> &
+preparedWeightsCache()
+{
+    thread_local std::unordered_map<std::string, PreparedWeights> cache;
+    return cache;
+}
+
 /**
  * Memoized weight synthesis + dequantization. Weight generation is a
  * pure function of (network, layer, options), and sweeps replay the
  * same network over many scenes — so the per-frame gaussian synthesis
- * and the float rebuild were pure waste. thread_local keeps sweep
- * workers lock-free (same idiom as the sim/encode memo caches).
+ * and the float rebuild were pure waste.
  */
 const PreparedWeights &
 preparedWeights(const NetworkSpec &net, const ConvLayerSpec &layer,
                 const ExecutorOptions &opts)
 {
-    thread_local std::unordered_map<std::string, PreparedWeights> cache;
+    auto &cache = preparedWeightsCache();
     // Tests build ad-hoc specs that reuse names with different shapes,
     // so the key covers every input synthesizeWeights() reads.
     std::string key = net.name + '/' + layer.name + '#' +
@@ -328,6 +338,15 @@ preparedWeights(const NetworkSpec &net, const ConvLayerSpec &layer,
 }
 
 } // namespace
+
+void
+clearPreparedWeightsCache()
+{
+    preparedWeightsCache().clear();
+}
+
+DIFFY_REGISTER_THREAD_CACHE(nn_executor_prepared_weights,
+                            clearPreparedWeightsCache);
 
 Tensor3<float>
 buildNetworkInput(const NetworkSpec &net, const Tensor3<float> &rgb)

@@ -62,6 +62,14 @@ FilterBankI16 synthesizeWeights(const NetworkSpec &net,
                                 int *frac_bits_out);
 
 /**
+ * Drop the calling thread's memoized prepared (synthesized +
+ * dequantized) weights. Registered with the thread-cache registry
+ * (common/cache_registry.hh); exposed for tests that need a cold
+ * cache.
+ */
+void clearPreparedWeightsCache();
+
+/**
  * Run the full network on @p rgb and capture a per-layer trace.
  * The scene's resolution bounds the trace resolution; totals are
  * scaled analytically to larger frames by the simulators.

@@ -11,7 +11,7 @@ double
 LayerTrace::weightDensity()
  const
 {
-    if (weights.size() == 0)
+    if (weights.empty())
         return 0.0;
     std::size_t nonzero = 0;
     const std::int16_t *data = weights.data();

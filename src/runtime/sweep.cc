@@ -8,6 +8,7 @@
 #include <sstream>
 #include <stdexcept>
 
+#include "common/cache_registry.hh"
 #include "runtime/thread_pool.hh"
 
 namespace diffy
@@ -129,6 +130,13 @@ SweepScheduler::run(std::size_t jobCount,
     stats_.jobs = jobCount;
     if (jobCount == 0)
         return;
+
+    // Sweep setup: reset the calling thread's registered memo caches
+    // so no stale entry survives a reconfiguration between sweeps. The
+    // pool path spawns fresh workers per run(), whose thread_local
+    // caches start empty; the serial inline path reuses this thread,
+    // which is exactly where leftovers could hide.
+    clearRegisteredThreadCaches();
 
     std::vector<double> jobSeconds(jobCount, 0.0);
     Clock::time_point sweepStart = Clock::now();

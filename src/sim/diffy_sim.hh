@@ -21,8 +21,8 @@
  * Diffy revert to normal convolution where deltas would hurt.
  */
 
-#ifndef DIFFY_SIM_DIFFY_HH
-#define DIFFY_SIM_DIFFY_HH
+#ifndef DIFFY_SIM_DIFFY_SIM_HH
+#define DIFFY_SIM_DIFFY_SIM_HH
 
 #include "arch/config.hh"
 #include "sim/activity.hh"
@@ -52,4 +52,4 @@ NetworkComputeResult simulateDiffy(const NetworkTrace &trace,
 
 } // namespace diffy
 
-#endif // DIFFY_SIM_DIFFY_HH
+#endif // DIFFY_SIM_DIFFY_SIM_HH

@@ -115,13 +115,19 @@ runFunctionalTile(const LayerTrace &layer, const AcceleratorConfig &cfg,
         static_cast<std::size_t>(filters) * cols);
     std::vector<OffsetGenerator> lane_gens(
         static_cast<std::size_t>(lanes));
-    std::vector<double> col_cycles(static_cast<std::size_t>(cols));
+    // Cycle tallies are integers (every step cost is a small integer);
+    // they convert exactly to the double stats at assembly below,
+    // keeping the determinism contract float-free in the loop nest
+    // (diffy-lint rule R1).
+    std::vector<std::int64_t> col_cycles(static_cast<std::size_t>(cols));
+    std::int64_t total_cycles = 0;
 
     for (int oy = 0; oy < out_h; ++oy) {
         for (int px = 0; px < out_w; px += cols) {
             const int cols_here = std::min(cols, out_w - px);
             std::fill(acc.begin(), acc.end(), 0);
-            std::fill(col_cycles.begin(), col_cycles.end(), 0.0);
+            std::fill(col_cycles.begin(), col_cycles.end(),
+                      std::int64_t{0});
 
             for (int cb = 0; cb < c_bricks; ++cb) {
                 const int c_lo = cb * lanes;
@@ -133,7 +139,7 @@ runFunctionalTile(const LayerTrace &layer, const AcceleratorConfig &cfg,
                     for (int kx = 0; kx < k; ++kx) {
                         for (int j = 0; j < cols_here; ++j) {
                             if (row_padded) {
-                                col_cycles[j] += 1.0;
+                                col_cycles[j] += 1;
                                 continue;
                             }
                             const int wx = px + j;
@@ -197,10 +203,10 @@ runFunctionalTile(const LayerTrace &layer, const AcceleratorConfig &cfg,
 
             // Pallet barrier: the dispatcher moves on when the
             // slowest column retires.
-            double pallet = 0.0;
+            std::int64_t pallet = 0;
             for (int j = 0; j < cols_here; ++j)
                 pallet = std::max(pallet, col_cycles[j]);
-            result.computeCycles += pallet;
+            total_cycles += pallet;
 
             // Differential Reconstruction cascade: column j adds the
             // reconstructed output of column j-1. Column 0 holds a
@@ -230,6 +236,10 @@ runFunctionalTile(const LayerTrace &layer, const AcceleratorConfig &cfg,
             }
         }
     }
+
+    // Stat assembly: the exact integer tally becomes the double the
+    // result struct carries (cycle counts stay far below 2^53).
+    result.computeCycles = static_cast<double>(total_cycles);
 
     // Delta-out engine: write the omap back in delta form at the next
     // layer's stride distance.

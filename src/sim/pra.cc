@@ -7,6 +7,7 @@
 #include <vector>
 
 #include "common/bitops.hh"
+#include "common/cache_registry.hh"
 
 namespace diffy
 {
@@ -281,6 +282,8 @@ clearWalkCache()
 {
     walkCache().clear();
 }
+
+DIFFY_REGISTER_THREAD_CACHE(sim_pra_walk, clearWalkCache);
 
 LayerComputeStats
 simulateTermSerialLayer(const LayerTrace &layer,

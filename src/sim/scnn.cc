@@ -1,7 +1,7 @@
 #include "sim/scnn.hh"
 
 #include <algorithm>
-#include <cmath>
+#include <cstdint>
 #include <vector>
 
 namespace diffy
@@ -31,8 +31,13 @@ simulateScnnLayer(const LayerTrace &layer, const ScnnConfig &cfg)
     const int tile_h = (in_h + cfg.peRows - 1) / cfg.peRows;
     const int tile_w = (in_w + cfg.peCols - 1) / cfg.peCols;
 
-    double worst_pe_cycles = 0.0;
-    double total_products = 0.0;
+    // Integer tallies only inside the tile walk (diffy-lint rule R1):
+    // step counts are exact ceil-divs, so the int64 totals convert
+    // exactly to the double stats assembled below — byte-identical to
+    // the old std::ceil double accumulation (values stay far below
+    // 2^53).
+    std::int64_t worst_pe_cycles = 0;
+    std::int64_t total_products = 0;
     for (int py = 0; py < cfg.peRows; ++py) {
         for (int px = 0; px < cfg.peCols; ++px) {
             // Tile bounds including replicated halo activations.
@@ -40,7 +45,7 @@ simulateScnnLayer(const LayerTrace &layer, const ScnnConfig &cfg)
             const int y1 = std::min(in_h, (py + 1) * tile_h + halo / 2);
             const int x0 = std::max(0, px * tile_w - halo / 2);
             const int x1 = std::min(in_w, (px + 1) * tile_w + halo / 2);
-            double pe_cycles = 0.0;
+            std::int64_t pe_cycles = 0;
             for (int c = 0; c < c_count; ++c) {
                 std::int64_t nnz_a = 0;
                 for (int y = y0; y < y1; ++y) {
@@ -49,13 +54,12 @@ simulateScnnLayer(const LayerTrace &layer, const ScnnConfig &cfg)
                 }
                 if (nnz_a == 0 || nnz_w[c] == 0)
                     continue;
-                const double a_steps = std::ceil(
-                    static_cast<double>(nnz_a) / cfg.actVector);
-                const double w_steps = std::ceil(
-                    static_cast<double>(nnz_w[c]) / cfg.weightVector);
+                const std::int64_t a_steps =
+                    (nnz_a + cfg.actVector - 1) / cfg.actVector;
+                const std::int64_t w_steps =
+                    (nnz_w[c] + cfg.weightVector - 1) / cfg.weightVector;
                 pe_cycles += a_steps * w_steps;
-                total_products += static_cast<double>(nnz_a) *
-                                  static_cast<double>(nnz_w[c]);
+                total_products += nnz_a * nnz_w[c];
             }
             worst_pe_cycles = std::max(worst_pe_cycles, pe_cycles);
         }
@@ -66,7 +70,8 @@ simulateScnnLayer(const LayerTrace &layer, const ScnnConfig &cfg)
 
     LayerComputeStats stats;
     stats.layerName = spec.name;
-    stats.computeCycles = worst_pe_cycles * cfg.contention;
+    stats.computeCycles =
+        static_cast<double>(worst_pe_cycles) * cfg.contention;
     stats.traceOutputs =
         static_cast<double>(out_h) * out_w * spec.outChannels;
     stats.traceMacs = static_cast<double>(out_h) * out_w *
@@ -74,7 +79,7 @@ simulateScnnLayer(const LayerTrace &layer, const ScnnConfig &cfg)
                       static_cast<double>(spec.macsPerOutput());
     stats.totalSlots = stats.computeCycles * cfg.peRows * cfg.peCols *
                        cfg.actVector * cfg.weightVector;
-    stats.usefulSlots = total_products;
+    stats.usefulSlots = static_cast<double>(total_products);
     return stats;
 }
 

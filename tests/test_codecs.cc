@@ -30,9 +30,9 @@ TEST(BitStream, WritesAndReadsMixedWidths)
     EXPECT_EQ(bw.bitCount(), 27u);
 
     BitReader br(bw.bytes());
-    EXPECT_EQ(br.read(3), 0b101u);
+    EXPECT_EQ(br.read(3), 0b101u);   // diffy-lint: allow(R4): raw reader primitives under test
     EXPECT_EQ(br.readSigned(6), -5);
-    EXPECT_EQ(br.read(16), 0xFFFFu);
+    EXPECT_EQ(br.read(16), 0xFFFFu); // diffy-lint: allow(R4): raw reader primitives under test
     EXPECT_EQ(br.readSigned(2), -1);
     EXPECT_EQ(br.bitPosition(), 27u);
 }
@@ -54,7 +54,7 @@ TEST(BitStream, RandomRoundTrip)
     }
     BitReader br(bw.bytes());
     for (const auto &[v, bits] : fields)
-        ASSERT_EQ(br.readSigned(bits), v);
+        ASSERT_EQ(br.readSigned(bits), v); // diffy-lint: allow(R4): raw reader primitives under test
 }
 
 TEST(BitStream, ReaderThrowsPastEnd)
@@ -62,10 +62,10 @@ TEST(BitStream, ReaderThrowsPastEnd)
     BitWriter bw;
     bw.write(1, 4);
     BitReader br(bw.bytes());
-    br.read(4);
+    br.read(4); // diffy-lint: allow(R4): raw reader primitives under test
     // Remaining padding bits (to the byte boundary) are readable, but
     // not beyond the buffer.
-    br.read(4);
+    br.read(4); // diffy-lint: allow(R4): raw reader primitives under test
     EXPECT_THROW(br.read(1), std::out_of_range);
 }
 
@@ -194,7 +194,7 @@ INSTANTIATE_TEST_SUITE_P(
     Schemes, LosslessCodecRoundTrip,
     ::testing::Values("NoCompression", "RLEz", "RLE", "RawD8", "RawD16",
                       "RawD256", "DeltaD8", "DeltaD16", "DeltaD256"),
-    [](const auto &info) { return info.param; });
+    [](const auto &name_info) { return name_info.param; });
 
 TEST(ProfiledCodec, LosslessWhenPrecisionCovers)
 {

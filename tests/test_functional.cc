@@ -128,9 +128,9 @@ INSTANTIATE_TEST_SUITE_P(
                       std::tuple{"IRCNN", 3},  // dilation 4
                       std::tuple{"VDSR", 0},   // single channel
                       std::tuple{"FFDNet", 0}),
-    [](const auto &info) {
-        return std::string(std::get<0>(info.param)) + "_L" +
-               std::to_string(std::get<1>(info.param));
+    [](const auto &name_info) {
+        return std::string(std::get<0>(name_info.param)) + "_L" +
+               std::to_string(std::get<1>(name_info.param));
     });
 
 TEST(FunctionalTile, RawModeAlsoExact)

@@ -80,7 +80,7 @@ INSTANTIATE_TEST_SUITE_P(
         TableOneRow{"IRCNN", 7, 6, 1152, 72},
         TableOneRow{"JointNet", 19, 16, 1152, 144},
         TableOneRow{"VDSR", 20, 19, 1152, 72}),
-    [](const auto &info) { return std::string(info.param.name); });
+    [](const auto &name_info) { return std::string(name_info.param.name); });
 
 TEST(ModelZoo, SuiteOrderMatchesPaper)
 {

@@ -1,0 +1,20 @@
+// R4 must-fire fixture: raw BitReader reads outside the codec
+// internals bypass the hardened tryDecode/DecodeResult path.
+#include <cstdint>
+#include <vector>
+
+#include "encode/bitstream.hh"
+
+namespace diffy
+{
+
+std::uint32_t
+rawDecodeFixture(const std::vector<std::uint8_t> &bytes)
+{
+    BitReader br(bytes);
+    std::uint32_t header = br.read(4);
+    std::int32_t payload = br.readSigned(8);
+    return header + static_cast<std::uint32_t>(payload);
+}
+
+} // namespace diffy

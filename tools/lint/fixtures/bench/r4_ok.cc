@@ -1,0 +1,19 @@
+// R4 must-not-fire fixture: external callers decode through the
+// structured tryRead path and never touch the throwing raw reads.
+#include <cstdint>
+#include <vector>
+
+#include "encode/bitstream.hh"
+
+namespace diffy
+{
+
+bool
+structuredDecodeFixture(const std::vector<std::uint8_t> &bytes,
+                        std::uint32_t &header)
+{
+    BitReader br(bytes);
+    return br.tryRead(4, header);
+}
+
+} // namespace diffy

@@ -1,0 +1,17 @@
+// R3 must-fire fixture: ad-hoc RNG construction outside
+// src/common/rng breaks seed-reproducibility of the sweeps.
+#include <cstdlib>
+#include <random>
+
+namespace diffy
+{
+
+int
+noisyFixture()
+{
+    std::mt19937 gen(42);
+    std::uniform_int_distribution<int> dist(0, 9);
+    return dist(gen) + rand() % 3;
+}
+
+} // namespace diffy

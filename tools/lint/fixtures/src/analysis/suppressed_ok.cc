@@ -1,0 +1,18 @@
+// Suppression fixture: each violation carries (or follows) a
+// diffy-lint allow() comment, so the file must lint clean. Exercises
+// both the same-line and preceding-line suppression forms.
+#include <random>
+
+namespace diffy
+{
+
+unsigned
+suppressedFixture()
+{
+    std::mt19937 gen(3); // diffy-lint: allow(R3): fixture exercises suppression
+    // diffy-lint: allow(R3): preceding-line form
+    std::random_device rd;
+    return gen() + rd();
+}
+
+} // namespace diffy

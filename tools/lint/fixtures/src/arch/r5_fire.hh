@@ -1,0 +1,21 @@
+// R5 must-fire fixture: a using-directive at namespace scope and an
+// include guard that does not match the canonical path-derived name.
+#ifndef WRONG_GUARD_NAME
+#define WRONG_GUARD_NAME
+
+#include <string>
+
+using namespace std;
+
+namespace diffy
+{
+
+inline string
+fixtureName()
+{
+    return "r5";
+}
+
+} // namespace diffy
+
+#endif // WRONG_GUARD_NAME

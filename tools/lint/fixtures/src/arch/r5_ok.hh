@@ -1,0 +1,18 @@
+// R5 must-not-fire fixture: canonical guard, fully qualified names.
+#ifndef DIFFY_ARCH_R5_OK_HH
+#define DIFFY_ARCH_R5_OK_HH
+
+#include <string>
+
+namespace diffy
+{
+
+inline std::string
+fixtureName()
+{
+    return "r5";
+}
+
+} // namespace diffy
+
+#endif // DIFFY_ARCH_R5_OK_HH

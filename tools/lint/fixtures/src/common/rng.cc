@@ -1,0 +1,15 @@
+// R3 must-not-fire fixture: src/common/rng is the one module allowed
+// to construct generators (this mirrors the real rng.cc's path).
+#include <random>
+
+namespace diffy
+{
+
+unsigned
+rngInternalFixture()
+{
+    std::mt19937 gen(7);
+    return gen();
+}
+
+} // namespace diffy

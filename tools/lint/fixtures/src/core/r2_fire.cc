@@ -1,0 +1,21 @@
+// R2 must-fire fixture: a thread_local memo cache with no clear hook
+// registered — the stale-memo hazard across sweep reconfigurations.
+#include <cstdint>
+#include <unordered_map>
+
+namespace diffy
+{
+
+int
+memoizedFixture(std::uint64_t key)
+{
+    thread_local std::unordered_map<std::uint64_t, int> cache;
+    auto it = cache.find(key);
+    if (it != cache.end())
+        return it->second;
+    const int value = static_cast<int>(key % 7);
+    cache.emplace(key, value);
+    return value;
+}
+
+} // namespace diffy

@@ -1,0 +1,43 @@
+// R2 must-not-fire fixture: the thread_local cache is exposed through
+// an accessor, has a clear hook, and registers it centrally.
+#include <cstdint>
+#include <unordered_map>
+
+#include "common/cache_registry.hh"
+
+namespace diffy
+{
+
+namespace
+{
+
+std::unordered_map<std::uint64_t, int> &
+fixtureCache()
+{
+    thread_local std::unordered_map<std::uint64_t, int> cache;
+    return cache;
+}
+
+} // namespace
+
+void
+clearFixtureCache()
+{
+    fixtureCache().clear();
+}
+
+DIFFY_REGISTER_THREAD_CACHE(fixture_memo, clearFixtureCache);
+
+int
+memoizedFixture(std::uint64_t key)
+{
+    auto &cache = fixtureCache();
+    auto it = cache.find(key);
+    if (it != cache.end())
+        return it->second;
+    const int value = static_cast<int>(key % 7);
+    cache.emplace(key, value);
+    return value;
+}
+
+} // namespace diffy

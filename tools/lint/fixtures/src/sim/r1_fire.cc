@@ -1,0 +1,18 @@
+// R1 must-fire fixture: a float tally accumulated inside a sim loop
+// nest. This is the exact pattern PR 3 removed from the pallet walk.
+namespace diffy
+{
+
+double
+walkFixture(int rows, int cols)
+{
+    double cycles = 0.0;
+    for (int y = 0; y < rows; ++y) {
+        for (int x = 0; x < cols; ++x) {
+            cycles += 1.0;
+        }
+    }
+    return cycles;
+}
+
+} // namespace diffy

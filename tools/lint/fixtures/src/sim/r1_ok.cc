@@ -1,0 +1,29 @@
+// R1 must-not-fire fixture: integer tallies inside the loop nest,
+// double conversion at stat assembly (depth <= 1), and a
+// vector<double> accumulated outside any nest.
+#include <cstdint>
+#include <vector>
+
+namespace diffy
+{
+
+double
+walkFixture(int rows, int cols, const std::vector<double> &weights)
+{
+    std::int64_t cycles = 0;
+    for (int y = 0; y < rows; ++y) {
+        for (int x = 0; x < cols; ++x) {
+            cycles += 1;
+        }
+    }
+
+    // Stat assembly: depth-1 accumulation over per-layer doubles is
+    // the intended conversion point.
+    double total = 0.0;
+    for (double w : weights) {
+        total += w;
+    }
+    return static_cast<double>(cycles) + total;
+}
+
+} // namespace diffy

@@ -1,0 +1,92 @@
+/**
+ * @file
+ * diffy-lint: project-invariant static analysis.
+ *
+ * A deliberately small, heuristic source scanner that machine-checks
+ * the contracts the compiler cannot know about (see DESIGN.md §10 for
+ * the rule catalogue and the reasoning behind each rule):
+ *
+ *   R1  no float/double accumulation inside src/sim tally loops —
+ *       integer tallies only, converted at stat assembly (the
+ *       byte-identical-sweep determinism contract);
+ *   R2  every thread_local memo cache registers a clear hook with
+ *       DIFFY_REGISTER_THREAD_CACHE (stale-memo hazard across sweep
+ *       reconfigurations);
+ *   R3  no RNG construction outside src/common/rng — all randomness
+ *       flows through seeded splitmix64 job RNGs;
+ *   R4  no raw BitReader::read()/readSigned() decode calls outside the
+ *       codec internals (src/encode) — external callers use the
+ *       structured tryDecode/DecodeResult path;
+ *   R5  header hygiene — no namespace-scope `using namespace` in
+ *       headers, canonical DIFFY_<PATH>_HH include guards.
+ *
+ * The scanner strips comments and string/char literals before rule
+ * matching, so rule patterns quoted in prose (or in this linter's own
+ * sources) never fire. Findings can be suppressed at the line level:
+ *
+ *     some_violation();  // diffy-lint: allow(R4): testing raw reads
+ *
+ * A suppression on line N covers findings on lines N and N+1, so a
+ * pure comment line may precede the offending statement. This is the
+ * only suppression mechanism — there are no file- or directory-level
+ * escapes; rules with legitimate blanket exemptions encode them as
+ * path scopes instead.
+ */
+
+#ifndef DIFFY_TOOLS_LINT_LINT_HH
+#define DIFFY_TOOLS_LINT_LINT_HH
+
+#include <string>
+#include <vector>
+
+namespace diffy::lint
+{
+
+/** One rule violation. */
+struct Finding
+{
+    std::string file; ///< path relative to the lint root
+    int line = 0;     ///< 1-based
+    std::string rule; ///< "R1".."R5"
+    std::string message;
+};
+
+/** Catalogue entry for --list-rules and the docs. */
+struct RuleInfo
+{
+    std::string id;
+    std::string summary;
+};
+
+/** The rule catalogue, in rule-id order. */
+std::vector<RuleInfo> ruleCatalog();
+
+/**
+ * Lint one file. @p rel_path is the path relative to the lint root —
+ * rule path scopes (src/sim for R1, src/encode for R4, ...) and the
+ * canonical guard name (R5) derive from it.
+ */
+std::vector<Finding> lintFile(const std::string &rel_path,
+                              const std::string &contents);
+
+/**
+ * Lint every .cc/.hh file under the given paths (files or directories,
+ * relative to @p root). Results are sorted by (file, line, rule) so
+ * output is deterministic regardless of directory iteration order.
+ * Fixture trees (any path containing "tools/lint/fixtures") are
+ * skipped — they exist to violate the rules. When @p scanned_out is
+ * non-null it receives the relative paths of every scanned file.
+ * @throws std::runtime_error when a path does not exist or a file
+ *         cannot be read.
+ */
+std::vector<Finding> lintTree(const std::string &root,
+                              const std::vector<std::string> &paths,
+                              std::vector<std::string> *scanned_out
+                              = nullptr);
+
+/** "file:line: [Rn] message" — clickable in editors and CI logs. */
+std::string formatFinding(const Finding &finding);
+
+} // namespace diffy::lint
+
+#endif // DIFFY_TOOLS_LINT_LINT_HH

@@ -1,0 +1,203 @@
+/**
+ * @file
+ * diffy-lint self-tests: every rule has at least one must-fire and
+ * one must-not-fire fixture under tools/lint/fixtures/, the CLI's
+ * exit codes are asserted against the real binary, and the full
+ * project tree must lint clean.
+ */
+
+#include <cstdlib>
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "lint.hh"
+
+namespace
+{
+
+using diffy::lint::Finding;
+using diffy::lint::lintFile;
+using diffy::lint::lintTree;
+
+std::string
+fixturesRoot()
+{
+    return DIFFY_LINT_FIXTURES_DIR;
+}
+
+std::string
+sourceRoot()
+{
+    return DIFFY_LINT_SOURCE_ROOT;
+}
+
+std::set<std::string>
+rulesIn(const std::vector<Finding> &findings)
+{
+    std::set<std::string> rules;
+    for (const Finding &f : findings)
+        rules.insert(f.rule);
+    return rules;
+}
+
+/** Expected rule ids per fixture file (empty = must lint clean). */
+const std::map<std::string, std::set<std::string>> kFixtureExpectations =
+    {
+        {"src/sim/r1_fire.cc", {"R1"}},
+        {"src/sim/r1_ok.cc", {}},
+        {"src/core/r2_fire.cc", {"R2"}},
+        {"src/core/r2_ok.cc", {}},
+        {"src/analysis/r3_fire.cc", {"R3"}},
+        {"src/common/rng.cc", {}},
+        {"bench/r4_fire.cc", {"R4"}},
+        {"bench/r4_ok.cc", {}},
+        {"src/arch/r5_fire.hh", {"R5"}},
+        {"src/arch/r5_ok.hh", {}},
+        {"src/analysis/suppressed_ok.cc", {}},
+};
+
+TEST(DiffyLint, EveryFixtureMatchesItsExpectation)
+{
+    for (const auto &[rel, expected] : kFixtureExpectations) {
+        std::vector<Finding> findings =
+            lintTree(fixturesRoot(), {rel});
+        EXPECT_EQ(rulesIn(findings), expected) << rel;
+        if (expected.empty()) {
+            EXPECT_TRUE(findings.empty()) << rel;
+        }
+    }
+}
+
+TEST(DiffyLint, EveryRuleHasFireAndNoFireCoverage)
+{
+    std::set<std::string> fired;
+    std::set<std::string> cleanCovered;
+    for (const auto &[rel, expected] : kFixtureExpectations) {
+        fired.insert(expected.begin(), expected.end());
+        if (expected.empty())
+            cleanCovered.insert(rel);
+    }
+    for (const auto &rule : diffy::lint::ruleCatalog())
+        EXPECT_TRUE(fired.count(rule.id)) << rule.id
+                                          << " has no must-fire fixture";
+    // One clean counterpart per rule (r1_ok, r2_ok, rng, r4_ok, r5_ok).
+    EXPECT_GE(cleanCovered.size(), diffy::lint::ruleCatalog().size());
+}
+
+TEST(DiffyLint, FireFixturesReportExactLines)
+{
+    // The R1 fixture accumulates on one known line inside the nest.
+    std::vector<Finding> r1 =
+        lintTree(fixturesRoot(), {"src/sim/r1_fire.cc"});
+    ASSERT_EQ(r1.size(), 1u);
+    EXPECT_EQ(r1[0].line, 12);
+    EXPECT_NE(r1[0].message.find("cycles"), std::string::npos);
+
+    // The R4 fixture has two raw reads on consecutive lines.
+    std::vector<Finding> r4 =
+        lintTree(fixturesRoot(), {"bench/r4_fire.cc"});
+    ASSERT_EQ(r4.size(), 2u);
+    EXPECT_EQ(r4[1].line, r4[0].line + 1);
+
+    // The R5 fixture violates both header rules.
+    std::vector<Finding> r5 =
+        lintTree(fixturesRoot(), {"src/arch/r5_fire.hh"});
+    EXPECT_EQ(r5.size(), 2u);
+}
+
+TEST(DiffyLint, PatternsInsideCommentsAndStringsDoNotFire)
+{
+    const std::string contents =
+        "// std::mt19937 in a comment\n"
+        "const char *s = \"std::mt19937 rand() thread_local\";\n"
+        "/* BitReader br; br.read(4); */\n";
+    EXPECT_TRUE(lintFile("src/core/strings.cc", contents).empty());
+}
+
+TEST(DiffyLint, SuppressionCoversSameAndNextLineOnly)
+{
+    const std::string suppressed =
+        "// diffy-lint: allow(R3)\n"
+        "std::mt19937 gen(1);\n";
+    EXPECT_TRUE(lintFile("src/core/a.cc", suppressed).empty());
+
+    const std::string tooFar =
+        "// diffy-lint: allow(R3)\n"
+        "\n"
+        "std::mt19937 gen(1);\n";
+    EXPECT_EQ(lintFile("src/core/b.cc", tooFar).size(), 1u);
+
+    const std::string wrongRule =
+        "std::mt19937 gen(1); // diffy-lint: allow(R4)\n";
+    EXPECT_EQ(lintFile("src/core/c.cc", wrongRule).size(), 1u);
+}
+
+TEST(DiffyLint, CanonicalGuardDerivation)
+{
+    // src/ prefix is stripped; every other separator becomes '_'.
+    const std::string good = "#ifndef DIFFY_SIM_DIFFY_SIM_HH\n"
+                             "#define DIFFY_SIM_DIFFY_SIM_HH\n"
+                             "#endif\n";
+    EXPECT_TRUE(lintFile("src/sim/diffy_sim.hh", good).empty());
+
+    const std::string toolsGood = "#ifndef DIFFY_TOOLS_LINT_LINT_HH\n"
+                                  "#define DIFFY_TOOLS_LINT_LINT_HH\n"
+                                  "#endif\n";
+    EXPECT_TRUE(lintFile("tools/lint/lint.hh", toolsGood).empty());
+
+    std::vector<Finding> missing = lintFile("src/arch/new.hh", "int x;\n");
+    ASSERT_EQ(missing.size(), 1u);
+    EXPECT_NE(missing[0].message.find("DIFFY_ARCH_NEW_HH"),
+              std::string::npos);
+}
+
+TEST(DiffyLint, FullProjectTreeIsClean)
+{
+    std::vector<std::string> scanned;
+    std::vector<Finding> findings = lintTree(
+        sourceRoot(), {"src", "bench", "tests", "tools"}, &scanned);
+    std::string rendered;
+    for (const Finding &f : findings)
+        rendered += diffy::lint::formatFinding(f) + "\n";
+    EXPECT_TRUE(findings.empty()) << rendered;
+    // The scan actually covered the tree (and skipped the fixtures).
+    EXPECT_GT(scanned.size(), 100u);
+    for (const std::string &rel : scanned)
+        EXPECT_EQ(rel.find("tools/lint/fixtures"), std::string::npos);
+}
+
+/** Exit status of a spawned process, -1 on abnormal termination. */
+int
+runBinary(const std::string &args)
+{
+    const std::string cmd =
+        std::string(DIFFY_LINT_BINARY) + " " + args + " > /dev/null 2>&1";
+    const int status = std::system(cmd.c_str());
+    if (status == -1 || !WIFEXITED(status))
+        return -1;
+    return WEXITSTATUS(status);
+}
+
+TEST(DiffyLintCli, ExitCodesAreAsserted)
+{
+    // Findings in the fixture tree -> 1.
+    EXPECT_EQ(runBinary("--root " + fixturesRoot() + " src bench"), 1);
+    // A clean fixture alone -> 0.
+    EXPECT_EQ(runBinary("--root " + fixturesRoot() +
+                        " src/arch/r5_ok.hh"),
+              0);
+    // The real tree -> 0 (the CI gate).
+    EXPECT_EQ(runBinary("--root " + sourceRoot() +
+                        " src bench tests tools"),
+              0);
+    // A missing path -> 2 (usage/I-O error).
+    EXPECT_EQ(runBinary("--root " + fixturesRoot() + " no/such/dir"), 2);
+    // Bad flag -> 2.
+    EXPECT_EQ(runBinary("--frobnicate"), 2);
+}
+
+} // namespace

@@ -1,0 +1,83 @@
+/**
+ * @file
+ * diffy-lint CLI.
+ *
+ *   diffy_lint [--root DIR] [--list-rules] [PATH...]
+ *
+ * PATHs (files or directories, relative to --root, default ".") are
+ * scanned for .cc/.hh files; with no PATH the project default
+ * `src bench tests tools` is used. Exit status: 0 clean, 1 findings,
+ * 2 usage or I/O error — CI treats any nonzero as a failed gate.
+ */
+
+#include <cstdio>
+#include <exception>
+#include <string>
+#include <vector>
+
+#include "lint.hh"
+
+namespace
+{
+
+int
+usage(const char *argv0)
+{
+    std::fprintf(stderr,
+                 "usage: %s [--root DIR] [--list-rules] [PATH...]\n",
+                 argv0);
+    return 2;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    std::string root = ".";
+    std::vector<std::string> paths;
+    bool listRules = false;
+
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        if (arg == "--root") {
+            if (i + 1 >= argc)
+                return usage(argv[0]);
+            root = argv[++i];
+        } else if (arg == "--list-rules") {
+            listRules = true;
+        } else if (arg == "--help" || arg == "-h") {
+            usage(argv[0]);
+            return 0;
+        } else if (!arg.empty() && arg[0] == '-') {
+            return usage(argv[0]);
+        } else {
+            paths.push_back(arg);
+        }
+    }
+
+    if (listRules) {
+        for (const auto &rule : diffy::lint::ruleCatalog())
+            std::printf("%s  %s\n", rule.id.c_str(),
+                        rule.summary.c_str());
+        return 0;
+    }
+
+    if (paths.empty())
+        paths = {"src", "bench", "tests", "tools"};
+
+    try {
+        std::vector<std::string> scanned;
+        const std::vector<diffy::lint::Finding> findings =
+            diffy::lint::lintTree(root, paths, &scanned);
+        for (const auto &finding : findings)
+            std::printf("%s\n",
+                        diffy::lint::formatFinding(finding).c_str());
+        std::fprintf(stderr, "diffy-lint: %zu file(s), %zu finding(s)\n",
+                     scanned.size(), findings.size());
+        return findings.empty() ? 0 : 1;
+    } catch (const std::exception &e) {
+        std::fprintf(stderr, "%s\n", e.what());
+        return 2;
+    }
+}
