@@ -23,6 +23,7 @@
 
 #include <algorithm>
 #include <cstdio>
+#include <stdexcept>
 
 #include "common/cli.hh"
 #include "common/rng.hh"
@@ -73,10 +74,16 @@ int
 main(int argc, char **argv)
 {
     CliArgs args(argc, argv);
-    const auto seed =
-        static_cast<std::uint64_t>(args.getInt("seed", 1234));
-    const int trials =
-        std::max(1, static_cast<int>(args.getInt("trials", 100)));
+    std::uint64_t seed = 1234;
+    int trials = 100;
+    try {
+        seed = static_cast<std::uint64_t>(args.getInt("seed", 1234));
+        trials =
+            std::max(1, static_cast<int>(args.getInt("trials", 100)));
+    } catch (const std::invalid_argument &e) {
+        std::fprintf(stderr, "error: %s\n", e.what());
+        return 2;
+    }
 
     TensorI16 clean = syntheticActivations(seed, 4, 16, 64);
 

@@ -20,7 +20,7 @@ using namespace diffy;
 int
 main(int argc, char **argv)
 {
-    ExperimentParams params = ExperimentParams::fromCli(argc, argv);
+    ExperimentParams params = ExperimentParams::fromCliOrExit(argc, argv);
     auto traced = traceSuite(ciDnnSuite(), params);
     AcceleratorConfig cfg = defaultDiffyConfig();
 

@@ -19,7 +19,7 @@ using namespace diffy;
 int
 main(int argc, char **argv)
 {
-    ExperimentParams params = ExperimentParams::fromCli(argc, argv);
+    ExperimentParams params = ExperimentParams::fromCliOrExit(argc, argv);
     TraceCache cache(params.cacheDir);
 
     NetworkSpec net = makeDnCnn();

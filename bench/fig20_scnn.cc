@@ -17,7 +17,7 @@ using namespace diffy;
 int
 main(int argc, char **argv)
 {
-    ExperimentParams params = ExperimentParams::fromCli(argc, argv);
+    ExperimentParams params = ExperimentParams::fromCliOrExit(argc, argv);
     const double sparsities[] = {0.0, 0.5, 0.75, 0.9};
 
     TextTable table("Fig 20: Diffy speedup over SCNN");

@@ -15,7 +15,7 @@ using namespace diffy;
 int
 main(int argc, char **argv)
 {
-    ExperimentParams params = ExperimentParams::fromCli(argc, argv);
+    ExperimentParams params = ExperimentParams::fromCliOrExit(argc, argv);
 
     TextTable tab1("Table I: CI-DNNs studied");
     tab1.setHeader({"Network", "Conv layers", "ReLU layers",

@@ -23,7 +23,7 @@ int
 main(int argc, char **argv)
 {
     CliArgs args(argc, argv);
-    ExperimentParams params = ExperimentParams::fromCli(argc, argv);
+    ExperimentParams params = ExperimentParams::fromCliOrExit(argc, argv);
     const std::string net_name = args.getString("net", "VDSR");
     const std::string scene_name = args.getString("scene", "city");
 

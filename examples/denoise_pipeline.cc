@@ -12,6 +12,7 @@
  */
 
 #include <cstdio>
+#include <stdexcept>
 
 #include "analysis/terms.hh"
 #include "common/cli.hh"
@@ -26,8 +27,14 @@ int
 main(int argc, char **argv)
 {
     CliArgs args(argc, argv);
-    ExperimentParams params = ExperimentParams::fromCli(argc, argv);
-    const double noise = args.getDouble("noise", 0.05);
+    ExperimentParams params = ExperimentParams::fromCliOrExit(argc, argv);
+    double noise = 0.05;
+    try {
+        noise = args.getDouble("noise", 0.05);
+    } catch (const std::invalid_argument &e) {
+        std::fprintf(stderr, "error: %s\n", e.what());
+        return 2;
+    }
 
     // A noisy sensor capture: nature scene + Gaussian shot noise.
     SceneParams scene;

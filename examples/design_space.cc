@@ -12,6 +12,7 @@
  */
 
 #include <cstdio>
+#include <stdexcept>
 
 #include "common/cli.hh"
 #include "common/table.hh"
@@ -24,9 +25,15 @@ int
 main(int argc, char **argv)
 {
     CliArgs args(argc, argv);
-    ExperimentParams params = ExperimentParams::fromCli(argc, argv);
+    ExperimentParams params = ExperimentParams::fromCliOrExit(argc, argv);
     const std::string net_name = args.getString("net", "FFDNet");
-    const double target_fps = args.getDouble("target-fps", 30.0);
+    double target_fps = 30.0;
+    try {
+        target_fps = args.getDouble("target-fps", 30.0);
+    } catch (const std::invalid_argument &e) {
+        std::fprintf(stderr, "error: %s\n", e.what());
+        return 2;
+    }
 
     NetworkSpec net = makeNetwork(net_name);
     auto traced = traceSuite({net}, params);

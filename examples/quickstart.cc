@@ -24,7 +24,7 @@ int
 main(int argc, char **argv)
 {
     CliArgs args(argc, argv);
-    ExperimentParams params = ExperimentParams::fromCli(argc, argv);
+    ExperimentParams params = ExperimentParams::fromCliOrExit(argc, argv);
     const std::string net_name = args.getString("net", "DnCNN");
 
     NetworkSpec net = makeNetwork(net_name);

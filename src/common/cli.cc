@@ -1,20 +1,30 @@
 #include "common/cli.hh"
 
+#include <charconv>
 #include <cstdlib>
+#include <stdexcept>
 
 namespace diffy
 {
 
-CliArgs::CliArgs(int argc, const char *const *argv)
+CliArgs::CliArgs(int argc, const char *const *argv,
+                 const std::set<std::string> &boolFlags)
 {
     for (int i = 1; i < argc; ++i) {
         std::string arg = argv[i];
-        if (arg.rfind("--", 0) != 0)
+        if (arg.rfind("--", 0) != 0) {
+            positionals_.push_back(std::move(arg));
             continue;
+        }
         arg = arg.substr(2);
         auto eq = arg.find('=');
         if (eq != std::string::npos) {
             values_[arg.substr(0, eq)] = arg.substr(eq + 1);
+        } else if (boolFlags.count(arg) != 0) {
+            // Declared boolean: never swallow the next token — it is a
+            // positional (the historical bug: "--verbose trace.bin"
+            // bound verbose="trace.bin" and lost the file argument).
+            values_[arg] = "true";
         } else if (i + 1 < argc && std::string(argv[i + 1]).rfind("--", 0)) {
             values_[arg] = argv[++i];
         } else {
@@ -40,14 +50,33 @@ std::int64_t
 CliArgs::getInt(const std::string &name, std::int64_t fallback) const
 {
     auto it = values_.find(name);
-    return it == values_.end() ? fallback : std::atoll(it->second.c_str());
+    if (it == values_.end())
+        return fallback;
+    const std::string &text = it->second;
+    std::int64_t value = 0;
+    auto [end, ec] =
+        std::from_chars(text.data(), text.data() + text.size(), value);
+    if (ec != std::errc{} || end != text.data() + text.size())
+        throw std::invalid_argument("--" + name + " expects an integer, got \"" +
+                                    text + "\"");
+    return value;
 }
 
 double
 CliArgs::getDouble(const std::string &name, double fallback) const
 {
     auto it = values_.find(name);
-    return it == values_.end() ? fallback : std::atof(it->second.c_str());
+    if (it == values_.end())
+        return fallback;
+    const std::string &text = it->second;
+    // strtod rather than from_chars<double>: libstdc++'s FP from_chars
+    // support is newer than the rest of our C++20 floor.
+    char *end = nullptr;
+    double value = std::strtod(text.c_str(), &end);
+    if (end == text.c_str() || *end != '\0')
+        throw std::invalid_argument("--" + name + " expects a number, got \"" +
+                                    text + "\"");
+    return value;
 }
 
 bool

@@ -17,6 +17,7 @@ RunningStat::add(double x)
             max_ = x;
     }
     ++n_;
+    sum_ += x;
     double delta = x - mean_;
     mean_ += delta / static_cast<double>(n_);
     m2_ += delta * (x - mean_);
@@ -35,9 +36,11 @@ RunningStat::merge(const RunningStat &other)
     std::uint64_t n = n_ + other.n_;
     double na = static_cast<double>(n_);
     double nb = static_cast<double>(other.n_);
-    mean_ += delta * nb / (na + nb);
-    m2_ += other.m2_ + delta * delta * na * nb / (na + nb);
+    double nTotal = static_cast<double>(n);
+    mean_ += delta * nb / nTotal;
+    m2_ += other.m2_ + delta * delta * na * nb / nTotal;
     n_ = n;
+    sum_ += other.sum_;
     if (other.min_ < min_)
         min_ = other.min_;
     if (other.max_ > max_)

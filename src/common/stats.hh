@@ -29,7 +29,10 @@ class RunningStat
     double stddev() const;
     double min() const { return n_ ? min_ : 0.0; }
     double max() const { return n_ ? max_ : 0.0; }
-    double sum() const { return n_ ? mean_ * static_cast<double>(n_) : 0.0; }
+
+    /** Directly accumulated — exact under merge(), unlike mean_*n
+     *  reconstruction which drifts for large counts. */
+    double sum() const { return sum_; }
 
   private:
     std::uint64_t n_ = 0;
@@ -37,6 +40,7 @@ class RunningStat
     double m2_ = 0.0;
     double min_ = 0.0;
     double max_ = 0.0;
+    double sum_ = 0.0;
 };
 
 /**

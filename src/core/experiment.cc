@@ -1,9 +1,13 @@
 #include "core/experiment.hh"
 
 #include <algorithm>
+#include <cstdio>
+#include <cstdlib>
 #include <stdexcept>
 
 #include "common/cli.hh"
+#include "obs/metrics.hh"
+#include "obs/trace.hh"
 
 namespace diffy
 {
@@ -28,12 +32,12 @@ ExperimentParams::fromCli(int argc, const char *const *argv)
     params.threads = static_cast<int>(args.getInt("threads", params.threads));
     params.sweepSeed = static_cast<std::uint64_t>(
         args.getInt("sweep-seed", static_cast<std::int64_t>(params.sweepSeed)));
+    params.metricsOut = args.getString("metrics-out", params.metricsOut);
 
     ConfigValidation v = params.validate();
     // An explicit --threads must name a worker count; only the absent
-    // flag means "auto". This also catches non-numeric values, which
-    // the parser maps to 0. (Negative values are already flagged by
-    // validate().)
+    // flag means "auto". (Non-numeric values already throw from
+    // getInt; negative values are flagged by validate().)
     if (args.has("threads") && params.threads == 0)
         v.issues.push_back(
             {"threads", "--threads expects a positive integer, got \"" +
@@ -41,7 +45,20 @@ ExperimentParams::fromCli(int argc, const char *const *argv)
     if (!v.ok())
         throw std::invalid_argument("ExperimentParams invalid: " +
                                     v.summary());
+    if (!params.metricsOut.empty())
+        obs::dumpMetricsOnExit(params.metricsOut);
     return params;
+}
+
+ExperimentParams
+ExperimentParams::fromCliOrExit(int argc, const char *const *argv)
+{
+    try {
+        return fromCli(argc, argv);
+    } catch (const std::invalid_argument &e) {
+        std::fprintf(stderr, "error: %s\n", e.what());
+        std::exit(2);
+    }
 }
 
 ConfigValidation
@@ -87,6 +104,7 @@ std::vector<TracedNetwork>
 traceSuite(const std::vector<NetworkSpec> &suite,
            const ExperimentParams &params, const ExecutorOptions &opts)
 {
+    obs::Span span(obs::Tracer::global(), "core.trace_suite");
     TraceCache cache(params.cacheDir);
     std::vector<SceneParams> scenes =
         defaultEvalScenes(params.scenes, params.crop);

@@ -56,15 +56,33 @@ struct ExperimentParams
     int threads = 0;
     /** Seed namespace for per-job sweep RNGs. */
     std::uint64_t sweepSeed = 0;
+    /**
+     * File to receive a JSON metrics-registry snapshot when the bench
+     * exits ("" disables). Written at exit, never to stdout, so the
+     * table output stays byte-identical with or without it.
+     */
+    std::string metricsOut;
 
     /**
      * Build from argc/argv (--crop, --scenes, --frame-h, --threads,
-     * ...).
+     * --metrics-out, ...). A non-empty --metrics-out arranges the
+     * exit-time snapshot dump as a side effect.
      * @throws std::invalid_argument (with the full field-level issue
-     *         summary) on out-of-range values, e.g. a non-positive or
-     *         absurd --threads.
+     *         summary) on malformed or out-of-range values, e.g. a
+     *         non-numeric, non-positive or absurd --threads.
      */
     static ExperimentParams fromCli(int argc, const char *const *argv);
+
+    /**
+     * fromCli for binary entry points: on malformed values prints
+     * "error: <details>" to stderr and exits with status 2 instead of
+     * letting the exception escape main (an uncaught throw aborts via
+     * std::terminate, which reads as a crash rather than a usage
+     * error). Benches and examples should call this; library code and
+     * tests use the throwing fromCli.
+     */
+    static ExperimentParams fromCliOrExit(int argc,
+                                          const char *const *argv);
 
     /**
      * Check every field for plausibility (positive geometry and scene

@@ -6,8 +6,38 @@
 #include <sstream>
 #include <utility>
 
+#include "obs/metrics.hh"
+#include "obs/trace.hh"
+
 namespace diffy
 {
+
+namespace
+{
+
+/** Registry handles for the trace-cache counters, resolved once. */
+struct CacheMetrics
+{
+    obs::Counter &hits;
+    obs::Counter &misses;
+    obs::Counter &singleFlightWaits;
+    obs::Counter &diskLoads;
+};
+
+CacheMetrics &
+cacheMetrics()
+{
+    auto &reg = obs::MetricsRegistry::instance();
+    static CacheMetrics metrics{
+        reg.counter("trace_cache.hits"),
+        reg.counter("trace_cache.misses"),
+        reg.counter("trace_cache.singleflight_waits"),
+        reg.counter("trace_cache.disk_loads"),
+    };
+    return metrics;
+}
+
+} // namespace
 
 TraceCache::TraceCache(std::string directory, Tracer tracer)
     : directory_(std::move(directory)), tracer_(std::move(tracer))
@@ -42,13 +72,16 @@ TraceCache::compute(const std::string &key, const NetworkSpec &net,
                     const SceneParams &scene,
                     const ExecutorOptions &opts) const
 {
+    obs::Span span(obs::Tracer::global(), "trace_cache.compute");
     std::filesystem::path path;
     if (!directory_.empty()) {
         path = std::filesystem::path(directory_) / (key + ".trace");
         if (std::filesystem::exists(path)) {
             std::ifstream in(path, std::ios::binary);
             try {
-                return loadTrace(in);
+                NetworkTrace trace = loadTrace(in);
+                cacheMetrics().diskLoads.add(1);
+                return trace;
             } catch (const std::exception &) {
                 // Corrupt or stale cache entry: fall through and
                 // recompute; the store below overwrites it.
@@ -90,6 +123,7 @@ TraceCache::get(const NetworkSpec &net, const SceneParams &scene,
         if (it != entries_.end()) {
             std::shared_future<NetworkTrace> future = it->second;
             lock.unlock();
+            cacheMetrics().hits.add(1);
             return future.get();
         }
     }
@@ -102,10 +136,12 @@ TraceCache::get(const NetworkSpec &net, const SceneParams &scene,
             // Lost the install race: wait on the winner's flight.
             std::shared_future<NetworkTrace> future = it->second;
             lock.unlock();
+            cacheMetrics().singleFlightWaits.add(1);
             return future.get();
         }
         entries_.emplace(key, promise.get_future().share());
     }
+    cacheMetrics().misses.add(1);
 
     // Single-flight: this thread owns the computation for `key`; any
     // concurrent requester blocks on the shared_future installed

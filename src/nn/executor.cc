@@ -9,6 +9,8 @@
 #include "common/cache_registry.hh"
 #include "common/fixed_point.hh"
 #include "common/rng.hh"
+#include "obs/metrics.hh"
+#include "obs/trace.hh"
 
 namespace diffy
 {
@@ -421,6 +423,14 @@ runNetwork(const NetworkSpec &net, const Tensor3<float> &rgb,
 
     for (std::size_t li = 0; li < net.layers.size(); ++li) {
         const ConvLayerSpec &layer = net.layers[li];
+        // Per-layer observability: a trace span (skipped without the
+        // string build when tracing is off) and a latency histogram
+        // keyed by net/layer for --metrics-out cost attribution.
+        obs::Span span(obs::traceEnabled()
+                           ? "layer:" + net.name + "/" + layer.name
+                           : std::string());
+        obs::ScopedLatency timer(obs::MetricsRegistry::instance().histogram(
+            "nn.layer_seconds:" + net.name + "/" + layer.name));
         // Bring the running activation to this layer's resolution and
         // channel count (pooling / pixel shuffle between stages).
         activ = adaptToLayer(std::move(activ), cur_divisor, layer);

@@ -1,0 +1,175 @@
+#include "obs/trace.hh"
+
+#include <cstdlib>
+#include <fstream>
+#include <utility>
+
+namespace diffy::obs
+{
+
+namespace
+{
+
+/**
+ * Small dense thread id for the "tid" lane in the trace viewer.
+ * Assigned on first use per thread; monotonically increasing, never
+ * reused. This is an identity, not a memo cache — clearing it between
+ * sweeps would relabel lanes mid-trace, so it is exempt from the
+ * thread-cache registry.
+ */
+int
+currentTid()
+{
+    static std::atomic<int> next{0};
+    // diffy-lint: allow(R2) — thread identity, must survive cache clears
+    thread_local int tid = next.fetch_add(1, std::memory_order_relaxed);
+    return tid;
+}
+
+void
+appendEscaped(std::ostream &os, const std::string &s)
+{
+    os << '"';
+    for (char c : s) {
+        if (c == '"' || c == '\\')
+            os << '\\' << c;
+        else if (static_cast<unsigned char>(c) < 0x20)
+            os << ' '; // span names are ASCII identifiers; keep it simple
+        else
+            os << c;
+    }
+    os << '"';
+}
+
+} // namespace
+
+/* ------------------------------------------------------------------ */
+/* Tracer                                                              */
+/* ------------------------------------------------------------------ */
+
+Tracer::Tracer(std::string path)
+{
+    configure(std::move(path));
+}
+
+Tracer::~Tracer()
+{
+    flush();
+}
+
+void
+Tracer::configure(std::string path)
+{
+    flush();
+    std::lock_guard<std::mutex> lock(mutex_);
+    path_ = std::move(path);
+    events_.clear();
+    enabled_.store(!path_.empty(), std::memory_order_relaxed);
+}
+
+void
+Tracer::flush()
+{
+    std::vector<Event> events;
+    std::string path;
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        if (path_.empty())
+            return;
+        path = path_;
+        events = events_; // copy: events are kept for later flushes
+    }
+    std::ofstream out(path);
+    if (!out)
+        return; // tracing is best-effort; never fail the bench over it
+    out << "{\"displayTimeUnit\": \"ms\", \"traceEvents\": [";
+    bool first = true;
+    for (const Event &e : events) {
+        out << (first ? "\n" : ",\n");
+        first = false;
+        out << "{\"name\": ";
+        appendEscaped(out, e.name);
+        // Chrome trace timestamps are microseconds (doubles are fine:
+        // 0.001us resolution keeps nanosecond precision for ~104 days).
+        out << ", \"cat\": \"diffy\", \"ph\": \"X\", \"ts\": "
+            << static_cast<double>(e.startNs) * 1e-3
+            << ", \"dur\": " << static_cast<double>(e.durNs) * 1e-3
+            << ", \"pid\": 1, \"tid\": " << e.tid;
+        if (e.hasArg)
+            out << ", \"args\": {\"index\": " << e.arg << "}";
+        out << "}";
+    }
+    out << "\n]}\n";
+}
+
+std::size_t
+Tracer::eventCount() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return events_.size();
+}
+
+Tracer &
+Tracer::global()
+{
+    static Tracer tracer([] {
+        const char *path = std::getenv("DIFFY_TRACE");
+        return std::string(path != nullptr ? path : "");
+    }());
+    return tracer;
+}
+
+std::uint64_t
+Tracer::nowNs() const
+{
+    return static_cast<std::uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(
+            std::chrono::steady_clock::now() - epoch_)
+            .count());
+}
+
+void
+Tracer::record(std::string &&name, std::uint64_t startNs,
+               std::uint64_t durNs, std::int64_t arg, bool hasArg)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (path_.empty())
+        return; // disabled between span start and end: drop quietly
+    events_.push_back(
+        Event{std::move(name), startNs, durNs, arg, hasArg, currentTid()});
+}
+
+bool
+traceEnabled()
+{
+    return Tracer::global().enabled();
+}
+
+/* ------------------------------------------------------------------ */
+/* Span                                                                */
+/* ------------------------------------------------------------------ */
+
+Span::Span(Tracer &tracer, std::string name)
+{
+    if (tracer.enabled() && !name.empty()) {
+        tracer_ = &tracer;
+        name_ = std::move(name);
+        startNs_ = tracer.nowNs();
+    }
+}
+
+Span::Span(Tracer &tracer, std::string name, std::int64_t arg)
+    : Span(tracer, std::move(name))
+{
+    arg_ = arg;
+    hasArg_ = tracer_ != nullptr;
+}
+
+Span::~Span()
+{
+    if (tracer_ != nullptr)
+        tracer_->record(std::move(name_), startNs_,
+                        tracer_->nowNs() - startNs_, arg_, hasArg_);
+}
+
+} // namespace diffy::obs

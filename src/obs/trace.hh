@@ -1,0 +1,139 @@
+/**
+ * @file
+ * Span-based tracing that emits Chrome `trace_event` JSON
+ * (chrome://tracing / Perfetto "load trace" format).
+ *
+ * A `Span` is an RAII scope: construction reads the steady clock,
+ * destruction records one complete ("ph":"X") event with the scope's
+ * duration. Spans nest naturally — the viewer stacks events per
+ * thread lane by timestamp containment.
+ *
+ * Tracing is OFF by default and zero-cost when disabled: the global
+ * tracer is enabled only when the DIFFY_TRACE environment variable
+ * names an output file, and a Span constructed against a disabled
+ * tracer stores a null tracer and never touches the clock. All clock
+ * reads live in this module (lint rule R6 keeps timing centralized in
+ * src/obs + src/runtime).
+ *
+ * Output goes to the configured file only — never stdout (the
+ * determinism contract reserves stdout for bench tables). The file is
+ * (re)written by flush(); the global tracer flushes at process exit.
+ */
+
+#ifndef DIFFY_OBS_TRACE_HH
+#define DIFFY_OBS_TRACE_HH
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace diffy::obs
+{
+
+/** Collects span events and writes them as Chrome trace JSON. */
+class Tracer
+{
+  public:
+    /** Disabled tracer: spans against it are inert. */
+    Tracer() = default;
+
+    /** Enabled when @p path is non-empty; see configure(). */
+    explicit Tracer(std::string path);
+
+    /** Flushes any buffered events (I/O errors are swallowed). */
+    ~Tracer();
+
+    Tracer(const Tracer &) = delete;
+    Tracer &operator=(const Tracer &) = delete;
+
+    /** True when spans are being recorded. */
+    bool enabled() const
+    {
+        return enabled_.load(std::memory_order_relaxed);
+    }
+
+    /**
+     * Re-target the tracer: flush the current events (if enabled),
+     * drop them, then record to @p path ("" disables). Tests use this
+     * to turn the global tracer on and off around a scenario.
+     */
+    void configure(std::string path);
+
+    /**
+     * Write every event recorded so far to the configured path as
+     * `{"displayTimeUnit": "ms", "traceEvents": [...]}`. Events are
+     * kept, so repeated flushes rewrite a complete file.
+     */
+    void flush();
+
+    /** Events buffered so far (tests). */
+    std::size_t eventCount() const;
+
+    /**
+     * The process-wide tracer, configured once from the DIFFY_TRACE
+     * environment variable (unset/empty = disabled). Flushed at
+     * static destruction, i.e. after main returns.
+     */
+    static Tracer &global();
+
+  private:
+    friend class Span;
+
+    /** Nanoseconds since this tracer's construction. */
+    std::uint64_t nowNs() const;
+    void record(std::string &&name, std::uint64_t startNs,
+                std::uint64_t durNs, std::int64_t arg, bool hasArg);
+
+    struct Event
+    {
+        std::string name;
+        std::uint64_t startNs;
+        std::uint64_t durNs;
+        std::int64_t arg;
+        bool hasArg;
+        int tid;
+    };
+
+    std::chrono::steady_clock::time_point epoch_ =
+        std::chrono::steady_clock::now();
+    mutable std::mutex mutex_;
+    std::string path_;          ///< guarded by mutex_
+    std::vector<Event> events_; ///< guarded by mutex_
+    std::atomic<bool> enabled_{false};
+};
+
+/** True when the global tracer is recording. Use to skip building
+ *  dynamic span names on hot paths. */
+bool traceEnabled();
+
+/** RAII trace scope; inert when its tracer is disabled or the name is
+ *  empty (pass "" to skip a span cheaply). */
+class Span
+{
+  public:
+    explicit Span(std::string name) : Span(Tracer::global(), std::move(name))
+    {}
+    Span(std::string name, std::int64_t arg)
+        : Span(Tracer::global(), std::move(name), arg)
+    {}
+    Span(Tracer &tracer, std::string name);
+    Span(Tracer &tracer, std::string name, std::int64_t arg);
+    ~Span();
+
+    Span(const Span &) = delete;
+    Span &operator=(const Span &) = delete;
+
+  private:
+    Tracer *tracer_ = nullptr; ///< null = inert
+    std::string name_;
+    std::uint64_t startNs_ = 0;
+    std::int64_t arg_ = 0;
+    bool hasArg_ = false;
+};
+
+} // namespace diffy::obs
+
+#endif // DIFFY_OBS_TRACE_HH

@@ -9,6 +9,8 @@
 #include <stdexcept>
 
 #include "common/cache_registry.hh"
+#include "obs/metrics.hh"
+#include "obs/trace.hh"
 #include "runtime/thread_pool.hh"
 
 namespace diffy
@@ -49,6 +51,45 @@ checkedThreadCount(long value, const std::string &source)
     return static_cast<int>(value);
 }
 
+/**
+ * Registry handles for the sweep metrics, resolved once. The
+ * `job_seconds` / `queue_wait_seconds` histograms are per-run (reset
+ * at each run() start — SweepStats reads them back); the counters
+ * accumulate across sweeps for --metrics-out.
+ */
+struct SweepMetrics
+{
+    obs::LatencyHistogram &jobSeconds;
+    obs::LatencyHistogram &queueWait;
+    obs::Counter &jobs;
+    obs::Counter &busyMicros;
+    obs::Counter &queueWaitMicros;
+    obs::Gauge &wallSeconds;
+    obs::Gauge &threads;
+};
+
+SweepMetrics &
+sweepMetrics()
+{
+    auto &reg = obs::MetricsRegistry::instance();
+    static SweepMetrics metrics{
+        reg.histogram("sweep.job_seconds"),
+        reg.histogram("sweep.queue_wait_seconds"),
+        reg.counter("sweep.jobs"),
+        reg.counter("sweep.busy_micros"),
+        reg.counter("sweep.queue_wait_micros"),
+        reg.gauge("sweep.wall_seconds"),
+        reg.gauge("sweep.threads"),
+    };
+    return metrics;
+}
+
+std::uint64_t
+micros(double seconds)
+{
+    return seconds > 0.0 ? static_cast<std::uint64_t>(seconds * 1e6) : 0;
+}
+
 } // namespace
 
 double
@@ -67,7 +108,8 @@ SweepStats::summary() const
     os << "sweep: " << jobs << " jobs on " << threads << " thread"
        << (threads == 1 ? "" : "s") << ", wall " << wallSeconds
        << "s, busy " << busySeconds << "s (job min " << minJobSeconds
-       << "s / max " << maxJobSeconds << "s), utilization ";
+       << "s / max " << maxJobSeconds << "s), queue wait "
+       << queueWaitSeconds << "s, utilization ";
     os.precision(1);
     os << utilization() * 100.0 << "%";
     return os.str();
@@ -121,13 +163,33 @@ SweepScheduler::jobSeed(std::uint64_t baseSeed, std::size_t index)
     return splitmix64(state);
 }
 
+SweepStats
+SweepScheduler::stats() const
+{
+    SweepMetrics &m = sweepMetrics();
+    SweepStats out;
+    out.threads = threads_;
+    obs::LatencyHistogram::Snapshot jobs = m.jobSeconds.snapshot();
+    obs::LatencyHistogram::Snapshot waits = m.queueWait.snapshot();
+    out.jobs = jobs.stat.count();
+    out.busySeconds = jobs.stat.sum();
+    out.minJobSeconds = jobs.stat.min();
+    out.maxJobSeconds = jobs.stat.max();
+    out.queueWaitSeconds = waits.stat.sum();
+    out.wallSeconds = m.wallSeconds.value();
+    return out;
+}
+
 void
 SweepScheduler::run(std::size_t jobCount,
                     const std::function<void(SweepJob &)> &body)
 {
-    stats_ = SweepStats{};
-    stats_.threads = threads_;
-    stats_.jobs = jobCount;
+    SweepMetrics &metrics = sweepMetrics();
+    // Per-run view: stats() reports the most recent sweep only.
+    metrics.jobSeconds.reset();
+    metrics.queueWait.reset();
+    metrics.wallSeconds.set(0.0);
+    metrics.threads.set(threads_);
     if (jobCount == 0)
         return;
 
@@ -138,14 +200,31 @@ SweepScheduler::run(std::size_t jobCount,
     // which is exactly where leftovers could hide.
     clearRegisteredThreadCaches();
 
-    std::vector<double> jobSeconds(jobCount, 0.0);
     Clock::time_point sweepStart = Clock::now();
+    // Submission timestamps for queue-wait attribution; slot i is
+    // written before job i is submitted and read only by job i.
+    std::vector<Clock::time_point> submitTimes(jobCount, sweepStart);
 
-    auto executeJob = [&](std::size_t index) {
+    auto executeJob = [&](std::size_t index, bool pooled) {
         Clock::time_point jobStart = Clock::now();
-        SweepJob job{index, Rng(jobSeed(baseSeed_, index))};
-        body(job);
-        jobSeconds[index] = secondsSince(jobStart);
+        double queueWait =
+            pooled ? std::chrono::duration<double>(jobStart -
+                                                   submitTimes[index])
+                         .count()
+                   : 0.0;
+        double elapsed;
+        {
+            obs::Span span(obs::Tracer::global(), "sweep.job",
+                           static_cast<std::int64_t>(index));
+            SweepJob job{index, Rng(jobSeed(baseSeed_, index))};
+            body(job);
+            elapsed = secondsSince(jobStart);
+        }
+        metrics.jobSeconds.record(elapsed);
+        metrics.queueWait.record(queueWait);
+        metrics.jobs.add(1);
+        metrics.busyMicros.add(micros(elapsed));
+        metrics.queueWaitMicros.add(micros(queueWait));
     };
 
     if (threads_ == 1 || jobCount == 1) {
@@ -153,7 +232,7 @@ SweepScheduler::run(std::size_t jobCount,
         // reduction order, no pool overhead. This is the reference
         // behaviour every thread count must reproduce byte-for-byte.
         for (std::size_t i = 0; i < jobCount; ++i)
-            executeJob(i);
+            executeJob(i, false);
     } else {
         std::size_t workerCount =
             std::min<std::size_t>(static_cast<std::size_t>(threads_),
@@ -162,9 +241,10 @@ SweepScheduler::run(std::size_t jobCount,
         {
             ThreadPool pool(static_cast<int>(workerCount));
             for (std::size_t i = 0; i < jobCount; ++i) {
+                submitTimes[i] = Clock::now();
                 pool.submit([&, i] {
                     try {
-                        executeJob(i);
+                        executeJob(i, true);
                     } catch (...) {
                         errors[i] = std::current_exception();
                     }
@@ -179,13 +259,7 @@ SweepScheduler::run(std::size_t jobCount,
                 std::rethrow_exception(error);
     }
 
-    stats_.wallSeconds = secondsSince(sweepStart);
-    stats_.minJobSeconds = jobSeconds[0];
-    for (double s : jobSeconds) {
-        stats_.busySeconds += s;
-        stats_.minJobSeconds = std::min(stats_.minJobSeconds, s);
-        stats_.maxJobSeconds = std::max(stats_.maxJobSeconds, s);
-    }
+    metrics.wallSeconds.set(secondsSince(sweepStart));
 }
 
 } // namespace diffy

@@ -19,8 +19,12 @@
  *    index is rethrown after the sweep drains, so failure behaviour
  *    does not depend on scheduling either.
  *
- * Wall-clock and per-job busy time are recorded in SweepStats so
- * sweeps can report utilization (busy / (wall x threads)).
+ * Timing lives in the obs::MetricsRegistry (DESIGN.md §11): run()
+ * resets the per-run `sweep.job_seconds` / `sweep.queue_wait_seconds`
+ * histograms, emits a `sweep.job` trace span per job, and bumps the
+ * cumulative `sweep.jobs` / `sweep.busy_micros` /
+ * `sweep.queue_wait_micros` counters. SweepStats is a plain-data view
+ * computed from the registry on demand.
  */
 
 #ifndef DIFFY_RUNTIME_SWEEP_HH
@@ -50,7 +54,11 @@ struct SweepJob
     Rng rng;
 };
 
-/** Timing counters of the most recent sweep. */
+/**
+ * Timing counters of the most recent sweep — a snapshot view over the
+ * process-wide metrics registry (the `sweep.*` metrics), not a
+ * separately maintained tally. All zeros when metrics are disabled.
+ */
 struct SweepStats
 {
     int threads = 1;
@@ -59,6 +67,8 @@ struct SweepStats
     double wallSeconds = 0.0;
     /** Sum of per-job execution times. */
     double busySeconds = 0.0;
+    /** Sum of per-job queue waits (submit -> start; 0 when inline). */
+    double queueWaitSeconds = 0.0;
     /** Extremes over the per-job execution times. */
     double minJobSeconds = 0.0;
     double maxJobSeconds = 0.0;
@@ -124,8 +134,12 @@ class SweepScheduler
         run(jobCount, body);
     }
 
-    /** Counters of the most recent map()/forEach() call. */
-    const SweepStats &stats() const { return stats_; }
+    /**
+     * Counters of the most recent map()/forEach() call, computed from
+     * the registry's per-run `sweep.*` metrics. Note these are global:
+     * the latest run() of *any* scheduler resets them.
+     */
+    SweepStats stats() const;
 
   private:
     void run(std::size_t jobCount,
@@ -133,7 +147,6 @@ class SweepScheduler
 
     int threads_;
     std::uint64_t baseSeed_;
-    SweepStats stats_;
 };
 
 /** True when the DIFFY_SWEEP_STATS environment variable is set. */

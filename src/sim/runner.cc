@@ -1,18 +1,47 @@
 #include "sim/runner.hh"
 
+#include <cmath>
 #include <stdexcept>
 
+#include "obs/metrics.hh"
+#include "obs/trace.hh"
 #include "sim/pra.hh"
 #include "sim/vaa.hh"
 
 namespace diffy
 {
 
+namespace
+{
+
+/** Registry handles for the simulator counters, resolved once. */
+struct SimMetrics
+{
+    obs::Counter &computeRuns;
+    obs::Counter &frames;
+    obs::Counter &cyclesTotal;
+};
+
+SimMetrics &
+simMetrics()
+{
+    auto &reg = obs::MetricsRegistry::instance();
+    static SimMetrics metrics{
+        reg.counter("sim.compute_runs"),
+        reg.counter("sim.frames"),
+        reg.counter("sim.cycles_total"),
+    };
+    return metrics;
+}
+
+} // namespace
+
 NetworkComputeResult
 simulateCompute(const NetworkTrace &trace, const AcceleratorConfig &cfg,
                 DiffyMode diffy_mode)
 {
     cfg.validated(); // fail with a field-level message, not a 0-division
+    simMetrics().computeRuns.add(1);
     switch (cfg.design) {
       case Design::Vaa:
         return simulateVaa(trace, cfg);
@@ -29,9 +58,18 @@ simulateFrame(const NetworkTrace &trace, const AcceleratorConfig &cfg,
               const MemTech &mem, int frame_h, int frame_w,
               DiffyMode diffy_mode)
 {
+    obs::Span span(obs::Tracer::global(), "sim.frame");
     NetworkComputeResult compute =
         simulateCompute(trace, cfg, diffy_mode);
-    return combineWithMemory(trace, compute, cfg, mem, frame_h, frame_w);
+    FramePerf perf =
+        combineWithMemory(trace, compute, cfg, mem, frame_h, frame_w);
+    SimMetrics &metrics = simMetrics();
+    metrics.frames.add(1);
+    if (perf.totalCycles > 0.0) {
+        metrics.cyclesTotal.add(
+            static_cast<std::uint64_t>(std::llround(perf.totalCycles)));
+    }
+    return perf;
 }
 
 } // namespace diffy

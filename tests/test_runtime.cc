@@ -13,7 +13,9 @@
 
 #include <atomic>
 #include <chrono>
+#include <cstdio>
 #include <cstdlib>
+#include <fstream>
 #include <set>
 #include <sstream>
 #include <stdexcept>
@@ -24,6 +26,8 @@
 #include "common/table.hh"
 #include "core/experiment.hh"
 #include "core/trace_cache.hh"
+#include "obs/metrics.hh"
+#include "obs/trace.hh"
 #include "runtime/sweep.hh"
 #include "runtime/thread_pool.hh"
 
@@ -147,14 +151,60 @@ TEST(SweepScheduler, RecordsTimingCounters)
     scheduler.forEach(8, [](SweepJob &) {
         std::this_thread::sleep_for(std::chrono::milliseconds(1));
     });
-    const SweepStats &stats = scheduler.stats();
+    const SweepStats stats = scheduler.stats();
     EXPECT_EQ(stats.jobs, 8u);
     EXPECT_EQ(stats.threads, 2);
     EXPECT_GT(stats.wallSeconds, 0.0);
     EXPECT_GE(stats.busySeconds, 8 * 0.001);
     EXPECT_GE(stats.maxJobSeconds, stats.minJobSeconds);
+    EXPECT_GE(stats.queueWaitSeconds, 0.0);
     EXPECT_GT(stats.utilization(), 0.0);
     EXPECT_NE(stats.summary().find("8 jobs"), std::string::npos);
+}
+
+TEST(SweepScheduler, StatsAreARegistryView)
+{
+    // The per-run sweep histograms back stats(): the registry must
+    // agree with the struct, and the next run() must reset them.
+    SweepScheduler scheduler(1);
+    scheduler.forEach(5, [](SweepJob &) {});
+    auto &reg = obs::MetricsRegistry::instance();
+    EXPECT_EQ(reg.histogram("sweep.job_seconds").snapshot().stat.count(),
+              5u);
+    EXPECT_EQ(scheduler.stats().jobs, 5u);
+
+    scheduler.forEach(3, [](SweepJob &) {});
+    EXPECT_EQ(reg.histogram("sweep.job_seconds").snapshot().stat.count(),
+              3u);
+    EXPECT_EQ(scheduler.stats().jobs, 3u);
+    // The cumulative counter keeps the running total across runs.
+    EXPECT_GE(reg.counter("sweep.jobs").value(), 8u);
+}
+
+TEST(SweepScheduler, TracingPreservesTableBytes)
+{
+    // The fig11 determinism gate with tracing enabled, in miniature:
+    // the rendered table must not change when the global tracer is
+    // recording, at 1 thread or several.
+    std::string plain = renderSweepTable(1, 32);
+
+    const std::string path =
+        testing::TempDir() + "sweep_trace_test.json";
+    obs::Tracer::global().configure(path);
+    std::string traced1 = renderSweepTable(1, 32);
+    std::string traced4 = renderSweepTable(4, 32);
+    obs::Tracer::global().configure(""); // flush + disable
+
+    EXPECT_EQ(traced1, plain);
+    EXPECT_EQ(traced4, plain);
+
+    // And the trace actually recorded the per-job spans.
+    std::ifstream in(path);
+    ASSERT_TRUE(in.good());
+    std::stringstream buffer;
+    buffer << in.rdbuf();
+    EXPECT_NE(buffer.str().find("sweep.job"), std::string::npos);
+    std::remove(path.c_str());
 }
 
 TEST(SweepScheduler, ResolveThreadCountValidates)
@@ -209,6 +259,13 @@ TEST(TraceCacheConcurrent, SingleFlightTracesOncePerKey)
             return trace;
         });
 
+    auto &reg = obs::MetricsRegistry::instance();
+    const std::uint64_t hits0 = reg.counter("trace_cache.hits").value();
+    const std::uint64_t misses0 =
+        reg.counter("trace_cache.misses").value();
+    const std::uint64_t waits0 =
+        reg.counter("trace_cache.singleflight_waits").value();
+
     NetworkSpec net = makeIrCnn();
     {
         ThreadPool pool(8);
@@ -220,6 +277,13 @@ TEST(TraceCacheConcurrent, SingleFlightTracesOncePerKey)
         pool.wait();
     }
     EXPECT_EQ(traceCalls.load(), 1);
+    // Exactly one requester computed; the other seven either hit the
+    // installed future or lost the install race and waited on it.
+    EXPECT_EQ(reg.counter("trace_cache.misses").value() - misses0, 1u);
+    EXPECT_EQ((reg.counter("trace_cache.hits").value() - hits0) +
+                  (reg.counter("trace_cache.singleflight_waits").value() -
+                   waits0),
+              7u);
 
     // A different key is its own flight.
     cache.get(net, testScene(2));
@@ -227,6 +291,7 @@ TEST(TraceCacheConcurrent, SingleFlightTracesOncePerKey)
     // And a repeated key hits the in-memory entry.
     cache.get(net, testScene(1));
     EXPECT_EQ(traceCalls.load(), 2);
+    EXPECT_GE(reg.counter("trace_cache.hits").value() - hits0, 1u);
 }
 
 TEST(TraceCacheConcurrent, FailedFlightPropagatesAndRetries)

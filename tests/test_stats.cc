@@ -46,6 +46,27 @@ TEST(RunningStat, MergeEqualsSequential)
     EXPECT_DOUBLE_EQ(a.max(), all.max());
 }
 
+TEST(RunningStat, MergeSingletonSumExact)
+{
+    // Regression: sum() used to be reconstructed as mean_ * n, which
+    // drifts once mean_ has absorbed ~1e6 incremental updates. The
+    // directly-accumulated sum must match the serial sum bit-exactly
+    // (identical addition order: one add per singleton merge).
+    const int n = 1000000;
+    double serial = 0.0;
+    RunningStat merged;
+    Rng rng(11);
+    for (int i = 0; i < n; ++i) {
+        double v = rng.uniform() * 1e3 + 0.1;
+        serial += v;
+        RunningStat single;
+        single.add(v);
+        merged.merge(single);
+    }
+    EXPECT_EQ(merged.count(), static_cast<std::uint64_t>(n));
+    EXPECT_DOUBLE_EQ(merged.sum(), serial);
+}
+
 TEST(RunningStat, MergeWithEmpty)
 {
     RunningStat a, b;

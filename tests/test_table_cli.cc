@@ -5,6 +5,9 @@
 
 #include <gtest/gtest.h>
 
+#include <stdexcept>
+#include <string>
+
 #include "common/cli.hh"
 #include "common/table.hh"
 
@@ -86,6 +89,77 @@ TEST(CliArgs, FlagFollowedByFlagIsBoolean)
     CliArgs args(4, argv);
     EXPECT_TRUE(args.getBool("a", false));
     EXPECT_EQ(args.getInt("b", 0), 7);
+}
+
+TEST(CliArgs, DeclaredBoolFlagDoesNotSwallowPositional)
+{
+    // The historical bug: "--verbose trace.bin" bound
+    // verbose="trace.bin", so getBool returned false and the
+    // positional was lost.
+    const char *argv[] = {"prog", "--verbose", "trace.bin"};
+    CliArgs args(3, argv, {"verbose"});
+    EXPECT_TRUE(args.getBool("verbose", false));
+    ASSERT_EQ(args.positionals().size(), 1u);
+    EXPECT_EQ(args.positionals()[0], "trace.bin");
+}
+
+TEST(CliArgs, PositionalsCollectedAroundValueFlags)
+{
+    const char *argv[] = {"prog", "input.bin", "--crop", "64",
+                          "output.bin"};
+    CliArgs args(5, argv);
+    EXPECT_EQ(args.getInt("crop", 0), 64);
+    ASSERT_EQ(args.positionals().size(), 2u);
+    EXPECT_EQ(args.positionals()[0], "input.bin");
+    EXPECT_EQ(args.positionals()[1], "output.bin");
+}
+
+TEST(CliArgs, UndeclaredFlagStillConsumesValueToken)
+{
+    // Without a declaration the parser keeps the historical greedy
+    // binding: the next non-flag token is the value.
+    const char *argv[] = {"prog", "--mode", "fast"};
+    CliArgs args(3, argv);
+    EXPECT_EQ(args.getString("mode", ""), "fast");
+    EXPECT_TRUE(args.positionals().empty());
+}
+
+TEST(CliArgs, GetIntRejectsMalformedValues)
+{
+    const char *argv[] = {"prog", "--threads=abc", "--crop", "12x",
+                          "--good", "7"};
+    CliArgs args(6, argv);
+    // atoll would have silently produced 0 / 12 here.
+    EXPECT_THROW(args.getInt("threads", 1), std::invalid_argument);
+    EXPECT_THROW(args.getInt("crop", 1), std::invalid_argument);
+    EXPECT_EQ(args.getInt("good", 0), 7);
+    try {
+        args.getInt("threads", 1);
+        FAIL() << "expected std::invalid_argument";
+    } catch (const std::invalid_argument &e) {
+        EXPECT_NE(std::string(e.what()).find("threads"),
+                  std::string::npos);
+        EXPECT_NE(std::string(e.what()).find("abc"), std::string::npos);
+    }
+}
+
+TEST(CliArgs, GetDoubleRejectsMalformedValues)
+{
+    const char *argv[] = {"prog", "--ratio=0.5x", "--sigma", "high",
+                          "--ok", "2.25"};
+    CliArgs args(6, argv);
+    EXPECT_THROW(args.getDouble("ratio", 0.0), std::invalid_argument);
+    EXPECT_THROW(args.getDouble("sigma", 0.0), std::invalid_argument);
+    EXPECT_DOUBLE_EQ(args.getDouble("ok", 0.0), 2.25);
+}
+
+TEST(CliArgs, BareNumericFlagReadAsIntThrows)
+{
+    // A trailing bare flag stores "true"; asking for an integer must
+    // fail loudly, not run a 0-thread sweep.
+    const char *argv[] = {"prog", "--threads"};
+    CliArgs args(2, argv);
+    EXPECT_THROW(args.getInt("threads", 1), std::invalid_argument);
 }
 
 } // namespace

@@ -1,0 +1,9 @@
+// Must-fire fixture for R6: a clock read outside src/obs/src/runtime.
+#include <chrono>
+
+double
+elapsedSeconds(std::chrono::steady_clock::time_point start)
+{
+    auto now = std::chrono::steady_clock::now();
+    return std::chrono::duration<double>(now - start).count();
+}

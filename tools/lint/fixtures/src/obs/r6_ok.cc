@@ -1,0 +1,10 @@
+// Must-not-fire fixture for R6: the same clock read is legal inside
+// src/obs (and src/runtime), where timing is centralized.
+#include <chrono>
+
+double
+elapsedSeconds(std::chrono::steady_clock::time_point start)
+{
+    auto now = std::chrono::steady_clock::now();
+    return std::chrono::duration<double>(now - start).count();
+}

@@ -555,6 +555,31 @@ ruleR5(const std::string &rel_path,
                "missing include guard; expected #ifndef " + want);
 }
 
+/** R6: clock reads outside the observability/runtime timing layers. */
+void
+ruleR6(const std::string &rel_path,
+       const std::vector<std::string> &lines, const Suppressions &allow,
+       std::vector<Finding> &out)
+{
+    if (startsWith(rel_path, "src/obs/") ||
+        startsWith(rel_path, "src/runtime/"))
+        return;
+    static const std::regex clockNow(
+        R"(\b(?:steady_clock|system_clock|high_resolution_clock)\s*::\s*now\s*\()");
+    for (std::size_t li = 0; li < lines.size(); ++li) {
+        auto begin = std::sregex_iterator(lines[li].begin(),
+                                          lines[li].end(), clockNow);
+        for (auto it = begin; it != std::sregex_iterator(); ++it) {
+            addFinding(out, allow, rel_path, static_cast<int>(li) + 1,
+                       "R6",
+                       "clock read '" + it->str() +
+                           ")' outside src/obs + src/runtime; time via "
+                           "obs::Span / obs::ScopedLatency so timing "
+                           "stays centralized");
+        }
+    }
+}
+
 } // namespace
 
 /* ------------------------------------------------------------------ */
@@ -575,6 +600,9 @@ ruleCatalog()
                "src/encode (use tryDecode/DecodeResult)"},
         {"R5", "header hygiene: no using-directives in headers, "
                "canonical DIFFY_<PATH>_HH include guards"},
+        {"R6", "no std::chrono::*_clock::now() outside src/obs + "
+               "src/runtime (timing flows through obs::Span / "
+               "obs::ScopedLatency)"},
     };
 }
 
@@ -592,6 +620,7 @@ lintFile(const std::string &rel_path, const std::string &contents)
     ruleR3(rel_path, lines, allow, out);
     ruleR4(rel_path, lines, allow, out);
     ruleR5(rel_path, lines, allow, out);
+    ruleR6(rel_path, lines, allow, out);
     return out;
 }
 

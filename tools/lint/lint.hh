@@ -18,7 +18,11 @@
  *       codec internals (src/encode) — external callers use the
  *       structured tryDecode/DecodeResult path;
  *   R5  header hygiene — no namespace-scope `using namespace` in
- *       headers, canonical DIFFY_<PATH>_HH include guards.
+ *       headers, canonical DIFFY_<PATH>_HH include guards;
+ *   R6  no std::chrono::*_clock::now() outside src/obs + src/runtime —
+ *       timing flows through obs::Span / obs::ScopedLatency, keeping
+ *       the clock reads (and the stdout-purity rule around them)
+ *       centralized.
  *
  * The scanner strips comments and string/char literals before rule
  * matching, so rule patterns quoted in prose (or in this linter's own
@@ -47,7 +51,7 @@ struct Finding
 {
     std::string file; ///< path relative to the lint root
     int line = 0;     ///< 1-based
-    std::string rule; ///< "R1".."R5"
+    std::string rule; ///< "R1".."R6"
     std::string message;
 };
 

@@ -57,6 +57,8 @@ const std::map<std::string, std::set<std::string>> kFixtureExpectations =
         {"bench/r4_ok.cc", {}},
         {"src/arch/r5_fire.hh", {"R5"}},
         {"src/arch/r5_ok.hh", {}},
+        {"src/core/r6_fire.cc", {"R6"}},
+        {"src/obs/r6_ok.cc", {}},
         {"src/analysis/suppressed_ok.cc", {}},
 };
 
