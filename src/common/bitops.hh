@@ -104,6 +104,18 @@ int groupBitsNeeded(const std::int16_t *group, std::size_t n);
 std::uint64_t contentHash64(const void *data, std::size_t bytes,
                             std::uint64_t seed = 0xCBF29CE484222325ULL);
 
+/**
+ * CRC-32C (Castagnoli polynomial, as used by iSCSI/ext4) over @p bytes
+ * bytes of @p data. Unlike contentHash64() — a fast in-memory memo key
+ * whose value is free to change — this is a *stable wire checksum*:
+ * the value is part of the on-disk trace format and the EncodedTensor
+ * integrity footer, so it must never change across library versions.
+ * Chain incremental computation by passing a previous result as
+ * @p crc; crc32c("123456789") == 0xE3069283.
+ */
+std::uint32_t crc32c(const void *data, std::size_t bytes,
+                     std::uint32_t crc = 0);
+
 } // namespace diffy
 
 #endif // DIFFY_COMMON_BITOPS_HH

@@ -15,7 +15,9 @@ namespace diffy
 ExperimentParams
 ExperimentParams::fromCli(int argc, const char *const *argv)
 {
-    CliArgs args(argc, argv);
+    // --keep-going is a bare flag: without the declaration it would
+    // swallow a following positional as its value.
+    CliArgs args(argc, argv, {"keep-going"});
     ExperimentParams params;
     params.crop = static_cast<int>(args.getInt("crop", params.crop));
     params.scenes = static_cast<int>(args.getInt("scenes", params.scenes));
@@ -33,6 +35,10 @@ ExperimentParams::fromCli(int argc, const char *const *argv)
     params.sweepSeed = static_cast<std::uint64_t>(
         args.getInt("sweep-seed", static_cast<std::int64_t>(params.sweepSeed)));
     params.metricsOut = args.getString("metrics-out", params.metricsOut);
+    params.keepGoing = args.has("keep-going");
+    params.maxRetries =
+        static_cast<int>(args.getInt("max-retries", params.maxRetries));
+    params.jobTimeoutMs = args.getInt("job-timeout-ms", params.jobTimeoutMs);
 
     ConfigValidation v = params.validate();
     // An explicit --threads must name a worker count; only the absent
@@ -80,7 +86,23 @@ ExperimentParams::validate() const
             "must be >= 0 (0 = auto via DIFFY_THREADS)");
     require(threads <= kMaxSweepThreads, "threads",
             "exceeds the limit of " + std::to_string(kMaxSweepThreads));
+    require(maxRetries >= 0, "maxRetries", "must be >= 0");
+    require(maxRetries <= 100, "maxRetries",
+            "over 100 retries is a configuration bug, not persistence");
+    require(jobTimeoutMs >= 0, "jobTimeoutMs",
+            "must be >= 0 (0 = no deadline)");
     return v;
+}
+
+SweepPolicy
+ExperimentParams::sweepPolicy() const
+{
+    SweepPolicy policy;
+    policy.mode = keepGoing ? FailurePolicy::KeepGoing
+                            : FailurePolicy::FailFast;
+    policy.maxRetries = maxRetries;
+    policy.jobTimeoutMs = jobTimeoutMs;
+    return policy;
 }
 
 const ExperimentParams &
@@ -97,7 +119,9 @@ SweepScheduler
 makeSweepScheduler(const ExperimentParams &params)
 {
     params.validated();
-    return SweepScheduler(params.threads, params.sweepSeed);
+    SweepScheduler scheduler(params.threads, params.sweepSeed);
+    scheduler.setPolicy(params.sweepPolicy());
+    return scheduler;
 }
 
 std::vector<TracedNetwork>

@@ -62,11 +62,27 @@ struct ExperimentParams
      * table output stays byte-identical with or without it.
      */
     std::string metricsOut;
+    /**
+     * Failure policy of the experiment's sweeps (DESIGN.md §12).
+     * keepGoing quarantines failing cells into the SweepReport
+     * instead of rethrowing; maxRetries grants each cell extra
+     * attempts with deterministic jittered backoff; jobTimeoutMs
+     * quarantines any cell whose attempt overruns the soft deadline
+     * (0 disables the watchdog).
+     */
+    bool keepGoing = false;
+    int maxRetries = 0;
+    std::int64_t jobTimeoutMs = 0;
+
+    /** SweepPolicy equivalent of the keepGoing/maxRetries/jobTimeoutMs
+     *  fields, ready for SweepScheduler::setPolicy(). */
+    SweepPolicy sweepPolicy() const;
 
     /**
      * Build from argc/argv (--crop, --scenes, --frame-h, --threads,
-     * --metrics-out, ...). A non-empty --metrics-out arranges the
-     * exit-time snapshot dump as a side effect.
+     * --keep-going, --max-retries, --job-timeout-ms, --metrics-out,
+     * ...). A non-empty --metrics-out arranges the exit-time snapshot
+     * dump as a side effect.
      * @throws std::invalid_argument (with the full field-level issue
      *         summary) on malformed or out-of-range values, e.g. a
      *         non-numeric, non-positive or absurd --threads.

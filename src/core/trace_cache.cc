@@ -22,6 +22,7 @@ struct CacheMetrics
     obs::Counter &misses;
     obs::Counter &singleFlightWaits;
     obs::Counter &diskLoads;
+    obs::Counter &corruptEvictions;
 };
 
 CacheMetrics &
@@ -33,6 +34,7 @@ cacheMetrics()
         reg.counter("trace_cache.misses"),
         reg.counter("trace_cache.singleflight_waits"),
         reg.counter("trace_cache.disk_loads"),
+        reg.counter("trace_cache.corrupt_evictions"),
     };
     return metrics;
 }
@@ -83,8 +85,21 @@ TraceCache::compute(const std::string &key, const NetworkSpec &net,
                 cacheMetrics().diskLoads.add(1);
                 return trace;
             } catch (const std::exception &) {
-                // Corrupt or stale cache entry: fall through and
-                // recompute; the store below overwrites it.
+                // Corrupt or stale cache entry (bad magic, truncated,
+                // or a CRC mismatch from loadTrace's verified
+                // envelope): quarantine the file under a `.corrupt`
+                // name so it can be inspected post-mortem and can
+                // never be re-read as a valid entry, then fall
+                // through to the single-flight recompute; the store
+                // below writes a fresh, verified entry.
+                in.close();
+                cacheMetrics().corruptEvictions.add(1);
+                std::error_code ec;
+                std::filesystem::path corrupt = path;
+                corrupt += ".corrupt";
+                std::filesystem::rename(path, corrupt, ec);
+                if (ec)
+                    std::filesystem::remove(path, ec);
             }
         }
     }

@@ -16,6 +16,14 @@
  * single-flight computation instead of tracing N times. Disk stores
  * are write-to-temp + atomic rename, so a concurrent reader (even in
  * another process) never observes a half-written trace file.
+ *
+ * Crash-safe recovery (DESIGN.md §12): trace files carry a CRC-32C
+ * envelope (see nn/trace.cc) validated on load. An entry that fails
+ * the magic, length, or checksum check is renamed to
+ * `<key>.trace.corrupt` for post-mortem inspection, counted in
+ * `trace_cache.corrupt_evictions`, and regenerated through the same
+ * single-flight path as a plain miss — garbage on disk never reaches
+ * a simulation.
  */
 
 #ifndef DIFFY_CORE_TRACE_CACHE_HH

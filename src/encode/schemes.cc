@@ -1,5 +1,7 @@
 #include "encode/schemes.hh"
 
+#include <istream>
+#include <ostream>
 #include <stdexcept>
 
 #include "common/bitops.hh"
@@ -21,16 +23,49 @@ to_string(DecodeStatus s)
         return "Truncated";
       case DecodeStatus::BadHeader:
         return "BadHeader";
+      case DecodeStatus::BadChecksum:
+        return "BadChecksum";
     }
     return "?";
+}
+
+void
+sealEncoded(EncodedTensor &enc)
+{
+    enc.payloadCrc = crc32c(enc.bytes.data(), enc.bytes.size());
+    enc.payloadBits = enc.bits;
+    enc.sealed = true;
+}
+
+bool
+verifyEncoded(const EncodedTensor &enc)
+{
+    if (!enc.sealed)
+        return true;
+    return enc.payloadBits == enc.bits &&
+           enc.payloadCrc == crc32c(enc.bytes.data(), enc.bytes.size());
+}
+
+DecodeResult
+ActivationCodec::tryDecodeVerified(const EncodedTensor &enc) const
+{
+    if (!verifyEncoded(enc)) {
+        DecodeResult r;
+        r.status = DecodeStatus::BadChecksum;
+        r.message = name() + ": payload fails its integrity footer "
+                             "(CRC-32C or bit-length mismatch)";
+        return r;
+    }
+    return tryDecode(enc);
 }
 
 TensorI16
 ActivationCodec::decode(const EncodedTensor &enc) const
 {
-    DecodeResult r = tryDecode(enc);
+    DecodeResult r = tryDecodeVerified(enc);
     if (!r.ok())
-        throw std::runtime_error(name() + " decode failed: " + r.message);
+        throw DecodeError(r.status,
+                          name() + " decode failed: " + r.message);
     return std::move(r.tensor);
 }
 
@@ -564,6 +599,105 @@ makeCodec(Compression scheme, int profiled_bits)
         return makeDeltaDCodec(256);
     }
     throw std::invalid_argument("makeCodec: unknown scheme");
+}
+
+namespace
+{
+
+constexpr std::uint32_t kEncodedMagic = 0xD1FFE001;
+
+template <typename T>
+void
+writeWire(std::ostream &os, T v)
+{
+    os.write(reinterpret_cast<const char *>(&v), sizeof(T));
+}
+
+template <typename T>
+T
+readWire(std::istream &is, const char *what)
+{
+    T v{};
+    is.read(reinterpret_cast<char *>(&v), sizeof(T));
+    if (!is)
+        throw DecodeError(DecodeStatus::Truncated,
+                          std::string("encoded stream ended inside ") +
+                              what);
+    return v;
+}
+
+} // namespace
+
+void
+saveEncoded(EncodedTensor &enc, std::ostream &os)
+{
+    sealEncoded(enc);
+    writeWire(os, kEncodedMagic);
+    writeWire(os, static_cast<std::uint32_t>(enc.shape.c));
+    writeWire(os, static_cast<std::uint32_t>(enc.shape.h));
+    writeWire(os, static_cast<std::uint32_t>(enc.shape.w));
+    writeWire(os, static_cast<std::uint64_t>(enc.bits));
+    writeWire(os, static_cast<std::uint32_t>(enc.headerBits.size()));
+    for (const BitRange &r : enc.headerBits) {
+        writeWire(os, static_cast<std::uint64_t>(r.first));
+        writeWire(os, static_cast<std::uint64_t>(r.count));
+    }
+    writeWire(os, static_cast<std::uint64_t>(enc.bytes.size()));
+    os.write(reinterpret_cast<const char *>(enc.bytes.data()),
+             static_cast<std::streamsize>(enc.bytes.size()));
+    // Integrity footer: CRC first, then the bit length again, so a
+    // truncation inside the payload and a flipped payload bit raise
+    // different structured errors on load.
+    writeWire(os, enc.payloadCrc);
+    writeWire(os, enc.payloadBits);
+}
+
+EncodedTensor
+loadEncoded(std::istream &is)
+{
+    if (readWire<std::uint32_t>(is, "the magic") != kEncodedMagic)
+        throw DecodeError(DecodeStatus::Truncated,
+                          "bad encoded-stream magic");
+    EncodedTensor enc;
+    enc.shape.c = static_cast<int>(readWire<std::uint32_t>(is, "shape"));
+    enc.shape.h = static_cast<int>(readWire<std::uint32_t>(is, "shape"));
+    enc.shape.w = static_cast<int>(readWire<std::uint32_t>(is, "shape"));
+    enc.bits = static_cast<std::size_t>(
+        readWire<std::uint64_t>(is, "the bit count"));
+    auto headerCount = readWire<std::uint32_t>(is, "the header count");
+    // A hostile count would otherwise drive a huge reserve; each
+    // header is 16 wire bytes, so cap via the decode-element cap.
+    if (headerCount > kMaxDecodeElements)
+        throw DecodeError(DecodeStatus::BadShape,
+                          "encoded stream declares an absurd header "
+                          "count");
+    enc.headerBits.reserve(headerCount);
+    for (std::uint32_t i = 0; i < headerCount; ++i) {
+        BitRange r;
+        r.first = static_cast<std::size_t>(
+            readWire<std::uint64_t>(is, "a header range"));
+        r.count = static_cast<std::size_t>(
+            readWire<std::uint64_t>(is, "a header range"));
+        enc.headerBits.push_back(r);
+    }
+    auto byteCount = readWire<std::uint64_t>(is, "the byte count");
+    if (byteCount > (kMaxDecodeElements * 2) + 8)
+        throw DecodeError(DecodeStatus::BadShape,
+                          "encoded stream declares an absurd byte "
+                          "count");
+    enc.bytes.resize(static_cast<std::size_t>(byteCount));
+    is.read(reinterpret_cast<char *>(enc.bytes.data()),
+            static_cast<std::streamsize>(enc.bytes.size()));
+    if (!is)
+        throw DecodeError(DecodeStatus::Truncated,
+                          "encoded stream ended inside the payload");
+    enc.payloadCrc = readWire<std::uint32_t>(is, "the footer CRC");
+    enc.payloadBits = readWire<std::uint64_t>(is, "the footer length");
+    enc.sealed = true;
+    if (!verifyEncoded(enc))
+        throw DecodeError(DecodeStatus::BadChecksum,
+                          "encoded stream fails its integrity footer");
+    return enc;
 }
 
 } // namespace diffy

@@ -33,7 +33,9 @@
 #ifndef DIFFY_ENCODE_SCHEMES_HH
 #define DIFFY_ENCODE_SCHEMES_HH
 
+#include <iosfwd>
 #include <memory>
+#include <stdexcept>
 #include <string>
 #include <vector>
 
@@ -69,18 +71,65 @@ struct EncodedTensor
      * Fault injection uses these to separate header from payload bits.
      */
     std::vector<BitRange> headerBits;
+
+    /**
+     * Integrity footer (see sealEncoded()): CRC-32C of the payload
+     * bytes plus the bit length at seal time. Not part of the faultable
+     * stream — fault injection targets [0, bits), so the footer plays
+     * the role of clean out-of-band framing, exactly like the CRC at
+     * the end of an on-disk block. Unsealed streams (sealed == false)
+     * skip verification entirely.
+     */
+    bool sealed = false;
+    std::uint32_t payloadCrc = 0;
+    std::uint64_t payloadBits = 0;
 };
+
+/**
+ * Record the integrity footer: CRC-32C over the payload bytes and the
+ * current bit count. Call after encode() and before the stream is
+ * stored or transported; verifyEncoded()/tryDecodeVerified() then
+ * detect any later payload corruption.
+ */
+void sealEncoded(EncodedTensor &enc);
+
+/**
+ * True when @p enc passes its integrity footer: bit length unchanged
+ * and payload CRC matching. Unsealed streams vacuously pass (there is
+ * nothing to check against).
+ */
+bool verifyEncoded(const EncodedTensor &enc);
 
 /** Outcome classes of a hardened decode. */
 enum class DecodeStatus
 {
-    Ok,        ///< stream decoded to a complete tensor
-    BadShape,  ///< negative/overflowing dims or over the decode cap
-    Truncated, ///< stream ended before the tensor was complete
-    BadHeader  ///< a declared group precision exceeds the legal width
+    Ok,          ///< stream decoded to a complete tensor
+    BadShape,    ///< negative/overflowing dims or over the decode cap
+    Truncated,   ///< stream ended before the tensor was complete
+    BadHeader,   ///< a declared group precision exceeds the legal width
+    BadChecksum  ///< integrity footer mismatch (detected corruption)
 };
 
 std::string to_string(DecodeStatus s);
+
+/**
+ * Structured decode failure: thrown by ActivationCodec::decode() and
+ * the serialized-stream loaders, carrying the DecodeStatus so callers
+ * (the sweep scheduler's failure taxonomy above all) can classify the
+ * error without parsing the message.
+ */
+class DecodeError : public std::runtime_error
+{
+  public:
+    DecodeError(DecodeStatus status, const std::string &message)
+        : std::runtime_error(message), status_(status)
+    {}
+
+    DecodeStatus status() const { return status_; }
+
+  private:
+    DecodeStatus status_;
+};
 
 /**
  * Result of a hardened decode: either a valid tensor (ok()) or a
@@ -127,7 +176,16 @@ class ActivationCodec
      */
     virtual DecodeResult tryDecode(const EncodedTensor &enc) const = 0;
 
-    /** Decode an encode() result; throws std::runtime_error on error. */
+    /**
+     * Self-verifying decode: when @p enc is sealed, the integrity
+     * footer is checked first and a mismatch returns BadChecksum —
+     * corruption is *detected* before the prefix-sum reconstruction
+     * can smear it into a plausible-looking wrong tensor. Unsealed
+     * streams fall through to tryDecode() unchanged.
+     */
+    DecodeResult tryDecodeVerified(const EncodedTensor &enc) const;
+
+    /** Decode an encode() result; throws DecodeError on error. */
     TensorI16 decode(const EncodedTensor &enc) const;
 
     /** Mean bits per value, metadata included. */
@@ -171,6 +229,28 @@ std::unique_ptr<ActivationCodec> makeDeltaDCodec(int group_size,
  */
 std::unique_ptr<ActivationCodec> makeCodec(Compression scheme,
                                            int profiled_bits = 16);
+
+/**
+ * Serialized wire form of an EncodedTensor (DESIGN.md §12):
+ *
+ *     u32 magic  u32 c  u32 h  u32 w  u64 bits
+ *     u32 header_count  (u64 first, u64 count) x header_count
+ *     u64 byte_count    payload bytes
+ *     u32 crc32c(payload bytes)  u64 bits   <- integrity footer
+ *
+ * The footer repeats the bit length so a truncated payload and a
+ * corrupted payload are distinguishable from each other. saveEncoded()
+ * seals @p enc's footer fields as a side effect of computing them.
+ */
+void saveEncoded(EncodedTensor &enc, std::ostream &os);
+
+/**
+ * Load a saveEncoded() stream. The returned tensor is sealed; its
+ * footer has been validated against the payload actually read.
+ * @throws DecodeError — Truncated on short reads or a bad magic,
+ *         BadChecksum on a footer mismatch.
+ */
+EncodedTensor loadEncoded(std::istream &is);
 
 } // namespace diffy
 

@@ -67,22 +67,38 @@ analyzeFaultedDecode(const ActivationCodec &codec, const TensorI16 &clean,
 
 PropagationSummary
 sweepFaults(const ActivationCodec &codec, const TensorI16 &clean,
-            const FaultSpec &spec, int trials, std::uint64_t seed)
+            const FaultSpec &spec, int trials, std::uint64_t seed,
+            bool sealStreams, int reanchorInterval)
 {
-    // Encode once; each trial faults a private copy.
-    const EncodedTensor enc = codec.encode(clean);
+    // Encode once; each trial faults a private copy. The seal happens
+    // before injection, and the footer fields live outside the
+    // faultable [0, bits) range, so every injected fault perturbs a
+    // byte the CRC covers.
+    EncodedTensor enc = codec.encode(clean);
+    if (sealStreams)
+        sealEncoded(enc);
+    // Cost of re-decoding from the last clean anchor on detection.
+    const std::size_t recoveryCost =
+        reanchorInterval > 0 ? static_cast<std::size_t>(reanchorInterval)
+                             : static_cast<std::size_t>(clean.width());
     Rng seeder(seed);
     PropagationSummary s;
     double psnr_sum = 0.0;
     double corrupted_sum = 0.0;
+    std::uint64_t recovery_sum = 0;
     for (int trial = 0; trial < trials; ++trial) {
         FaultInjector injector(seeder.next());
         EncodedTensor faulted = enc;
         injector.inject(faulted, spec);
-        DecodeResult dec = codec.tryDecode(faulted);
+        DecodeResult dec = sealStreams ? codec.tryDecodeVerified(faulted)
+                                       : codec.tryDecode(faulted);
         ++s.trials;
         if (!dec.ok()) {
             ++s.decodeErrors;
+            if (dec.status == DecodeStatus::BadChecksum) {
+                ++s.crcDetected;
+                recovery_sum += recoveryCost;
+            }
             continue;
         }
         PropagationMetrics m = compareTensors(clean, dec.tensor);
@@ -103,6 +119,9 @@ sweepFaults(const ActivationCodec &codec, const TensorI16 &clean,
             corrupted_sum / static_cast<double>(s.silentCorruptions);
         s.meanPsnrDb = psnr_sum / static_cast<double>(s.silentCorruptions);
     }
+    if (s.crcDetected > 0)
+        s.meanRecoveryCycles = static_cast<double>(recovery_sum) /
+                               static_cast<double>(s.crcDetected);
     return s;
 }
 

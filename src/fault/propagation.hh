@@ -68,6 +68,13 @@ struct PropagationSummary
     std::size_t trials = 0;
     /** Trials whose decode returned a structured error (detected). */
     std::size_t decodeErrors = 0;
+    /**
+     * Detected specifically by the integrity footer (BadChecksum) —
+     * a subset of decodeErrors, nonzero only when streams are sealed.
+     * Every footer catch is a corruption that would otherwise have
+     * been silent or mis-diagnosed by the structural checks alone.
+     */
+    std::size_t crcDetected = 0;
     /** Trials that decoded OK but with wrong values (silent). */
     std::size_t silentCorruptions = 0;
     /** Trials whose decode was bit-exact despite the fault. */
@@ -80,17 +87,38 @@ struct PropagationSummary
     std::int32_t maxAbsError = 0;
     /** Mean PSNR (dB) over silently-corrupted trials. */
     double meanPsnrDb = 0.0;
+
+    /**
+     * Recovery cost charged for detected corruption: re-decoding from
+     * the last clean anchor costs one cycle per value recomputed —
+     * the re-anchor interval K when the codec re-anchors, a full row
+     * otherwise. Mean over detected trials; 0 when none.
+     */
+    double meanRecoveryCycles = 0.0;
 };
 
 /**
  * Run @p trials independent injections (per-trial seeds derived
  * deterministically from @p seed) and aggregate. Exactly reproducible:
- * same (codec, clean, spec, trials, seed) → same summary.
+ * same inputs → same summary.
+ *
+ * @param sealStreams when true, the encoded stream is sealed
+ *        (sealEncoded()) before injection and decoded through
+ *        tryDecodeVerified(), so the integrity footer converts
+ *        otherwise-silent corruptions into detected BadChecksum
+ *        errors (counted in crcDetected) at the price of
+ *        meanRecoveryCycles per detection.
+ * @param reanchorInterval the DeltaD re-anchor interval K of the
+ *        codec under test (0 = anchors at row heads only); sets the
+ *        per-detection recovery cost to K values, or a full row when
+ *        0. Ignored unless @p sealStreams.
  */
 PropagationSummary sweepFaults(const ActivationCodec &codec,
                                const TensorI16 &clean,
                                const FaultSpec &spec, int trials,
-                               std::uint64_t seed);
+                               std::uint64_t seed,
+                               bool sealStreams = false,
+                               int reanchorInterval = 0);
 
 } // namespace diffy
 

@@ -2,7 +2,11 @@
 
 #include <istream>
 #include <ostream>
+#include <sstream>
 #include <stdexcept>
+#include <string>
+
+#include "common/bitops.hh"
 
 namespace diffy
 {
@@ -24,7 +28,21 @@ LayerTrace::weightDensity()
 namespace
 {
 
-constexpr std::uint32_t kTraceMagic = 0xD1FF7001;
+/**
+ * v2 bumped the magic when the CRC-framed envelope was introduced:
+ * legacy footer-less files now fail the magic check, land on the
+ * cache's corrupt-entry path, and are quarantined + regenerated —
+ * exactly the recovery a stale format should get.
+ */
+constexpr std::uint32_t kTraceMagic = 0xD1FF7002;
+
+/**
+ * Ceiling on the declared body size of a trace file. The traces this
+ * repo generates are tens of megabytes at most; the cap turns a
+ * corrupted length field into a clean error instead of a
+ * multi-gigabyte allocation.
+ */
+constexpr std::uint64_t kMaxTraceBytes = std::uint64_t{1} << 30;
 
 template <typename T>
 void
@@ -78,12 +96,9 @@ readI16Block(std::istream &is, std::int16_t *data, std::size_t n)
         throw std::runtime_error("trace stream truncated");
 }
 
-} // namespace
-
 void
-saveTrace(const NetworkTrace &trace, std::ostream &os)
+saveTraceBody(const NetworkTrace &trace, std::ostream &os)
 {
-    writePod(os, kTraceMagic);
     writeString(os, trace.network);
     writePod(os, static_cast<std::int32_t>(trace.netClass));
     writePod(os, static_cast<std::int32_t>(trace.frameHeight));
@@ -116,10 +131,8 @@ saveTrace(const NetworkTrace &trace, std::ostream &os)
 }
 
 NetworkTrace
-loadTrace(std::istream &is)
+loadTraceBody(std::istream &is)
 {
-    if (readPod<std::uint32_t>(is) != kTraceMagic)
-        throw std::runtime_error("bad trace magic");
     NetworkTrace trace;
     trace.network = readString(is);
     trace.netClass = static_cast<NetClass>(readPod<std::int32_t>(is));
@@ -151,6 +164,47 @@ loadTrace(std::istream &is)
         readI16Block(is, layer.weights.data(), layer.weights.size());
     }
     return trace;
+}
+
+} // namespace
+
+void
+saveTrace(const NetworkTrace &trace, std::ostream &os)
+{
+    // CRC-framed envelope: magic, u64 body length, body, u32
+    // crc32c(body). The body is serialized to memory first so the
+    // checksum covers exactly the bytes on the wire.
+    std::ostringstream body(std::ios::binary);
+    saveTraceBody(trace, body);
+    const std::string bytes = body.str();
+    writePod(os, kTraceMagic);
+    writePod(os, static_cast<std::uint64_t>(bytes.size()));
+    os.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+    writePod(os, crc32c(bytes.data(), bytes.size()));
+}
+
+NetworkTrace
+loadTrace(std::istream &is)
+{
+    if (readPod<std::uint32_t>(is) != kTraceMagic)
+        throw std::runtime_error("bad trace magic");
+    auto byteCount = readPod<std::uint64_t>(is);
+    if (byteCount > kMaxTraceBytes)
+        throw std::runtime_error("trace declares an absurd body size");
+    // Buffer and verify the whole body *before* parsing: a corrupt
+    // length field inside the body can otherwise drive a huge
+    // allocation, and a flipped tensor byte would silently smear into
+    // downstream sims.
+    std::string bytes(static_cast<std::size_t>(byteCount), '\0');
+    is.read(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+    if (!is)
+        throw std::runtime_error("trace stream truncated");
+    auto expected = readPod<std::uint32_t>(is);
+    if (crc32c(bytes.data(), bytes.size()) != expected)
+        throw std::runtime_error(
+            "trace checksum mismatch (detected corruption)");
+    std::istringstream body(bytes, std::ios::binary);
+    return loadTraceBody(body);
 }
 
 } // namespace diffy

@@ -1,0 +1,201 @@
+#include "runtime/resilience.hh"
+
+#include <algorithm>
+#include <ios>
+#include <ostream>
+#include <sstream>
+#include <stdexcept>
+#include <system_error>
+
+#include "encode/schemes.hh"
+
+namespace diffy
+{
+
+std::string
+to_string(FailureKind k)
+{
+    switch (k) {
+    case FailureKind::None: return "none";
+    case FailureKind::DecodeBadShape: return "decode_bad_shape";
+    case FailureKind::DecodeTruncated: return "decode_truncated";
+    case FailureKind::DecodeBadHeader: return "decode_bad_header";
+    case FailureKind::DecodeBadChecksum: return "decode_bad_checksum";
+    case FailureKind::Timeout: return "timeout";
+    case FailureKind::BadConfig: return "bad_config";
+    case FailureKind::Io: return "io";
+    case FailureKind::Unknown: return "unknown";
+    }
+    return "unknown";
+}
+
+namespace
+{
+
+FailureKind
+kindOfDecodeStatus(DecodeStatus s)
+{
+    switch (s) {
+    case DecodeStatus::Ok: return FailureKind::None;
+    case DecodeStatus::BadShape: return FailureKind::DecodeBadShape;
+    case DecodeStatus::Truncated: return FailureKind::DecodeTruncated;
+    case DecodeStatus::BadHeader: return FailureKind::DecodeBadHeader;
+    case DecodeStatus::BadChecksum: return FailureKind::DecodeBadChecksum;
+    }
+    return FailureKind::Unknown;
+}
+
+} // namespace
+
+FailureKind
+classifyException(const std::exception_ptr &error, std::string *message)
+{
+    if (message != nullptr)
+        message->clear();
+    if (!error)
+        return FailureKind::None;
+    try {
+        std::rethrow_exception(error);
+    } catch (const DecodeError &e) {
+        if (message != nullptr)
+            *message = e.what();
+        return kindOfDecodeStatus(e.status());
+    } catch (const std::ios_base::failure &e) {
+        if (message != nullptr)
+            *message = e.what();
+        return FailureKind::Io;
+    } catch (const std::system_error &e) {
+        // Covers std::filesystem::filesystem_error too.
+        if (message != nullptr)
+            *message = e.what();
+        return FailureKind::Io;
+    } catch (const std::invalid_argument &e) {
+        if (message != nullptr)
+            *message = e.what();
+        return FailureKind::BadConfig;
+    } catch (const std::domain_error &e) {
+        if (message != nullptr)
+            *message = e.what();
+        return FailureKind::BadConfig;
+    } catch (const std::exception &e) {
+        if (message != nullptr)
+            *message = e.what();
+        return FailureKind::Unknown;
+    } catch (...) {
+        if (message != nullptr)
+            *message = "(non-standard exception)";
+        return FailureKind::Unknown;
+    }
+}
+
+void
+SweepPolicy::check() const
+{
+    if (maxRetries < 0)
+        throw std::invalid_argument(
+            "sweep policy: maxRetries must be >= 0, got " +
+            std::to_string(maxRetries));
+    if (jobTimeoutMs < 0)
+        throw std::invalid_argument(
+            "sweep policy: jobTimeoutMs must be >= 0, got " +
+            std::to_string(jobTimeoutMs));
+    if (backoffBaseMicros < 0)
+        throw std::invalid_argument(
+            "sweep policy: backoffBaseMicros must be >= 0, got " +
+            std::to_string(backoffBaseMicros));
+}
+
+bool
+SweepReport::isQuarantined(std::size_t index) const
+{
+    // cells is index-sorted; it stays small (non-clean cells only),
+    // so a binary search is already generous.
+    auto it = std::lower_bound(cells.begin(), cells.end(), index,
+                               [](const CellOutcome &c, std::size_t i) {
+                                   return c.index < i;
+                               });
+    return it != cells.end() && it->index == index && it->quarantined;
+}
+
+std::string
+SweepReport::summary() const
+{
+    std::ostringstream os;
+    os << "sweep report: " << succeeded << "/" << jobs << " cells ok";
+    if (retriedJobs > 0)
+        os << ", " << retriedJobs << " recovered by retry ("
+           << totalRetries << " retries total)";
+    if (quarantined > 0)
+        os << ", " << quarantined << " quarantined";
+    if (timedOut > 0)
+        os << " (" << timedOut << " over deadline)";
+    for (const CellOutcome &c : cells) {
+        os << "\n  cell " << c.index << ": "
+           << (c.quarantined ? "quarantined"
+                             : (c.succeeded ? "recovered" : "failed"))
+           << " after " << c.attempts << " attempt"
+           << (c.attempts == 1 ? "" : "s") << " [" << to_string(c.kind)
+           << "]";
+        if (!c.message.empty())
+            os << " " << c.message;
+    }
+    return os.str();
+}
+
+namespace
+{
+
+void
+writeJsonString(std::ostream &os, const std::string &s)
+{
+    os << '"';
+    for (char ch : s) {
+        switch (ch) {
+        case '"': os << "\\\""; break;
+        case '\\': os << "\\\\"; break;
+        case '\n': os << "\\n"; break;
+        case '\t': os << "\\t"; break;
+        default:
+            if (static_cast<unsigned char>(ch) < 0x20)
+                os << ' ';
+            else
+                os << ch;
+        }
+    }
+    os << '"';
+}
+
+} // namespace
+
+void
+SweepReport::writeJson(std::ostream &os) const
+{
+    os << "{\n"
+       << "  \"mode\": \""
+       << (mode == FailurePolicy::KeepGoing ? "keep_going" : "fail_fast")
+       << "\",\n"
+       << "  \"jobs\": " << jobs << ",\n"
+       << "  \"succeeded\": " << succeeded << ",\n"
+       << "  \"retried_jobs\": " << retriedJobs << ",\n"
+       << "  \"total_retries\": " << totalRetries << ",\n"
+       << "  \"quarantined\": " << quarantined << ",\n"
+       << "  \"timed_out\": " << timedOut << ",\n"
+       << "  \"cells\": [";
+    bool first = true;
+    for (const CellOutcome &c : cells) {
+        os << (first ? "\n" : ",\n");
+        first = false;
+        os << "    {\"index\": " << c.index
+           << ", \"attempts\": " << c.attempts << ", \"state\": \""
+           << (c.quarantined ? "quarantined"
+                             : (c.succeeded ? "recovered" : "failed"))
+           << "\", \"kind\": \"" << to_string(c.kind)
+           << "\", \"timed_out\": " << (c.timedOut ? "true" : "false")
+           << ", \"message\": ";
+        writeJsonString(os, c.message);
+        os << "}";
+    }
+    os << (first ? "]\n" : "\n  ]\n") << "}\n";
+}
+
+} // namespace diffy

@@ -1,0 +1,146 @@
+/**
+ * @file
+ * Failure policy, error taxonomy, and structured sweep reporting
+ * (DESIGN.md §12).
+ *
+ * The sweep scheduler's historical contract was fail_fast: capture
+ * per-job exceptions, rethrow the lowest-index one after the sweep
+ * drains. That is the right default for benches whose every cell is
+ * expected to succeed, but it makes a 10k-cell grid hostage to its
+ * worst cell. The types here let a caller opt into keep_going mode:
+ * bounded retry with deterministic jittered backoff, a per-job soft
+ * deadline enforced by a watchdog, quarantine of cells that exhaust
+ * their budget, and a SweepReport that names every non-clean cell
+ * with a classified failure kind instead of a bare rethrow.
+ *
+ * Determinism: retries re-create the SweepJob with the *same*
+ * jobSeed(baseSeed, index), so a cell that succeeds on attempt 3
+ * produces output byte-identical to a first-try success; backoff
+ * durations are seeded from (baseSeed, index, attempt) and affect
+ * only the wall clock, never results. The quarantine decision is a
+ * retire-time elapsed check, not a watchdog race, so it too is
+ * stable across thread counts.
+ */
+
+#ifndef DIFFY_RUNTIME_RESILIENCE_HH
+#define DIFFY_RUNTIME_RESILIENCE_HH
+
+#include <cstddef>
+#include <cstdint>
+#include <exception>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace diffy
+{
+
+/** What the scheduler does with a job that exhausts its retries. */
+enum class FailurePolicy
+{
+    FailFast, ///< historical behaviour: lowest-index error rethrown
+    KeepGoing ///< quarantine the cell, finish the sweep, report
+};
+
+/**
+ * Classified cause of a job failure. Decode* kinds mirror
+ * DecodeStatus one-for-one (a DecodeError thrown through the sweep
+ * body lands in the matching bucket); the rest classify by exception
+ * type. Each kind has a matching `sweep.errors.<to_string(kind)>`
+ * obs counter.
+ */
+enum class FailureKind
+{
+    None,              ///< cell succeeded
+    DecodeBadShape,    ///< DecodeStatus::BadShape
+    DecodeTruncated,   ///< DecodeStatus::Truncated
+    DecodeBadHeader,   ///< DecodeStatus::BadHeader
+    DecodeBadChecksum, ///< DecodeStatus::BadChecksum (detected corruption)
+    Timeout,           ///< attempt overran the soft deadline
+    BadConfig,         ///< std::invalid_argument / std::domain_error
+    Io,                ///< filesystem / iostream / system errors
+    Unknown            ///< anything else
+};
+
+/** Stable snake_case token, doubling as the obs counter suffix. */
+std::string to_string(FailureKind k);
+
+/**
+ * Map a captured exception to its taxonomy bucket. When @p message is
+ * non-null it receives the exception's what() (or a placeholder for
+ * non-std exceptions). A null @p error classifies as None.
+ */
+FailureKind classifyException(const std::exception_ptr &error,
+                              std::string *message = nullptr);
+
+/** Per-job failure policy of a sweep (SweepScheduler::setPolicy()). */
+struct SweepPolicy
+{
+    FailurePolicy mode = FailurePolicy::FailFast;
+    /** Extra attempts after the first failure (0 = no retry). */
+    int maxRetries = 0;
+    /**
+     * Soft per-attempt deadline in milliseconds; 0 disables it. An
+     * attempt that finishes over the deadline is quarantined (kind
+     * Timeout) even if its body succeeded — a cell that slow is a
+     * bug, and its result must not silently differ from a run where
+     * the watchdog got to it first.
+     */
+    std::int64_t jobTimeoutMs = 0;
+    /** Base of the exponential backoff between retries. */
+    std::int64_t backoffBaseMicros = 200;
+
+    /** @throws std::invalid_argument on negative knobs. */
+    void check() const;
+};
+
+/** Fate of one sweep cell; report().cells lists the non-clean ones. */
+struct CellOutcome
+{
+    std::size_t index = 0;
+    int attempts = 1;
+    bool succeeded = false;
+    bool quarantined = false;
+    bool timedOut = false;
+    FailureKind kind = FailureKind::None;
+    /** what() of the last failure (empty on first-try success). */
+    std::string message;
+};
+
+/**
+ * Structured result of a sweep. Deterministic for a deterministic
+ * body: cells appear in index order and every field is independent
+ * of thread count and scheduling.
+ */
+struct SweepReport
+{
+    FailurePolicy mode = FailurePolicy::FailFast;
+    std::size_t jobs = 0;
+    std::size_t succeeded = 0;
+    /** Jobs that succeeded only after at least one retry. */
+    std::size_t retriedJobs = 0;
+    /** Total extra attempts across all jobs. */
+    std::size_t totalRetries = 0;
+    std::size_t quarantined = 0;
+    std::size_t timedOut = 0;
+    /** Non-clean cells (retried, failed, or quarantined), index order. */
+    std::vector<CellOutcome> cells;
+
+    /** True when every job succeeded (retries allowed). */
+    bool clean() const { return succeeded == jobs; }
+
+    /** True when cell @p index was quarantined — callers printing
+     *  per-cell tables must skip these rows to keep surviving-cell
+     *  stdout byte-identical across thread counts. */
+    bool isQuarantined(std::size_t index) const;
+
+    /** Multi-line human-readable report (one line per listed cell). */
+    std::string summary() const;
+
+    /** JSON object (stable key order) for CI artifacts. */
+    void writeJson(std::ostream &os) const;
+};
+
+} // namespace diffy
+
+#endif // DIFFY_RUNTIME_RESILIENCE_HH

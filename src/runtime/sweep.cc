@@ -1,12 +1,14 @@
 #include "runtime/sweep.hh"
 
 #include <algorithm>
+#include <atomic>
 #include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <exception>
 #include <sstream>
 #include <stdexcept>
+#include <thread>
 
 #include "common/cache_registry.hh"
 #include "obs/metrics.hh"
@@ -64,6 +66,9 @@ struct SweepMetrics
     obs::Counter &jobs;
     obs::Counter &busyMicros;
     obs::Counter &queueWaitMicros;
+    obs::Counter &jobRetries;
+    obs::Counter &jobTimeouts;
+    obs::Counter &jobsQuarantined;
     obs::Gauge &wallSeconds;
     obs::Gauge &threads;
 };
@@ -78,10 +83,21 @@ sweepMetrics()
         reg.counter("sweep.jobs"),
         reg.counter("sweep.busy_micros"),
         reg.counter("sweep.queue_wait_micros"),
+        reg.counter("sweep.job_retries"),
+        reg.counter("sweep.job_timeouts"),
+        reg.counter("sweep.jobs_quarantined"),
         reg.gauge("sweep.wall_seconds"),
         reg.gauge("sweep.threads"),
     };
     return metrics;
+}
+
+/** Per-taxonomy-bucket failure counter (`sweep.errors.<kind>`). */
+obs::Counter &
+errorCounter(FailureKind kind)
+{
+    return obs::MetricsRegistry::instance().counter("sweep.errors." +
+                                                    to_string(kind));
 }
 
 std::uint64_t
@@ -190,6 +206,9 @@ SweepScheduler::run(std::size_t jobCount,
     metrics.queueWait.reset();
     metrics.wallSeconds.set(0.0);
     metrics.threads.set(threads_);
+    report_ = SweepReport{};
+    report_.mode = policy_.mode;
+    report_.jobs = jobCount;
     if (jobCount == 0)
         return;
 
@@ -204,62 +223,234 @@ SweepScheduler::run(std::size_t jobCount,
     // Submission timestamps for queue-wait attribution; slot i is
     // written before job i is submitted and read only by job i.
     std::vector<Clock::time_point> submitTimes(jobCount, sweepStart);
+    std::vector<CellOutcome> outcomes(jobCount);
+    // Jobs actually attempted (the fail_fast serial path stops early;
+    // unattempted cells belong in no report bucket).
+    std::vector<char> attempted(jobCount, 0);
+    // Final (post-retry) errors, for the fail_fast rethrow.
+    std::vector<std::exception_ptr> finalErrors(jobCount);
 
-    auto executeJob = [&](std::size_t index, bool pooled) {
-        Clock::time_point jobStart = Clock::now();
+    const double deadlineSeconds =
+        policy_.jobTimeoutMs > 0 ? policy_.jobTimeoutMs / 1000.0 : 0.0;
+    const int maxAttempts = 1 + std::max(0, policy_.maxRetries);
+
+    // Watchdog bookkeeping. attemptStart[i] holds 1 + nanoseconds
+    // since sweepStart of job i's running attempt (0 = idle); the
+    // latch makes the mid-flight watchdog and the retire-time check
+    // bump `sweep.job_timeouts` exactly once per overrunning job.
+    // Only the retire-time elapsed check decides quarantine — the
+    // watchdog provides live observability, never behaviour, so the
+    // outcome cannot depend on the watchdog's scan phase.
+    std::vector<std::atomic<std::int64_t>> attemptStart(jobCount);
+    std::vector<std::atomic<bool>> overrunCounted(jobCount);
+
+    auto nanosSinceSweepStart = [&](Clock::time_point t) {
+        return std::chrono::duration_cast<std::chrono::nanoseconds>(
+                   t - sweepStart)
+            .count();
+    };
+
+    auto noteOverrun = [&](std::size_t index) {
+        if (!overrunCounted[index].exchange(true))
+            metrics.jobTimeouts.add(1);
+    };
+
+    auto runJob = [&](std::size_t index, bool pooled) {
+        CellOutcome &out = outcomes[index];
+        out.index = index;
+        attempted[index] = 1;
+        Clock::time_point firstStart = Clock::now();
         double queueWait =
-            pooled ? std::chrono::duration<double>(jobStart -
+            pooled ? std::chrono::duration<double>(firstStart -
                                                    submitTimes[index])
                          .count()
                    : 0.0;
-        double elapsed;
-        {
-            obs::Span span(obs::Tracer::global(), "sweep.job",
-                           static_cast<std::int64_t>(index));
-            SweepJob job{index, Rng(jobSeed(baseSeed_, index))};
-            body(job);
-            elapsed = secondsSince(jobStart);
+        // Backoff jitter stream: separate namespace from the job's
+        // value stream so adding retries never perturbs results.
+        std::uint64_t backoffState =
+            jobSeed(baseSeed_ ^ 0xC2B2AE3D27D4EB4FULL, index);
+
+        for (int attempt = 0; attempt < maxAttempts; ++attempt) {
+            out.attempts = attempt + 1;
+            Clock::time_point jobStart = Clock::now();
+            attemptStart[index].store(1 + nanosSinceSweepStart(jobStart),
+                                      std::memory_order_release);
+            std::exception_ptr error;
+            double elapsed;
+            {
+                obs::Span span(obs::Tracer::global(), "sweep.job",
+                               static_cast<std::int64_t>(index));
+                try {
+                    // Retries re-create the job with the *same* seed:
+                    // a retry-success is byte-identical to a
+                    // first-try success.
+                    SweepJob job{index, Rng(jobSeed(baseSeed_, index))};
+                    body(job);
+                } catch (...) {
+                    error = std::current_exception();
+                }
+                elapsed = secondsSince(jobStart);
+            }
+            attemptStart[index].store(0, std::memory_order_release);
+            metrics.jobSeconds.record(elapsed);
+            metrics.queueWait.record(attempt == 0 ? queueWait : 0.0);
+            metrics.jobs.add(1);
+            metrics.busyMicros.add(micros(elapsed));
+            if (attempt == 0)
+                metrics.queueWaitMicros.add(micros(queueWait));
+
+            // Retire-time deadline check: authoritative and
+            // deterministic (callers inject overruns far beyond the
+            // deadline, so the comparison is stable). A timed-out
+            // attempt is never retried — a cell that slow is a bug,
+            // and retrying it would stall the whole sweep again.
+            if (deadlineSeconds > 0.0 && elapsed > deadlineSeconds) {
+                noteOverrun(index);
+                out.timedOut = true;
+                out.succeeded = false;
+                out.kind = FailureKind::Timeout;
+                out.message =
+                    "attempt " + std::to_string(attempt + 1) +
+                    " overran the " +
+                    std::to_string(policy_.jobTimeoutMs) +
+                    "ms deadline";
+                errorCounter(FailureKind::Timeout).add(1);
+                finalErrors[index] = std::make_exception_ptr(
+                    std::runtime_error("sweep job " +
+                                       std::to_string(index) + ": " +
+                                       out.message));
+                return;
+            }
+            if (!error) {
+                out.succeeded = true;
+                out.kind = FailureKind::None;
+                out.message.clear();
+                return;
+            }
+            out.kind = classifyException(error, &out.message);
+            errorCounter(out.kind).add(1);
+            if (attempt + 1 >= maxAttempts) {
+                out.succeeded = false;
+                finalErrors[index] = error;
+                return;
+            }
+            metrics.jobRetries.add(1);
+            // Deterministic jittered exponential backoff: duration
+            // derived from (baseSeed, index, attempt) only. Affects
+            // wall clock, never results.
+            std::int64_t base = policy_.backoffBaseMicros
+                                << std::min(attempt, 10);
+            if (base > 0) {
+                std::uint64_t jitter =
+                    splitmix64(backoffState) %
+                    static_cast<std::uint64_t>(base + 1);
+                std::this_thread::sleep_for(std::chrono::microseconds(
+                    base + static_cast<std::int64_t>(jitter)));
+            }
         }
-        metrics.jobSeconds.record(elapsed);
-        metrics.queueWait.record(queueWait);
-        metrics.jobs.add(1);
-        metrics.busyMicros.add(micros(elapsed));
-        metrics.queueWaitMicros.add(micros(queueWait));
     };
 
-    if (threads_ == 1 || jobCount == 1) {
-        // Inline serial execution: identical job contexts and
-        // reduction order, no pool overhead. This is the reference
-        // behaviour every thread count must reproduce byte-for-byte.
-        for (std::size_t i = 0; i < jobCount; ++i)
-            executeJob(i, false);
-    } else {
-        std::size_t workerCount =
-            std::min<std::size_t>(static_cast<std::size_t>(threads_),
-                                  jobCount);
-        std::vector<std::exception_ptr> errors(jobCount);
-        {
-            ThreadPool pool(static_cast<int>(workerCount));
-            for (std::size_t i = 0; i < jobCount; ++i) {
-                submitTimes[i] = Clock::now();
-                pool.submit([&, i] {
-                    try {
-                        executeJob(i, true);
-                    } catch (...) {
-                        errors[i] = std::current_exception();
-                    }
-                });
+    // Mid-flight watchdog: surfaces overruns in `sweep.job_timeouts`
+    // while the offending job is still running, so a hung sweep is
+    // diagnosable from a live metrics scrape.
+    std::atomic<bool> watchdogStop{false};
+    std::thread watchdog;
+    if (deadlineSeconds > 0.0) {
+        watchdog = std::thread([&] {
+            const auto tick = std::chrono::milliseconds(
+                std::clamp<std::int64_t>(policy_.jobTimeoutMs / 4, 1, 50));
+            const std::int64_t deadlineNanos =
+                policy_.jobTimeoutMs * 1'000'000;
+            while (!watchdogStop.load(std::memory_order_acquire)) {
+                std::int64_t now = nanosSinceSweepStart(Clock::now());
+                for (std::size_t i = 0; i < jobCount; ++i) {
+                    std::int64_t started =
+                        attemptStart[i].load(std::memory_order_acquire);
+                    if (started != 0 &&
+                        now - (started - 1) > deadlineNanos)
+                        noteOverrun(i);
+                }
+                std::this_thread::sleep_for(tick);
             }
-            pool.wait();
+        });
+    }
+
+    auto stopWatchdog = [&] {
+        if (watchdog.joinable()) {
+            watchdogStop.store(true, std::memory_order_release);
+            watchdog.join();
         }
-        // Deterministic failure: the lowest-index error wins, no
-        // matter which job happened to fail first on the clock.
-        for (const auto &error : errors)
-            if (error)
-                std::rethrow_exception(error);
+    };
+
+    try {
+        if (threads_ == 1 || jobCount == 1) {
+            // Inline serial execution: identical job contexts and
+            // reduction order, no pool overhead. This is the reference
+            // behaviour every thread count must reproduce
+            // byte-for-byte.
+            for (std::size_t i = 0; i < jobCount; ++i) {
+                runJob(i, false);
+                // Historical fail_fast contract: the serial path stops
+                // at the first failing job.
+                if (finalErrors[i] &&
+                    policy_.mode == FailurePolicy::FailFast)
+                    break;
+            }
+        } else {
+            std::size_t workerCount = std::min<std::size_t>(
+                static_cast<std::size_t>(threads_), jobCount);
+            {
+                ThreadPool pool(static_cast<int>(workerCount));
+                for (std::size_t i = 0; i < jobCount; ++i) {
+                    submitTimes[i] = Clock::now();
+                    pool.submit([&runJob, i] { runJob(i, true); });
+                }
+                pool.wait();
+            }
+        }
+    } catch (...) {
+        stopWatchdog();
+        throw;
+    }
+    stopWatchdog();
+
+    // Reduce outcomes in index order into the deterministic report.
+    const bool keepGoing = policy_.mode == FailurePolicy::KeepGoing;
+    for (std::size_t i = 0; i < jobCount; ++i) {
+        if (!attempted[i])
+            continue;
+        CellOutcome &out = outcomes[i];
+        if (out.succeeded) {
+            ++report_.succeeded;
+            if (out.attempts > 1) {
+                ++report_.retriedJobs;
+                report_.totalRetries +=
+                    static_cast<std::size_t>(out.attempts - 1);
+                report_.cells.push_back(out);
+            }
+            continue;
+        }
+        report_.totalRetries +=
+            static_cast<std::size_t>(out.attempts - 1);
+        if (out.timedOut)
+            ++report_.timedOut;
+        if (keepGoing) {
+            out.quarantined = true;
+            ++report_.quarantined;
+            metrics.jobsQuarantined.add(1);
+        }
+        report_.cells.push_back(out);
     }
 
     metrics.wallSeconds.set(secondsSince(sweepStart));
+
+    if (!keepGoing) {
+        // Deterministic failure: the lowest-index error wins, no
+        // matter which job happened to fail first on the clock.
+        for (const auto &error : finalErrors)
+            if (error)
+                std::rethrow_exception(error);
+    }
 }
 
 } // namespace diffy

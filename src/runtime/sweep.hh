@@ -19,6 +19,13 @@
  *    index is rethrown after the sweep drains, so failure behaviour
  *    does not depend on scheduling either.
  *
+ * Failure policy (DESIGN.md §12): setPolicy() selects fail_fast
+ * (the default above) or keep_going, bounded retries with
+ * deterministic jittered backoff, and a per-job soft deadline. Every
+ * run() builds a SweepReport — under keep_going, failing cells are
+ * quarantined into the report instead of rethrown, and callers must
+ * consult report().isQuarantined(i) before printing cell i.
+ *
  * Timing lives in the obs::MetricsRegistry (DESIGN.md §11): run()
  * resets the per-run `sweep.job_seconds` / `sweep.queue_wait_seconds`
  * histograms, emits a `sweep.job` trace span per job, and bumps the
@@ -38,6 +45,7 @@
 #include <vector>
 
 #include "common/rng.hh"
+#include "runtime/resilience.hh"
 
 namespace diffy
 {
@@ -109,10 +117,35 @@ class SweepScheduler
                                  std::size_t index);
 
     /**
+     * Install the failure policy for subsequent map()/forEach() calls.
+     * @throws std::invalid_argument on negative knobs (SweepPolicy::check).
+     */
+    void setPolicy(const SweepPolicy &policy)
+    {
+        policy.check();
+        policy_ = policy;
+    }
+
+    const SweepPolicy &policy() const { return policy_; }
+
+    /**
+     * Structured outcome of the most recent map()/forEach() call on
+     * *this* scheduler. Under fail_fast a failing sweep still throws;
+     * the report reflects whatever was recorded before the rethrow.
+     */
+    const SweepReport &report() const { return report_; }
+
+    /**
      * Run @p jobCount jobs and return their results in job-index
      * order. The result type must be default-constructible (slots are
      * preallocated). @p fn may run on any worker thread; it must only
      * touch shared state that is itself thread-safe.
+     *
+     * Under keep_going, quarantined cells hold a default-constructed
+     * value regardless of why they were quarantined — including a
+     * body that completed but overran its deadline, whose return
+     * value is discarded so every quarantine cause looks the same to
+     * the caller.
      */
     template <typename Fn>
     auto map(std::size_t jobCount, Fn &&fn)
@@ -124,6 +157,9 @@ class SweepScheduler
         std::vector<R> results(jobCount);
         run(jobCount,
             [&results, &fn](SweepJob &job) { results[job.index] = fn(job); });
+        for (const CellOutcome &cell : report_.cells)
+            if (cell.quarantined)
+                results[cell.index] = R{};
         return results;
     }
 
@@ -147,6 +183,8 @@ class SweepScheduler
 
     int threads_;
     std::uint64_t baseSeed_;
+    SweepPolicy policy_;
+    SweepReport report_;
 };
 
 /** True when the DIFFY_SWEEP_STATS environment variable is set. */

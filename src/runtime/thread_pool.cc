@@ -3,6 +3,8 @@
 #include <stdexcept>
 #include <utility>
 
+#include "obs/metrics.hh"
+
 namespace diffy
 {
 
@@ -26,8 +28,15 @@ ThreadPool::~ThreadPool()
     workAvailable_.notify_all();
     for (auto &worker : workers_)
         worker.join();
-    // Any captured exception dies with the pool; destructors must not
-    // throw. Callers that care go through wait() first.
+    // A task throwing during the shutdown drain is captured by
+    // workerLoop() like any steady-state task — never std::terminate.
+    // But a destructor must not throw, so an exception still pending
+    // here (the owner skipped wait()) can only be dropped; count the
+    // drop so the loss is at least observable.
+    if (firstError_)
+        obs::MetricsRegistry::instance()
+            .counter("thread_pool.dropped_exceptions")
+            .add(1);
 }
 
 void

@@ -10,9 +10,12 @@
  *
  * A job that throws does not take down its worker thread: the first
  * escaped exception (in completion order) is captured and rethrown by
- * the next wait() call. Callers that need deterministic exception
- * selection across jobs (the sweep scheduler does) should catch inside
- * the job and pick a winner themselves.
+ * the next wait() call — including jobs that run during the shutdown
+ * drain, which must never reach std::terminate. A capture still
+ * pending at destruction (the owner never called wait()) is dropped,
+ * counted in `thread_pool.dropped_exceptions`. Callers that need
+ * deterministic exception selection across jobs (the sweep scheduler
+ * does) should catch inside the job and pick a winner themselves.
  */
 
 #ifndef DIFFY_RUNTIME_THREAD_POOL_HH

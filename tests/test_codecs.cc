@@ -7,6 +7,9 @@
 
 #include <gtest/gtest.h>
 
+#include <cstdint>
+#include <sstream>
+
 #include "common/bitops.hh"
 #include "common/rng.hh"
 #include "encode/bitstream.hh"
@@ -410,6 +413,106 @@ TEST(CodecOnRealTrace, PaperOrderingHolds)
     }
     EXPECT_LT(delta, raw);
     EXPECT_LT(raw, none);
+}
+
+// --------------------------------------------------- stream integrity
+
+TEST(Crc32c, MatchesKnownVectorAndChains)
+{
+    // RFC 3720 check value for the Castagnoli polynomial.
+    const char digits[] = "123456789";
+    EXPECT_EQ(crc32c(reinterpret_cast<const std::uint8_t *>(digits), 9),
+              0xE3069283u);
+    EXPECT_EQ(crc32c(nullptr, 0), 0u);
+    // Incremental chaining must equal the one-shot CRC.
+    const auto *d = reinterpret_cast<const std::uint8_t *>(digits);
+    std::uint32_t chained = crc32c(d, 4);
+    chained = crc32c(d + 4, 5, chained);
+    EXPECT_EQ(chained, 0xE3069283u);
+}
+
+TEST(EncodedIntegrity, SealDetectsPayloadCorruption)
+{
+    auto codec = makeDeltaDCodec(16);
+    EncodedTensor enc = codec->encode(randomTensor(21));
+    EXPECT_TRUE(verifyEncoded(enc)) << "unsealed streams vacuously pass";
+    sealEncoded(enc);
+    EXPECT_TRUE(verifyEncoded(enc));
+    enc.bytes[enc.bytes.size() / 2] ^= 0x10;
+    EXPECT_FALSE(verifyEncoded(enc));
+}
+
+TEST(EncodedIntegrity, TryDecodeVerifiedReportsBadChecksum)
+{
+    auto codec = makeDeltaDCodec(16);
+    TensorI16 t = randomTensor(22);
+    EncodedTensor enc = codec->encode(t);
+    sealEncoded(enc);
+    EXPECT_EQ(codec->tryDecodeVerified(enc).status, DecodeStatus::Ok);
+    enc.bytes[3] ^= 0x80;
+    DecodeResult r = codec->tryDecodeVerified(enc);
+    EXPECT_EQ(r.status, DecodeStatus::BadChecksum);
+    EXPECT_EQ(r.valuesDecoded, 0u)
+        << "corruption must be detected before reconstruction";
+    // decode() surfaces the same detection as a typed throw.
+    try {
+        codec->decode(enc);
+        FAIL() << "expected DecodeError";
+    } catch (const DecodeError &e) {
+        EXPECT_EQ(e.status(), DecodeStatus::BadChecksum);
+    }
+}
+
+TEST(EncodedIntegrity, SaveLoadRoundTripIsSealedAndLossless)
+{
+    auto codec = makeDeltaDCodec(16);
+    TensorI16 t = randomTensor(23);
+    EncodedTensor enc = codec->encode(t);
+    std::ostringstream os;
+    saveEncoded(enc, os);
+    std::istringstream is(os.str());
+    EncodedTensor back = loadEncoded(is);
+    EXPECT_TRUE(back.sealed);
+    EXPECT_EQ(back.bits, enc.bits);
+    EXPECT_EQ(back.headerBits, enc.headerBits);
+    EXPECT_EQ(codec->decode(back), t);
+}
+
+TEST(EncodedIntegrity, LoadRejectsTruncationAndCorruption)
+{
+    auto codec = makeDeltaDCodec(16);
+    EncodedTensor enc = codec->encode(randomTensor(24));
+    std::ostringstream os;
+    saveEncoded(enc, os);
+    const std::string wire = os.str();
+
+    // Truncated stream: structured Truncated error, never a crash.
+    std::istringstream shortStream(wire.substr(0, wire.size() / 2));
+    try {
+        loadEncoded(shortStream);
+        FAIL() << "expected DecodeError";
+    } catch (const DecodeError &e) {
+        EXPECT_EQ(e.status(), DecodeStatus::Truncated);
+    }
+
+    // Flipped payload byte (the footer is the trailing u32 CRC plus
+    // u64 bit count, so size-13 is the payload's last byte): the
+    // footer CRC catches it at load time.
+    std::string corrupt = wire;
+    corrupt[corrupt.size() - 13] ^= 0x04;
+    std::istringstream corruptStream(corrupt);
+    try {
+        loadEncoded(corruptStream);
+        FAIL() << "expected DecodeError";
+    } catch (const DecodeError &e) {
+        EXPECT_EQ(e.status(), DecodeStatus::BadChecksum);
+    }
+
+    // Wrong magic: rejected before anything is parsed.
+    std::string badMagic = wire;
+    badMagic[0] ^= 0xFF;
+    std::istringstream badMagicStream(badMagic);
+    EXPECT_THROW(loadEncoded(badMagicStream), DecodeError);
 }
 
 } // namespace

@@ -79,6 +79,58 @@ TEST(ExperimentParams, ThreadsCliAcceptedAndValidated)
     }
 }
 
+TEST(ExperimentParams, FailurePolicyFlagsParsed)
+{
+    // Defaults: historical fail_fast with no retry and no deadline.
+    ExperimentParams defaults;
+    EXPECT_FALSE(defaults.keepGoing);
+    EXPECT_EQ(defaults.maxRetries, 0);
+    EXPECT_EQ(defaults.jobTimeoutMs, 0);
+
+    const char *argv[] = {"prog", "--keep-going", "--max-retries", "2",
+                          "--job-timeout-ms", "1500"};
+    ExperimentParams p = ExperimentParams::fromCli(6, argv);
+    EXPECT_TRUE(p.keepGoing);
+    EXPECT_EQ(p.maxRetries, 2);
+    EXPECT_EQ(p.jobTimeoutMs, 1500);
+}
+
+TEST(ExperimentParams, KeepGoingIsABareFlag)
+{
+    // --keep-going is declared boolean: it must not swallow the value
+    // of a following flag as its own.
+    const char *argv[] = {"prog", "--keep-going", "--crop", "32"};
+    ExperimentParams p = ExperimentParams::fromCli(4, argv);
+    EXPECT_TRUE(p.keepGoing);
+    EXPECT_EQ(p.crop, 32);
+}
+
+TEST(ExperimentParams, FailurePolicyFlagsValidated)
+{
+    struct Case
+    {
+        const char *flag;
+        const char *value;
+        const char *field;
+    };
+    const Case cases[] = {
+        {"--max-retries", "-1", "maxRetries"},
+        {"--max-retries", "500", "maxRetries"},
+        {"--job-timeout-ms", "-200", "jobTimeoutMs"},
+    };
+    for (const Case &c : cases) {
+        const char *argv[] = {"prog", c.flag, c.value};
+        try {
+            ExperimentParams::fromCli(3, argv);
+            FAIL() << c.flag << " " << c.value << " should be rejected";
+        } catch (const std::invalid_argument &e) {
+            EXPECT_NE(std::string(e.what()).find(c.field),
+                      std::string::npos)
+                << e.what();
+        }
+    }
+}
+
 TEST(TraceSuite, ProducesOneTracePerScene)
 {
     ExperimentParams p = smallParams();

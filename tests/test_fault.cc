@@ -247,6 +247,49 @@ TEST(Propagation, CorruptionConfinedToOneAnchorSegment)
     }
 }
 
+TEST(Propagation, SealedStreamsConvertSilentCorruptionToDetected)
+{
+    TensorI16 clean = smoothTensor(12);
+    FaultSpec spec;
+    spec.model = FaultModel::SingleBit;
+    spec.target = FaultTarget::Payload;
+    auto codec = makeDeltaDCodec(16);
+
+    PropagationSummary bare =
+        sweepFaults(*codec, clean, spec, 200, 43);
+    PropagationSummary sealed =
+        sweepFaults(*codec, clean, spec, 200, 43,
+                    /*sealStreams=*/true);
+
+    // DeltaD payload flips decode "fine" structurally, so without the
+    // footer nearly every trial is silent. With sealing, the CRC
+    // catches every flip: zero silent corruptions remain.
+    EXPECT_GT(bare.silentCorruptions, 0u);
+    EXPECT_EQ(bare.crcDetected, 0u);
+    EXPECT_EQ(sealed.silentCorruptions, 0u);
+    // A single-bit payload flip always changes a payload byte, so the
+    // CRC catches every trial — even flips that happened to decode to
+    // the exact original values.
+    EXPECT_EQ(sealed.crcDetected, sealed.trials);
+    EXPECT_EQ(sealed.trials,
+              sealed.decodeErrors + sealed.silentCorruptions +
+                  sealed.exactDecodes);
+
+    // Recovery cost: no re-anchoring, so a detected fault re-decodes
+    // the whole row.
+    EXPECT_DOUBLE_EQ(sealed.meanRecoveryCycles,
+                     static_cast<double>(clean.width()));
+
+    // With re-anchoring the recharge window shrinks to K.
+    const int K = 16;
+    PropagationSummary anchored =
+        sweepFaults(*makeDeltaDCodec(16, K), clean, spec, 200, 43,
+                    /*sealStreams=*/true, /*reanchorInterval=*/K);
+    EXPECT_EQ(anchored.silentCorruptions, 0u);
+    EXPECT_DOUBLE_EQ(anchored.meanRecoveryCycles,
+                     static_cast<double>(K));
+}
+
 TEST(Propagation, TrialOutcomesPartition)
 {
     TensorI16 clean = smoothTensor(11);

@@ -1,0 +1,418 @@
+/**
+ * @file
+ * Tests for the resilient runtime (DESIGN.md §12): failure taxonomy
+ * classification, keep_going quarantine with bounded deterministic
+ * retry, the soft-deadline watchdog, SweepReport structure, and the
+ * obs counters every error path must feed.
+ *
+ * Lives in diffy_runtime_tests so the ThreadSanitizer CI job covers
+ * the retry/watchdog concurrency surface.
+ */
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <functional>
+#include <sstream>
+#include <stdexcept>
+#include <system_error>
+#include <thread>
+#include <vector>
+
+#include "core/experiment.hh"
+#include "encode/schemes.hh"
+#include "obs/metrics.hh"
+#include "runtime/resilience.hh"
+#include "runtime/sweep.hh"
+
+namespace diffy
+{
+namespace
+{
+
+// ------------------------------------------------------------ taxonomy
+
+std::exception_ptr
+capture(const std::function<void()> &thrower)
+{
+    try {
+        thrower();
+    } catch (...) {
+        return std::current_exception();
+    }
+    return nullptr;
+}
+
+TEST(FailureTaxonomy, ClassifiesEveryDecodeStatus)
+{
+    struct Case
+    {
+        DecodeStatus status;
+        FailureKind kind;
+    };
+    const Case cases[] = {
+        {DecodeStatus::BadShape, FailureKind::DecodeBadShape},
+        {DecodeStatus::Truncated, FailureKind::DecodeTruncated},
+        {DecodeStatus::BadHeader, FailureKind::DecodeBadHeader},
+        {DecodeStatus::BadChecksum, FailureKind::DecodeBadChecksum},
+    };
+    for (const Case &c : cases) {
+        std::string msg;
+        FailureKind kind = classifyException(
+            capture([&] { throw DecodeError(c.status, "boom"); }), &msg);
+        EXPECT_EQ(kind, c.kind) << to_string(c.kind);
+        EXPECT_EQ(msg, "boom");
+    }
+}
+
+TEST(FailureTaxonomy, ClassifiesByExceptionType)
+{
+    EXPECT_EQ(classifyException(capture(
+                  [] { throw std::invalid_argument("bad"); })),
+              FailureKind::BadConfig);
+    EXPECT_EQ(
+        classifyException(capture([] { throw std::domain_error("bad"); })),
+        FailureKind::BadConfig);
+    EXPECT_EQ(classifyException(capture([] {
+                  throw std::system_error(
+                      std::make_error_code(std::errc::io_error));
+              })),
+              FailureKind::Io);
+    EXPECT_EQ(classifyException(
+                  capture([] { throw std::ios_base::failure("eof"); })),
+              FailureKind::Io);
+    EXPECT_EQ(
+        classifyException(capture([] { throw std::runtime_error("?"); })),
+        FailureKind::Unknown);
+    std::string msg;
+    EXPECT_EQ(classifyException(capture([] { throw 42; }), &msg),
+              FailureKind::Unknown);
+    EXPECT_EQ(msg, "(non-standard exception)");
+    EXPECT_EQ(classifyException(nullptr), FailureKind::None);
+}
+
+TEST(FailureTaxonomy, TokensAreStableSnakeCase)
+{
+    EXPECT_EQ(to_string(FailureKind::DecodeBadChecksum),
+              "decode_bad_checksum");
+    EXPECT_EQ(to_string(FailureKind::Timeout), "timeout");
+    EXPECT_EQ(to_string(FailureKind::BadConfig), "bad_config");
+}
+
+TEST(SweepPolicy, CheckRejectsNegativeKnobs)
+{
+    SweepPolicy p;
+    EXPECT_NO_THROW(p.check());
+    p.maxRetries = -1;
+    EXPECT_THROW(p.check(), std::invalid_argument);
+    p = SweepPolicy{};
+    p.jobTimeoutMs = -5;
+    EXPECT_THROW(p.check(), std::invalid_argument);
+    p = SweepPolicy{};
+    p.backoffBaseMicros = -1;
+    EXPECT_THROW(p.check(), std::invalid_argument);
+}
+
+// ------------------------------------------------- keep_going sweeps
+
+SweepPolicy
+keepGoingPolicy(int retries = 0, std::int64_t timeoutMs = 0)
+{
+    SweepPolicy p;
+    p.mode = FailurePolicy::KeepGoing;
+    p.maxRetries = retries;
+    p.jobTimeoutMs = timeoutMs;
+    p.backoffBaseMicros = 10; // fast tests
+    return p;
+}
+
+TEST(KeepGoing, QuarantinesFailuresAndFinishesTheSweep)
+{
+    for (int threads : {1, 4}) {
+        SweepScheduler scheduler(threads, /*baseSeed=*/7);
+        scheduler.setPolicy(keepGoingPolicy());
+        std::vector<std::size_t> results =
+            scheduler.map(16, [](SweepJob &job) -> std::size_t {
+                if (job.index == 3)
+                    throw DecodeError(DecodeStatus::BadHeader,
+                                      "poisoned");
+                if (job.index == 9)
+                    throw std::invalid_argument("bad cell config");
+                return job.index * 2;
+            });
+        const SweepReport &report = scheduler.report();
+        EXPECT_EQ(report.jobs, 16u) << threads;
+        EXPECT_EQ(report.succeeded, 14u) << threads;
+        EXPECT_EQ(report.quarantined, 2u) << threads;
+        EXPECT_FALSE(report.clean());
+        ASSERT_EQ(report.cells.size(), 2u) << threads;
+        EXPECT_EQ(report.cells[0].index, 3u);
+        EXPECT_EQ(report.cells[0].kind, FailureKind::DecodeBadHeader);
+        EXPECT_TRUE(report.cells[0].quarantined);
+        EXPECT_EQ(report.cells[1].index, 9u);
+        EXPECT_EQ(report.cells[1].kind, FailureKind::BadConfig);
+        EXPECT_TRUE(report.isQuarantined(3));
+        EXPECT_TRUE(report.isQuarantined(9));
+        EXPECT_FALSE(report.isQuarantined(4));
+        // Surviving cells carry their results; quarantined slots hold
+        // the default value.
+        for (std::size_t i = 0; i < results.size(); ++i) {
+            if (i == 3 || i == 9)
+                EXPECT_EQ(results[i], 0u);
+            else
+                EXPECT_EQ(results[i], i * 2);
+        }
+    }
+}
+
+TEST(KeepGoing, RetryHealsTransientFailuresDeterministically)
+{
+    // A clean reference run: no injection at all.
+    SweepScheduler reference(1, /*baseSeed=*/11);
+    std::vector<double> expected =
+        reference.map(12, [](SweepJob &job) {
+            double v = 0.0;
+            for (int i = 0; i < 8; ++i)
+                v += job.rng.uniform();
+            return v;
+        });
+
+    for (int threads : {1, 4}) {
+        auto &reg = obs::MetricsRegistry::instance();
+        const std::uint64_t retries0 =
+            reg.counter("sweep.job_retries").value();
+        std::vector<std::atomic<int>> attempts(12);
+        SweepScheduler scheduler(threads, /*baseSeed=*/11);
+        scheduler.setPolicy(keepGoingPolicy(/*retries=*/2));
+        std::vector<double> healed =
+            scheduler.map(12, [&](SweepJob &job) {
+                // Draw from the RNG *before* failing: the retry must
+                // restart from a fresh identically-seeded stream for
+                // the recovered value to match the clean run.
+                double v = 0.0;
+                for (int i = 0; i < 8; ++i)
+                    v += job.rng.uniform();
+                if (job.index == 5 &&
+                    attempts[job.index].fetch_add(1) < 2)
+                    throw DecodeError(DecodeStatus::Truncated,
+                                      "transient");
+                return v;
+            });
+        EXPECT_EQ(healed, expected) << threads << " threads";
+        const SweepReport &report = scheduler.report();
+        EXPECT_EQ(report.succeeded, 12u);
+        EXPECT_EQ(report.quarantined, 0u);
+        EXPECT_EQ(report.retriedJobs, 1u);
+        EXPECT_EQ(report.totalRetries, 2u);
+        EXPECT_TRUE(report.clean());
+        ASSERT_EQ(report.cells.size(), 1u);
+        EXPECT_EQ(report.cells[0].index, 5u);
+        EXPECT_EQ(report.cells[0].attempts, 3);
+        EXPECT_TRUE(report.cells[0].succeeded);
+        EXPECT_EQ(reg.counter("sweep.job_retries").value() - retries0,
+                  2u)
+            << threads << " threads";
+    }
+}
+
+TEST(KeepGoing, ExhaustedRetriesQuarantineWithLastError)
+{
+    SweepScheduler scheduler(2, 3);
+    scheduler.setPolicy(keepGoingPolicy(/*retries=*/1));
+    scheduler.forEach(4, [](SweepJob &job) {
+        if (job.index == 2)
+            throw DecodeError(DecodeStatus::BadShape, "always broken");
+    });
+    const SweepReport &report = scheduler.report();
+    EXPECT_EQ(report.quarantined, 1u);
+    EXPECT_EQ(report.totalRetries, 1u);
+    ASSERT_EQ(report.cells.size(), 1u);
+    EXPECT_EQ(report.cells[0].attempts, 2);
+    EXPECT_EQ(report.cells[0].kind, FailureKind::DecodeBadShape);
+    EXPECT_FALSE(report.cells[0].succeeded);
+}
+
+TEST(KeepGoing, EveryTaxonomyBucketFeedsItsCounter)
+{
+    struct Case
+    {
+        std::function<void()> thrower;
+        FailureKind kind;
+    };
+    const std::vector<Case> cases = {
+        {[] {
+             throw DecodeError(DecodeStatus::BadShape, "shape");
+         },
+         FailureKind::DecodeBadShape},
+        {[] {
+             throw DecodeError(DecodeStatus::Truncated, "trunc");
+         },
+         FailureKind::DecodeTruncated},
+        {[] {
+             throw DecodeError(DecodeStatus::BadHeader, "header");
+         },
+         FailureKind::DecodeBadHeader},
+        {[] {
+             throw DecodeError(DecodeStatus::BadChecksum, "crc");
+         },
+         FailureKind::DecodeBadChecksum},
+        {[] { throw std::invalid_argument("config"); },
+         FailureKind::BadConfig},
+        {[] {
+             throw std::system_error(
+                 std::make_error_code(std::errc::io_error));
+         },
+         FailureKind::Io},
+        {[] { throw std::runtime_error("mystery"); },
+         FailureKind::Unknown},
+    };
+    auto &reg = obs::MetricsRegistry::instance();
+    for (const Case &c : cases) {
+        const std::string counterName =
+            "sweep.errors." + to_string(c.kind);
+        const std::uint64_t before = reg.counter(counterName).value();
+        SweepScheduler scheduler(1);
+        scheduler.setPolicy(keepGoingPolicy());
+        scheduler.forEach(3, [&](SweepJob &job) {
+            if (job.index == 1)
+                c.thrower();
+        });
+        const SweepReport &report = scheduler.report();
+        ASSERT_EQ(report.cells.size(), 1u) << to_string(c.kind);
+        EXPECT_EQ(report.cells[0].kind, c.kind);
+        EXPECT_EQ(reg.counter(counterName).value() - before, 1u)
+            << counterName;
+    }
+}
+
+// ------------------------------------------------------------ deadline
+
+TEST(Watchdog, OverrunningJobIsQuarantinedAsTimeout)
+{
+    for (int threads : {1, 4}) {
+        auto &reg = obs::MetricsRegistry::instance();
+        const std::uint64_t timeouts0 =
+            reg.counter("sweep.job_timeouts").value();
+        const std::uint64_t errors0 =
+            reg.counter("sweep.errors.timeout").value();
+        SweepScheduler scheduler(threads, 5);
+        scheduler.setPolicy(
+            keepGoingPolicy(/*retries=*/2, /*timeoutMs=*/40));
+        std::vector<int> results =
+            scheduler.map(6, [](SweepJob &job) {
+                if (job.index == 4)
+                    std::this_thread::sleep_for(
+                        std::chrono::milliseconds(160));
+                return static_cast<int>(job.index) + 1;
+            });
+        const SweepReport &report = scheduler.report();
+        EXPECT_EQ(report.timedOut, 1u) << threads;
+        EXPECT_EQ(report.quarantined, 1u) << threads;
+        ASSERT_EQ(report.cells.size(), 1u) << threads;
+        EXPECT_EQ(report.cells[0].index, 4u);
+        EXPECT_EQ(report.cells[0].kind, FailureKind::Timeout);
+        EXPECT_TRUE(report.cells[0].timedOut);
+        // Timeouts are terminal: no retry budget is spent on them.
+        EXPECT_EQ(report.cells[0].attempts, 1);
+        // The latch guarantees exactly one count no matter whether the
+        // watchdog or the retire-time check observed the overrun first.
+        EXPECT_EQ(reg.counter("sweep.job_timeouts").value() - timeouts0,
+                  1u)
+            << threads;
+        EXPECT_EQ(reg.counter("sweep.errors.timeout").value() - errors0,
+                  1u)
+            << threads;
+        EXPECT_EQ(results[4], 0) << "quarantined slot must stay default";
+        EXPECT_EQ(results[3], 4);
+    }
+}
+
+TEST(Watchdog, FailFastRethrowsTimeoutAsError)
+{
+    SweepScheduler scheduler(1);
+    SweepPolicy policy;
+    policy.jobTimeoutMs = 30;
+    scheduler.setPolicy(policy);
+    try {
+        scheduler.forEach(3, [](SweepJob &job) {
+            if (job.index == 1)
+                std::this_thread::sleep_for(
+                    std::chrono::milliseconds(120));
+        });
+        FAIL() << "expected the deadline overrun to throw";
+    } catch (const std::runtime_error &e) {
+        EXPECT_NE(std::string(e.what()).find("overran"),
+                  std::string::npos);
+    }
+    EXPECT_EQ(scheduler.report().timedOut, 1u);
+}
+
+// -------------------------------------------------------------- report
+
+TEST(SweepReport, SummaryAndJsonNameEveryNonCleanCell)
+{
+    SweepScheduler scheduler(2, 1);
+    scheduler.setPolicy(keepGoingPolicy(/*retries=*/1));
+    std::vector<std::atomic<int>> attempts(8);
+    scheduler.forEach(8, [&](SweepJob &job) {
+        if (job.index == 2 && attempts[job.index].fetch_add(1) < 1)
+            throw DecodeError(DecodeStatus::Truncated, "transient");
+        if (job.index == 6)
+            throw std::runtime_error("hopeless");
+    });
+    const SweepReport &report = scheduler.report();
+    const std::string summary = report.summary();
+    EXPECT_NE(summary.find("7/8 cells ok"), std::string::npos) << summary;
+    EXPECT_NE(summary.find("cell 2: recovered"), std::string::npos);
+    EXPECT_NE(summary.find("cell 6: quarantined"), std::string::npos);
+    EXPECT_NE(summary.find("[unknown]"), std::string::npos);
+
+    std::ostringstream json;
+    report.writeJson(json);
+    const std::string j = json.str();
+    EXPECT_NE(j.find("\"mode\": \"keep_going\""), std::string::npos);
+    EXPECT_NE(j.find("\"succeeded\": 7"), std::string::npos);
+    EXPECT_NE(j.find("\"state\": \"recovered\""), std::string::npos);
+    EXPECT_NE(j.find("\"state\": \"quarantined\""), std::string::npos);
+    EXPECT_NE(j.find("\"kind\": \"unknown\""), std::string::npos);
+}
+
+TEST(SweepReport, FailFastStillRecordsBeforeRethrow)
+{
+    SweepScheduler scheduler(4, 1);
+    EXPECT_THROW(scheduler.forEach(8,
+                                   [](SweepJob &job) {
+                                       if (job.index == 5)
+                                           throw std::runtime_error(
+                                               "boom");
+                                   }),
+                 std::runtime_error);
+    const SweepReport &report = scheduler.report();
+    EXPECT_EQ(report.mode, FailurePolicy::FailFast);
+    // Under fail_fast nothing is quarantined; the failure is thrown.
+    EXPECT_EQ(report.quarantined, 0u);
+    ASSERT_GE(report.cells.size(), 1u);
+    EXPECT_EQ(report.cells[0].kind, FailureKind::Unknown);
+}
+
+// -------------------------------------------- experiment plumbing
+
+TEST(ExperimentPolicy, SweepPolicyMirrorsCliFields)
+{
+    ExperimentParams params;
+    params.keepGoing = true;
+    params.maxRetries = 3;
+    params.jobTimeoutMs = 750;
+    SweepPolicy policy = params.sweepPolicy();
+    EXPECT_EQ(policy.mode, FailurePolicy::KeepGoing);
+    EXPECT_EQ(policy.maxRetries, 3);
+    EXPECT_EQ(policy.jobTimeoutMs, 750);
+
+    SweepScheduler scheduler = makeSweepScheduler(params);
+    EXPECT_EQ(scheduler.policy().mode, FailurePolicy::KeepGoing);
+    EXPECT_EQ(scheduler.policy().maxRetries, 3);
+}
+
+} // namespace
+} // namespace diffy

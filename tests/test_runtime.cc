@@ -77,6 +77,34 @@ TEST(ThreadPool, WaitRethrowsJobException)
     EXPECT_EQ(count.load(), 1);
 }
 
+TEST(ThreadPool, ShutdownDrainCapturesThrowingJobs)
+{
+    // Regression: a job throwing while the destructor drains the queue
+    // used to be indistinguishable from a steady-state throw only by
+    // luck — if capture ever moved inside the pre-drain path, the
+    // exception would escape a joined worker and std::terminate. The
+    // pool must survive, and an exception still pending at destruction
+    // (the owner never called wait()) is dropped but counted.
+    auto &reg = obs::MetricsRegistry::instance();
+    const std::uint64_t dropped0 =
+        reg.counter("thread_pool.dropped_exceptions").value();
+    std::atomic<int> ran{0};
+    {
+        ThreadPool pool(2);
+        for (int i = 0; i < 32; ++i)
+            pool.submit([&ran] {
+                std::this_thread::sleep_for(std::chrono::microseconds(200));
+                ++ran;
+                throw std::runtime_error("throw during drain");
+            });
+        // No wait(): destruction drains the queue while jobs throw.
+    }
+    EXPECT_EQ(ran.load(), 32);
+    EXPECT_EQ(reg.counter("thread_pool.dropped_exceptions").value() -
+                  dropped0,
+              1u);
+}
+
 TEST(ThreadPool, RejectsNonPositiveThreadCount)
 {
     EXPECT_THROW(ThreadPool(0), std::invalid_argument);

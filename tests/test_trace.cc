@@ -11,6 +11,7 @@
 
 #include "core/trace_cache.hh"
 #include "image/synth.hh"
+#include "obs/metrics.hh"
 #include "nn/executor.hh"
 #include "nn/models.hh"
 #include "nn/trace.hh"
@@ -71,6 +72,28 @@ TEST(TraceSerialization, RejectsTruncation)
     std::string full = ss.str();
     std::stringstream truncated(full.substr(0, full.size() / 2));
     EXPECT_THROW(loadTrace(truncated), std::runtime_error);
+}
+
+TEST(TraceSerialization, ChecksumCatchesSingleFlippedByte)
+{
+    // The envelope (magic, body length, trailing CRC-32C) must detect
+    // corruption anywhere in the body *before* parsing begins — a
+    // flipped byte in a tensor dimension must never surface as a
+    // misshapen trace.
+    NetworkTrace trace = smallTrace();
+    std::stringstream ss;
+    saveTrace(trace, ss);
+    std::string wire = ss.str();
+    wire[wire.size() / 2] ^= 0x01;
+    std::stringstream corrupt(wire);
+    try {
+        loadTrace(corrupt);
+        FAIL() << "expected the checksum to catch the flip";
+    } catch (const std::runtime_error &e) {
+        EXPECT_NE(std::string(e.what()).find("checksum"),
+                  std::string::npos)
+            << e.what();
+    }
 }
 
 class TraceCacheTest : public ::testing::Test
@@ -141,6 +164,54 @@ TEST_F(TraceCacheTest, CorruptEntryIsRecomputed)
     }
     NetworkTrace trace = cache.get(net, scene);
     EXPECT_EQ(trace.layers.size(), 7u);
+}
+
+TEST_F(TraceCacheTest, CorruptEntryIsQuarantinedAndRegenerated)
+{
+    auto &reg = obs::MetricsRegistry::instance();
+    const std::uint64_t evictions0 =
+        reg.counter("trace_cache.corrupt_evictions").value();
+
+    SceneParams scene;
+    scene.width = 16;
+    scene.height = 16;
+    NetworkSpec net = makeIrCnn();
+    NetworkTrace clean = TraceCache(dir_.string()).get(net, scene);
+
+    // Flip one byte in the middle of the stored file: the magic stays
+    // intact, so only the CRC envelope can catch this.
+    std::filesystem::path stored;
+    for (const auto &entry : std::filesystem::directory_iterator(dir_))
+        stored = entry.path();
+    {
+        std::ifstream in(stored, std::ios::binary);
+        std::stringstream buf;
+        buf << in.rdbuf();
+        std::string bytes = buf.str();
+        bytes[bytes.size() / 2] ^= 0x01;
+        std::ofstream out(stored, std::ios::binary | std::ios::trunc);
+        out.write(bytes.data(),
+                  static_cast<std::streamsize>(bytes.size()));
+    }
+
+    // A fresh cache (cold memory layer) must detect the corruption on
+    // disk load, quarantine the file, and recompute.
+    TraceCache cache(dir_.string());
+    NetworkTrace regenerated = cache.get(net, scene);
+    EXPECT_EQ(regenerated.layers.size(), clean.layers.size());
+    EXPECT_EQ(regenerated.layers[2].imap, clean.layers[2].imap);
+    EXPECT_EQ(
+        reg.counter("trace_cache.corrupt_evictions").value() - evictions0,
+        1u);
+    // The bad file was quarantined, not deleted: forensics keep the
+    // .corrupt copy while a fresh .trace replaces it.
+    EXPECT_TRUE(std::filesystem::exists(stored));
+    EXPECT_TRUE(std::filesystem::exists(stored.string() + ".corrupt"));
+    // A further get() hits the regenerated entry without re-evicting.
+    cache.get(net, scene);
+    EXPECT_EQ(
+        reg.counter("trace_cache.corrupt_evictions").value() - evictions0,
+        1u);
 }
 
 TEST(TraceCacheDisabled, EmptyDirectorySkipsDisk)

@@ -1,0 +1,14 @@
+// Must-fire fixture for R7: a bare catch (...) that swallows the
+// failure — no rethrow, no capture, no taxonomy, no counter.
+void mightThrow();
+
+bool
+swallowEverything()
+{
+    try {
+        mightThrow();
+    } catch (...) {
+        return false;
+    }
+    return true;
+}

@@ -1,0 +1,29 @@
+// Must-not-fire fixture for R7: every bare catch (...) here does
+// something with the failure — captures it, rethrows it, or records
+// it to an obs counter.
+#include <exception>
+
+void mightThrow();
+void bumpCounter(const char *name); // stand-in for obs counter(...)
+
+std::exception_ptr
+captureFailure()
+{
+    try {
+        mightThrow();
+    } catch (...) {
+        return std::current_exception();
+    }
+    return nullptr;
+}
+
+void
+cleanupThenRethrow(int *inFlight)
+{
+    try {
+        mightThrow();
+    } catch (...) {
+        --*inFlight;
+        throw;
+    }
+}

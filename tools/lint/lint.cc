@@ -580,6 +580,64 @@ ruleR6(const std::string &rel_path,
     }
 }
 
+/** R7: a bare catch (...) must rethrow or record the failure. */
+void
+ruleR7(const std::string &rel_path,
+       const std::vector<std::string> &lines, const Suppressions &allow,
+       std::vector<Finding> &out)
+{
+    // No path scope: the rule applies tree-wide — every layer owns
+    // its errors.
+    static const std::regex bareCatch(R"(\bcatch\s*\(\s*\.\.\.\s*\))");
+    // Evidence the handler did something with the failure: rethrowing
+    // (throw; / rethrow_exception), capturing it for later
+    // (current_exception), classifying it into the taxonomy
+    // (classifyException / SweepReport / a FailureKind result), or
+    // recording to an obs counter (counter(...) / .add(...)).
+    static const std::regex marker(
+        R"(\bthrow\b|\bcurrent_exception\b|\brethrow_exception\b|\bclassifyException\b|\bSweepReport\b|\bFailureKind\b|\bcounter\s*\(|\.\s*add\s*\()");
+    for (std::size_t li = 0; li < lines.size(); ++li) {
+        std::smatch m;
+        if (!std::regex_search(lines[li], m, bareCatch))
+            continue;
+        // Collect the brace-matched handler body that follows.
+        std::string body;
+        int depth = 0;
+        bool opened = false;
+        bool closed = false;
+        std::size_t col = static_cast<std::size_t>(m.position()) +
+                          m.str().size();
+        for (std::size_t lj = li; lj < lines.size() && !closed;
+             ++lj, col = 0) {
+            const std::string &cur = lines[lj];
+            for (; col < cur.size(); ++col) {
+                const char c = cur[col];
+                if (c == '{') {
+                    ++depth;
+                    opened = true;
+                } else if (c == '}') {
+                    --depth;
+                    if (opened && depth == 0) {
+                        closed = true;
+                        break;
+                    }
+                }
+                if (opened)
+                    body += c;
+            }
+            body += '\n';
+        }
+        if (!opened || std::regex_search(body, marker))
+            continue;
+        addFinding(out, allow, rel_path, static_cast<int>(li) + 1,
+                   "R7",
+                   "bare catch (...) swallows the failure; rethrow, "
+                   "capture via current_exception, classify into the "
+                   "failure taxonomy (classifyException/SweepReport), "
+                   "or record it to an obs counter (DESIGN.md §12)");
+    }
+}
+
 } // namespace
 
 /* ------------------------------------------------------------------ */
@@ -603,6 +661,9 @@ ruleCatalog()
         {"R6", "no std::chrono::*_clock::now() outside src/obs + "
                "src/runtime (timing flows through obs::Span / "
                "obs::ScopedLatency)"},
+        {"R7", "no bare catch (...) that swallows the failure "
+               "(rethrow, capture, classify into the taxonomy, or "
+               "record to an obs counter)"},
     };
 }
 
@@ -621,6 +682,7 @@ lintFile(const std::string &rel_path, const std::string &contents)
     ruleR4(rel_path, lines, allow, out);
     ruleR5(rel_path, lines, allow, out);
     ruleR6(rel_path, lines, allow, out);
+    ruleR7(rel_path, lines, allow, out);
     return out;
 }
 

@@ -22,7 +22,13 @@
  *   R6  no std::chrono::*_clock::now() outside src/obs + src/runtime —
  *       timing flows through obs::Span / obs::ScopedLatency, keeping
  *       the clock reads (and the stdout-purity rule around them)
- *       centralized.
+ *       centralized;
+ *   R7  no bare `catch (...)` that swallows the failure — the handler
+ *       must rethrow (throw / rethrow_exception), capture it
+ *       (current_exception), classify it into the failure taxonomy
+ *       (classifyException / SweepReport), or at minimum record it to
+ *       an obs counter, so no error path is silently dropped
+ *       (DESIGN.md §12).
  *
  * The scanner strips comments and string/char literals before rule
  * matching, so rule patterns quoted in prose (or in this linter's own
@@ -51,7 +57,7 @@ struct Finding
 {
     std::string file; ///< path relative to the lint root
     int line = 0;     ///< 1-based
-    std::string rule; ///< "R1".."R6"
+    std::string rule; ///< "R1".."R7"
     std::string message;
 };
 

@@ -59,6 +59,8 @@ const std::map<std::string, std::set<std::string>> kFixtureExpectations =
         {"src/arch/r5_ok.hh", {}},
         {"src/core/r6_fire.cc", {"R6"}},
         {"src/obs/r6_ok.cc", {}},
+        {"src/runtime/r7_fire.cc", {"R7"}},
+        {"src/runtime/r7_ok.cc", {}},
         {"src/analysis/suppressed_ok.cc", {}},
 };
 
