@@ -1,0 +1,228 @@
+#include "core/temporal.hh"
+
+#include <limits>
+#include <stdexcept>
+#include <vector>
+
+#include "common/bitops.hh"
+#include "core/differential_conv.hh"
+#include "encode/temporal.hh"
+
+namespace diffy
+{
+
+namespace
+{
+
+std::int32_t
+clampToI32(std::int64_t v)
+{
+    if (v > std::numeric_limits<std::int32_t>::max() ||
+        v < std::numeric_limits<std::int32_t>::min()) {
+        throw std::overflow_error("temporal conv: accumulator overflow");
+    }
+    return static_cast<std::int32_t>(v);
+}
+
+/** Sum of per-value Booth term counts over an int16 plane. */
+std::uint64_t
+boothTermSum(const std::int16_t *src, std::size_t n)
+{
+    std::vector<std::uint8_t> terms(n);
+    boothTermsPlane(src, terms.data(), n);
+    std::uint64_t sum = 0;
+    for (std::uint8_t t : terms)
+        sum += t;
+    return sum;
+}
+
+std::uint64_t
+boothTermSum(const std::int32_t *src, std::size_t n)
+{
+    std::vector<std::uint8_t> terms(n);
+    boothTermsPlane(src, terms.data(), n);
+    std::uint64_t sum = 0;
+    for (std::uint8_t t : terms)
+        sum += t;
+    return sum;
+}
+
+/**
+ * X-axis deltas of an int32 map (row-leading values raw) — the
+ * "both axes composed" encoding of the ablation. The int16 xDeltas()
+ * in the tensor library cannot hold 17-bit temporal deltas.
+ */
+TensorI32
+xDeltas32(const TensorI32 &t)
+{
+    TensorI32 out(t.shape());
+    for (int c = 0; c < t.channels(); ++c) {
+        for (int y = 0; y < t.height(); ++y) {
+            std::int32_t prev = 0;
+            for (int x = 0; x < t.width(); ++x) {
+                std::int32_t cur = t.at(c, y, x);
+                out.at(c, y, x) = x == 0 ? cur : cur - prev;
+                prev = cur;
+            }
+        }
+    }
+    return out;
+}
+
+} // namespace
+
+TensorI32
+convolveTemporalDelta(const TensorI32 &delta, const FilterBankI16 &bank,
+                      int stride, int dilation)
+{
+    if (bank.channels() != delta.channels())
+        throw std::invalid_argument("temporal conv: channel mismatch");
+    if (bank.height() != bank.width())
+        throw std::invalid_argument("temporal conv: non-square kernel");
+    const int k = bank.height();
+    const int eff_k = dilation * (k - 1) + 1;
+    const int pad = (eff_k - 1) / 2;
+    const int out_h = (delta.height() + 2 * pad - eff_k) / stride + 1;
+    const int out_w = (delta.width() + 2 * pad - eff_k) / stride + 1;
+
+    TensorI32 out(bank.filters(), out_h, out_w);
+    for (int f = 0; f < bank.filters(); ++f) {
+        for (int oy = 0; oy < out_h; ++oy) {
+            for (int ox = 0; ox < out_w; ++ox) {
+                std::int64_t acc = 0;
+                for (int c = 0; c < delta.channels(); ++c) {
+                    for (int ky = 0; ky < k; ++ky) {
+                        const int iy = oy * stride + ky * dilation - pad;
+                        if (iy < 0 || iy >= delta.height())
+                            continue;
+                        for (int kx = 0; kx < k; ++kx) {
+                            const int ix =
+                                ox * stride + kx * dilation - pad;
+                            if (ix < 0 || ix >= delta.width())
+                                continue;
+                            acc += static_cast<std::int64_t>(
+                                       delta.at(c, iy, ix)) *
+                                   bank.at(f, c, ky, kx);
+                        }
+                    }
+                }
+                out.at(f, oy, ox) = clampToI32(acc);
+            }
+        }
+    }
+    return out;
+}
+
+TensorI32
+temporalDelta(const TensorI16 &prev, const TensorI16 &cur)
+{
+    if (prev.shape() != cur.shape())
+        throw std::invalid_argument("temporalDelta: shape mismatch");
+    TensorI32 out(cur.shape());
+    const std::int16_t *p = prev.data();
+    const std::int16_t *c = cur.data();
+    std::int32_t *d = out.data();
+    for (std::size_t i = 0; i < out.size(); ++i)
+        d[i] = static_cast<std::int32_t>(c[i]) -
+               static_cast<std::int32_t>(p[i]);
+    return out;
+}
+
+TemporalFrameStats &
+TemporalFrameStats::operator+=(const TemporalFrameStats &o)
+{
+    layerCount += o.layerCount;
+    anchored += o.anchored;
+    exact = exact && o.exact;
+    values += o.values;
+    rawTerms += o.rawTerms;
+    spatialTerms += o.spatialTerms;
+    temporalTerms += o.temporalTerms;
+    temporalSpatialTerms += o.temporalSpatialTerms;
+    codecBits += o.codecBits;
+    return *this;
+}
+
+TemporalFrameStats
+temporalStep(TemporalNetState &state, const NetworkTrace &trace,
+             int frameIndex, const TemporalOptions &opts)
+{
+    if (opts.reanchorInterval < 0)
+        throw std::invalid_argument("temporalStep: negative reanchor");
+    state.layers.resize(trace.layers.size());
+    const TemporalCodec codec(16);
+
+    TemporalFrameStats stats;
+    stats.layerCount = static_cast<int>(trace.layers.size());
+    for (std::size_t li = 0; li < trace.layers.size(); ++li) {
+        const LayerTrace &lt = trace.layers[li];
+        TemporalLayerState &st = state.layers[li];
+        const std::size_t n = lt.imap.size();
+        stats.values += n;
+
+        const std::uint64_t rawTerms = boothTermSum(lt.imap.data(), n);
+        const TensorI16 spatial = xDeltas(lt.imap);
+        const std::uint64_t spatialTerms =
+            boothTermSum(spatial.data(), n);
+        stats.rawTerms += rawTerms;
+        stats.spatialTerms += spatialTerms;
+
+        // A format or geometry change invalidates the reference: the
+        // previous frame's quantized values live in a different
+        // fixed-point grid, so "o_{t-1} + conv(Δ)" would mix scales.
+        const bool anchor =
+            !st.valid || st.prevImap.shape() != lt.imap.shape() ||
+            st.prevFracBits != lt.imapFracBits ||
+            (opts.reanchorInterval > 0 &&
+             frameIndex % opts.reanchorInterval == 0);
+
+        TensorI32 omap;
+        if (anchor) {
+            omap = convolveDirect(lt.imap, lt.weights, lt.spec.stride,
+                                  lt.spec.dilation);
+            ++stats.anchored;
+            stats.temporalTerms += rawTerms;
+            stats.temporalSpatialTerms += spatialTerms;
+            stats.codecBits += n * 16;
+        } else {
+            const TensorI32 delta = temporalDelta(st.prevImap, lt.imap);
+            const TensorI32 deltaOut = convolveTemporalDelta(
+                delta, lt.weights, lt.spec.stride, lt.spec.dilation);
+            if (deltaOut.shape() != st.prevOmap.shape())
+                throw std::logic_error(
+                    "temporalStep: delta output geometry diverged");
+            omap = TensorI32(deltaOut.shape());
+            const std::int32_t *po = st.prevOmap.data();
+            const std::int32_t *dl = deltaOut.data();
+            std::int32_t *oo = omap.data();
+            for (std::size_t i = 0; i < omap.size(); ++i)
+                oo[i] = clampToI32(static_cast<std::int64_t>(po[i]) +
+                                   dl[i]);
+            stats.temporalTerms += boothTermSum(delta.data(), n);
+            const TensorI32 both = xDeltas32(delta);
+            stats.temporalSpatialTerms += boothTermSum(both.data(), n);
+            stats.codecBits += codec.encode(st.prevImap, lt.imap).bits;
+
+            if (opts.verifyAgainstOracle) {
+                const TensorI32 oracle =
+                    convolveDirect(lt.imap, lt.weights, lt.spec.stride,
+                                   lt.spec.dilation);
+                if (!(omap == oracle)) {
+                    stats.exact = false;
+                    throw std::runtime_error(
+                        "temporalStep: layer " + lt.spec.name +
+                        " reconstruction diverged from the per-frame "
+                        "oracle at frame " + std::to_string(frameIndex));
+                }
+            }
+        }
+
+        st.prevImap = lt.imap;
+        st.prevOmap = std::move(omap);
+        st.prevFracBits = lt.imapFracBits;
+        st.valid = true;
+    }
+    return stats;
+}
+
+} // namespace diffy

@@ -1,0 +1,147 @@
+#include "encode/temporal.hh"
+
+#include <algorithm>
+#include <cstdint>
+#include <stdexcept>
+#include <utility>
+#include <vector>
+
+#include "common/bitops.hh"
+#include "encode/bitstream.hh"
+
+namespace diffy
+{
+
+namespace
+{
+
+std::int16_t
+saturate16(std::int64_t v)
+{
+    constexpr std::int64_t lo = -32768;
+    constexpr std::int64_t hi = 32767;
+    return static_cast<std::int16_t>(std::clamp(v, lo, hi));
+}
+
+DecodeResult
+truncatedAt(const BitReader &br, std::size_t values_decoded,
+            const std::string &what)
+{
+    DecodeResult r;
+    r.status = DecodeStatus::Truncated;
+    r.message = "stream ended inside " + what;
+    r.errorBit = br.bitPosition();
+    r.valuesDecoded = values_decoded;
+    return r;
+}
+
+} // namespace
+
+TemporalCodec::TemporalCodec(int group_size) : groupSize_(group_size)
+{
+    if (group_size < 1)
+        throw std::invalid_argument("TemporalCodec: bad group size");
+}
+
+std::string
+TemporalCodec::name() const
+{
+    return "TemporalD" + std::to_string(groupSize_);
+}
+
+EncodedTensor
+TemporalCodec::encode(const TensorI16 &prev, const TensorI16 &cur) const
+{
+    if (prev.shape() != cur.shape())
+        throw std::invalid_argument(
+            "TemporalCodec: reference/current shape mismatch");
+    BitWriter bw;
+    std::vector<BitRange> headers;
+    const std::int16_t *p = prev.data();
+    const std::int16_t *c = cur.data();
+    const std::size_t n = cur.size();
+    const auto group = static_cast<std::size_t>(groupSize_);
+    std::vector<std::int32_t> deltas(group);
+    for (std::size_t start = 0; start < n; start += group) {
+        const std::size_t len = std::min(group, n - start);
+        int bits = 1;
+        for (std::size_t i = 0; i < len; ++i) {
+            deltas[i] = static_cast<std::int32_t>(c[start + i]) -
+                        static_cast<std::int32_t>(p[start + i]);
+            bits = std::max(bits, bitsNeeded(deltas[i]));
+        }
+        headers.push_back({bw.bitCount(), 5});
+        bw.write(static_cast<std::uint32_t>(bits - 1), 5);
+        for (std::size_t i = 0; i < len; ++i)
+            bw.writeSigned(deltas[i], bits);
+    }
+    return {cur.shape(), bw.bitCount(), bw.bytes(), std::move(headers)};
+}
+
+DecodeResult
+TemporalCodec::tryDecode(const TensorI16 &prev,
+                         const EncodedTensor &enc) const
+{
+    DecodeResult r;
+    if (enc.shape != prev.shape()) {
+        // The reference frame *defines* the stream geometry; a
+        // disagreeing declared shape means the stream belongs to a
+        // different anchor epoch and must not be trusted.
+        r.status = DecodeStatus::BadShape;
+        r.message = "temporal stream shape disagrees with its "
+                    "reference frame";
+        return r;
+    }
+    const std::size_t n = prev.size();
+    TensorI16 t(prev.shape());
+    const std::int16_t *p = prev.data();
+    std::int16_t *out = t.data();
+    BitReader br(enc.bytes);
+    const auto group = static_cast<std::size_t>(groupSize_);
+    for (std::size_t start = 0; start < n; start += group) {
+        const std::size_t len = std::min(group, n - start);
+        std::uint32_t hdr = 0;
+        if (!br.tryRead(5, hdr))
+            return truncatedAt(br, start, "a temporal group header");
+        const int bits = static_cast<int>(hdr) + 1;
+        if (bits > kMaxFieldBits) {
+            r.status = DecodeStatus::BadHeader;
+            r.message = "temporal group declares " + std::to_string(bits) +
+                        " bits (legal max " +
+                        std::to_string(kMaxFieldBits) + ")";
+            r.errorBit = br.bitPosition() - 5;
+            r.valuesDecoded = start;
+            return r;
+        }
+        for (std::size_t i = 0; i < len; ++i) {
+            std::int32_t d = 0;
+            if (!br.tryReadSigned(bits, d))
+                return truncatedAt(br, start + i, "a temporal field");
+            out[start + i] = saturate16(
+                static_cast<std::int64_t>(p[start + i]) + d);
+        }
+    }
+    r.tensor = std::move(t);
+    r.valuesDecoded = n;
+    return r;
+}
+
+TensorI16
+TemporalCodec::decode(const TensorI16 &prev, const EncodedTensor &enc) const
+{
+    DecodeResult r = tryDecode(prev, enc);
+    if (!r.ok())
+        throw DecodeError(r.status, name() + " decode failed: " + r.message);
+    return std::move(r.tensor);
+}
+
+double
+TemporalCodec::bitsPerValue(const TensorI16 &prev, const TensorI16 &cur) const
+{
+    if (cur.empty())
+        return 0.0;
+    return static_cast<double>(encode(prev, cur).bits) /
+           static_cast<double>(cur.size());
+}
+
+} // namespace diffy

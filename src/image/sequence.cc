@@ -1,0 +1,140 @@
+#include "image/sequence.hh"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "common/rng.hh"
+
+namespace diffy
+{
+
+namespace
+{
+
+/**
+ * Mix (seed, frame) into an independent per-frame seed stream —
+ * same golden-ratio increment splitmix64 uses, so neighbouring
+ * frames get uncorrelated generators.
+ */
+std::uint64_t
+frameSeed(std::uint64_t seed, std::int64_t t)
+{
+    return seed ^ (0x9E3779B97F4A7C15ULL *
+                   (static_cast<std::uint64_t>(t) + 0x51D5ULL));
+}
+
+/**
+ * Triangle wave over phase with peak @p amp: ramps 0 -> 2*amp -> 0
+ * with period 4*amp, covering every integer offset in [0, 2*amp].
+ */
+int
+triangleWave(std::int64_t phase, int amp)
+{
+    if (amp <= 0)
+        return 0;
+    const std::int64_t period = 4LL * amp;
+    std::int64_t p = phase % period;
+    if (p < 0)
+        p += period;
+    return static_cast<int>(p <= 2 * amp ? p : period - p);
+}
+
+} // namespace
+
+MotionKind
+motionKindFromString(const std::string &name)
+{
+    if (name == "static")
+        return MotionKind::Static;
+    if (name == "pan")
+        return MotionKind::Pan;
+    if (name == "jitter")
+        return MotionKind::Jitter;
+    if (name == "drift")
+        return MotionKind::Drift;
+    throw std::invalid_argument("unknown motion kind: " + name);
+}
+
+std::string
+to_string(MotionKind kind)
+{
+    switch (kind) {
+      case MotionKind::Static:
+        return "static";
+      case MotionKind::Pan:
+        return "pan";
+      case MotionKind::Jitter:
+        return "jitter";
+      case MotionKind::Drift:
+        return "drift";
+    }
+    return "?";
+}
+
+void
+SequenceParams::validate() const
+{
+    if (scene.width <= 0 || scene.height <= 0)
+        throw std::invalid_argument("FrameSequence: non-positive frame size");
+    if (amplitude < 0)
+        throw std::invalid_argument("FrameSequence: negative amplitude");
+    if (driftSigma < 0.0)
+        throw std::invalid_argument("FrameSequence: negative drift sigma");
+}
+
+FrameSequence::FrameSequence(const SequenceParams &params) : params_(params)
+{
+    params_.validate();
+    SceneParams world = params_.scene;
+    world.width += 2 * params_.amplitude;
+    world.height += 2 * params_.amplitude;
+    world_ = renderScene(world);
+}
+
+FrameSequence::Offset
+FrameSequence::offsetAt(std::int64_t t) const
+{
+    const int amp = params_.amplitude;
+    switch (params_.motion) {
+      case MotionKind::Static:
+      case MotionKind::Drift:
+        return {amp, amp};
+      case MotionKind::Pan:
+        // X pans at full rate, Y at a third of it, so the camera
+        // sweeps the margin diagonally without retracing its path
+        // every period.
+        return {triangleWave(t / 3, amp), triangleWave(t, amp)};
+      case MotionKind::Jitter: {
+        Rng rng(frameSeed(params_.motionSeed, t));
+        auto shake = [&] {
+            double v = rng.gaussian(0.0, amp / 2.0);
+            int off = amp + static_cast<int>(std::lround(v));
+            return std::clamp(off, 0, 2 * amp);
+        };
+        int y = shake();
+        int x = shake();
+        return {y, x};
+      }
+    }
+    return {amp, amp};
+}
+
+Tensor3<float>
+FrameSequence::frame(std::int64_t t) const
+{
+    const Offset off = offsetAt(t);
+    Tensor3<float> img =
+        world_.crop(off.y, off.x, params_.scene.height, params_.scene.width);
+    if (params_.motion == MotionKind::Drift && params_.driftSigma > 0.0) {
+        Rng rng(frameSeed(params_.motionSeed, t));
+        float *p = img.data();
+        for (std::size_t i = 0; i < img.size(); ++i) {
+            double v = p[i] + rng.gaussian(0.0, params_.driftSigma);
+            p[i] = static_cast<float>(std::clamp(v, 0.0, 1.0));
+        }
+    }
+    return img;
+}
+
+} // namespace diffy

@@ -1,0 +1,119 @@
+/**
+ * @file
+ * Deterministic frame sequences over the procedural scenes.
+ *
+ * The serving subsystem (DESIGN.md §13) consumes *streams* of frames,
+ * not single images: the temporal-delta path pays only for what
+ * changed between consecutive frames, so the generator must produce
+ * realistic inter-frame redundancy. A FrameSequence renders one
+ * oversized "world" image per stream and derives every frame from it
+ * by a seeded camera model:
+ *
+ *  - Static : the same centered crop every frame (the temporal path's
+ *             best case — all deltas are zero after the anchor);
+ *  - Pan    : a triangle-wave camera translation, full rate in X and
+ *             one third rate in Y (smooth motion, small deltas);
+ *  - Jitter : per-frame hand-shake offsets drawn from a clamped
+ *             Gaussian (uncorrelated motion, medium deltas);
+ *  - Drift  : a static crop plus per-frame additive sensor noise
+ *             (no motion but no exact repeats either — the worst case
+ *             for naive frame-diffing, RNI15-like content).
+ *
+ * Determinism contract: frame(t) is a pure function of (params, t) —
+ * no mutable state, so frames may be generated in any order, from any
+ * thread, and regenerating frame t always yields the identical tensor.
+ * This is what lets the serving tests replay a stream as the
+ * per-frame reference oracle next to the temporal-delta path.
+ */
+
+#ifndef DIFFY_IMAGE_SEQUENCE_HH
+#define DIFFY_IMAGE_SEQUENCE_HH
+
+#include <cstdint>
+#include <string>
+
+#include "image/synth.hh"
+#include "tensor/tensor.hh"
+
+namespace diffy
+{
+
+/** Camera model applied between consecutive frames of a sequence. */
+enum class MotionKind
+{
+    Static, ///< identical crop every frame
+    Pan,    ///< triangle-wave translation (smooth camera motion)
+    Jitter, ///< per-frame Gaussian hand shake
+    Drift   ///< static crop + per-frame additive sensor noise
+};
+
+/** Parse a MotionKind from its lowercase name; throws on unknown. */
+MotionKind motionKindFromString(const std::string &name);
+
+/** Lowercase name of a MotionKind. */
+std::string to_string(MotionKind kind);
+
+/** Parameters of one frame sequence. */
+struct SequenceParams
+{
+    /** The underlying scene; width/height are the *frame* size. */
+    SceneParams scene;
+    MotionKind motion = MotionKind::Pan;
+    /**
+     * Peak camera excursion in pixels (Pan/Jitter) — the world image
+     * is rendered with a margin of this many pixels on every side.
+     * Must be >= 0; 0 degenerates every motion kind to Static framing.
+     */
+    int amplitude = 8;
+    /** Seed of the camera path, independent of the scene seed. */
+    std::uint64_t motionSeed = 1;
+    /** Per-frame additive noise sigma for Drift, in [0,1] units. */
+    double driftSigma = 0.02;
+
+    /** @throws std::invalid_argument on out-of-range knobs. */
+    void validate() const;
+};
+
+/**
+ * A deterministic, random-access stream of frames. Construction
+ * renders the world once; frame(t) is cheap (a crop, plus per-pixel
+ * noise for Drift) and const, so one sequence can serve concurrent
+ * readers.
+ */
+class FrameSequence
+{
+  public:
+    /** @throws std::invalid_argument via SequenceParams::validate(). */
+    explicit FrameSequence(const SequenceParams &params);
+
+    const SequenceParams &params() const { return params_; }
+
+    /** Frame height/width (the scene's, not the world's). */
+    int height() const { return params_.scene.height; }
+    int width() const { return params_.scene.width; }
+
+    /**
+     * Render frame @p t (3, H, W) in [0, 1]. Pure in (params, t):
+     * any order, any thread, identical bytes on regeneration.
+     */
+    Tensor3<float> frame(std::int64_t t) const;
+
+    /**
+     * Camera offset of frame @p t inside the world image, in pixels
+     * from the world's top-left corner. Exposed for tests.
+     */
+    struct Offset
+    {
+        int y = 0;
+        int x = 0;
+    };
+    Offset offsetAt(std::int64_t t) const;
+
+  private:
+    SequenceParams params_;
+    Tensor3<float> world_;
+};
+
+} // namespace diffy
+
+#endif // DIFFY_IMAGE_SEQUENCE_HH

@@ -303,6 +303,21 @@ classificationSuite()
 }
 
 NetworkSpec
+makeMicroServe()
+{
+    // Same per-pixel, all-3x3 shape as the CI-DNNs, shrunk to a depth
+    // and width the serving smoke paths can run per-frame in ctest.
+    NetworkSpec net;
+    net.name = "MicroServe";
+    net.netClass = NetClass::CiDnn;
+    net.inputChannels = 3;
+    net.layers.push_back(conv("conv_1", 3, 8, 3, true));
+    net.layers.push_back(conv("conv_2", 8, 8, 3, true));
+    net.layers.push_back(conv("conv_3", 8, 3, 3, false));
+    return net;
+}
+
+NetworkSpec
 makeNetwork(const std::string &name)
 {
     for (const auto &net : ciDnnSuite()) {
@@ -313,6 +328,8 @@ makeNetwork(const std::string &name)
         if (net.name == name)
             return net;
     }
+    if (name == "MicroServe")
+        return makeMicroServe();
     throw std::invalid_argument("unknown network: " + name);
 }
 
@@ -324,6 +341,7 @@ zooNames()
         names.push_back(net.name);
     for (const auto &net : classificationSuite())
         names.push_back(net.name);
+    names.push_back("MicroServe");
     return names;
 }
 

@@ -61,6 +61,15 @@ NetworkSpec makeSegNet();
 /** The Fig 19 suite: classification + detection/segmentation models. */
 std::vector<NetworkSpec> classificationSuite();
 
+/**
+ * MicroServe: a 3-layer, 8-channel per-pixel network sized for the
+ * serving smoke paths (DESIGN.md §13). The Table I CI-DNNs cost
+ * seconds per frame under the traced executor; this keeps their
+ * all-3x3 per-pixel structure at a cost ctest and the CI saturation
+ * smoke can afford. Not part of the paper's suites.
+ */
+NetworkSpec makeMicroServe();
+
 /** Look up any zoo model by name; throws on unknown names. */
 NetworkSpec makeNetwork(const std::string &name);
 

@@ -47,6 +47,12 @@ ThreadPool::submit(std::function<void()> job)
         if (stopping_)
             throw std::logic_error("ThreadPool: submit after shutdown");
         queue_.push_back(std::move(job));
+        // Backpressure observability (DESIGN.md §13): the gauge tracks
+        // the instantaneous queue depth, updated under the queue lock
+        // on both enqueue and dequeue so it never drifts from reality.
+        obs::MetricsRegistry::instance()
+            .gauge("thread_pool.queue_depth")
+            .set(static_cast<double>(queue_.size()));
     }
     workAvailable_.notify_one();
 }
@@ -79,6 +85,9 @@ ThreadPool::workerLoop()
             job = std::move(queue_.front());
             queue_.pop_front();
             ++active_;
+            obs::MetricsRegistry::instance()
+                .gauge("thread_pool.queue_depth")
+                .set(static_cast<double>(queue_.size()));
         }
         try {
             job();

@@ -8,8 +8,15 @@
 
 #include <gtest/gtest.h>
 
+#include <cmath>
+#include <cstdlib>
+#include <stdexcept>
+#include <vector>
+
 #include "image/catalog.hh"
+#include "image/sequence.hh"
 #include "image/synth.hh"
+#include "runtime/sweep.hh"
 
 namespace diffy
 {
@@ -145,6 +152,132 @@ TEST(Catalog, BarbaraSceneIsTextured)
     EXPECT_EQ(barbara.kind, SceneKind::Texture);
     auto img = renderScene(barbara);
     EXPECT_EQ(img.channels(), 3);
+}
+
+SequenceParams
+makeSeqParams(MotionKind motion, std::uint64_t seed = 9, int size = 32,
+              int amplitude = 6)
+{
+    SequenceParams p;
+    p.scene = makeParams(SceneKind::Nature, seed, size);
+    p.motion = motion;
+    p.amplitude = amplitude;
+    p.motionSeed = seed ^ 0xABCDULL;
+    return p;
+}
+
+TEST(FrameSequence, DeterministicAcrossRunsAndAccessOrder)
+{
+    for (MotionKind kind : {MotionKind::Static, MotionKind::Pan,
+                            MotionKind::Jitter, MotionKind::Drift}) {
+        FrameSequence a(makeSeqParams(kind));
+        FrameSequence b(makeSeqParams(kind));
+        // frame(t) is pure in (params, t): forward order on one
+        // sequence must match reverse order on the other.
+        for (int t = 7; t >= 0; --t)
+            EXPECT_EQ(a.frame(t), b.frame(t)) << to_string(kind);
+    }
+}
+
+TEST(FrameSequence, DeterministicAcrossThreadCounts)
+{
+    const SequenceParams params = makeSeqParams(MotionKind::Jitter);
+    FrameSequence seq(params);
+    std::vector<Tensor3<float>> serial;
+    for (int t = 0; t < 12; ++t)
+        serial.push_back(seq.frame(t));
+    for (int threads : {2, 8}) {
+        SweepScheduler sched(threads, 0);
+        FrameSequence shared(params);
+        auto parallel = sched.map(
+            serial.size(), [&shared](SweepJob &job) {
+                return shared.frame(static_cast<std::int64_t>(job.index));
+            });
+        ASSERT_EQ(parallel.size(), serial.size());
+        for (std::size_t t = 0; t < serial.size(); ++t)
+            EXPECT_EQ(parallel[t], serial[t]) << threads << "t @" << t;
+    }
+}
+
+TEST(FrameSequence, StaticRepeatsExactly)
+{
+    FrameSequence seq(makeSeqParams(MotionKind::Static));
+    EXPECT_EQ(seq.frame(0), seq.frame(17));
+}
+
+TEST(FrameSequence, PanStaysInMarginAndMovesSmoothly)
+{
+    const int amp = 6;
+    FrameSequence seq(makeSeqParams(MotionKind::Pan, 9, 32, amp));
+    FrameSequence::Offset prev = seq.offsetAt(0);
+    bool moved = false;
+    for (int t = 1; t < 50; ++t) {
+        FrameSequence::Offset off = seq.offsetAt(t);
+        EXPECT_GE(off.x, 0);
+        EXPECT_LE(off.x, 2 * amp);
+        EXPECT_GE(off.y, 0);
+        EXPECT_LE(off.y, 2 * amp);
+        // Smooth camera: at most one pixel per frame per axis.
+        EXPECT_LE(std::abs(off.x - prev.x), 1);
+        EXPECT_LE(std::abs(off.y - prev.y), 1);
+        moved = moved || off.x != prev.x || off.y != prev.y;
+        prev = off;
+    }
+    EXPECT_TRUE(moved);
+}
+
+TEST(FrameSequence, JitterStaysInMargin)
+{
+    const int amp = 4;
+    FrameSequence seq(makeSeqParams(MotionKind::Jitter, 11, 24, amp));
+    bool moved = false;
+    for (int t = 0; t < 40; ++t) {
+        FrameSequence::Offset off = seq.offsetAt(t);
+        EXPECT_GE(off.x, 0);
+        EXPECT_LE(off.x, 2 * amp);
+        EXPECT_GE(off.y, 0);
+        EXPECT_LE(off.y, 2 * amp);
+        moved = moved || off.x != amp || off.y != amp;
+    }
+    EXPECT_TRUE(moved);
+}
+
+TEST(FrameSequence, DriftPerturbsWithoutMoving)
+{
+    SequenceParams p = makeSeqParams(MotionKind::Drift);
+    p.driftSigma = 0.05;
+    FrameSequence seq(p);
+    EXPECT_EQ(seq.offsetAt(3).x, seq.offsetAt(4).x);
+    auto a = seq.frame(3);
+    auto b = seq.frame(4);
+    EXPECT_NE(a, b);
+    // Same crop underneath: frames stay close in value.
+    double meanAbs = 0.0;
+    for (std::size_t i = 0; i < a.size(); ++i)
+        meanAbs += std::abs(a.data()[i] - b.data()[i]);
+    meanAbs /= static_cast<double>(a.size());
+    EXPECT_LT(meanAbs, 4 * 0.05);
+}
+
+TEST(FrameSequence, MotionKindNamesRoundTrip)
+{
+    for (MotionKind kind : {MotionKind::Static, MotionKind::Pan,
+                            MotionKind::Jitter, MotionKind::Drift})
+        EXPECT_EQ(motionKindFromString(to_string(kind)), kind);
+    EXPECT_THROW(motionKindFromString("zoom"), std::invalid_argument);
+}
+
+TEST(FrameSequence, ValidatesParams)
+{
+    SequenceParams bad = makeSeqParams(MotionKind::Pan);
+    bad.amplitude = -1;
+    EXPECT_THROW(FrameSequence{bad}, std::invalid_argument);
+    bad = makeSeqParams(MotionKind::Pan);
+    bad.scene.width = 0;
+    EXPECT_THROW(FrameSequence{bad}, std::invalid_argument);
+    bad = makeSeqParams(MotionKind::Drift);
+    bad.driftSigma = -0.5;
+    EXPECT_THROW(FrameSequence{bad}, std::invalid_argument);
 }
 
 } // namespace

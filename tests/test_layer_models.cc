@@ -155,10 +155,22 @@ TEST(ModelZoo, UnknownNetworkThrows)
     EXPECT_THROW(makeNetwork("NotANet"), std::invalid_argument);
 }
 
-TEST(ModelZoo, ZooNamesCoversBothSuites)
+TEST(ModelZoo, ZooNamesCoversBothSuitesPlusMicroServe)
 {
     auto names = zooNames();
-    EXPECT_EQ(names.size(), 11u);
+    EXPECT_EQ(names.size(), 12u);
+    EXPECT_EQ(names.back(), "MicroServe");
+}
+
+TEST(ModelZoo, MicroServeIsAMinimalPerPixelNet)
+{
+    NetworkSpec net = makeMicroServe();
+    EXPECT_EQ(makeNetwork("MicroServe").layers.size(), net.layers.size());
+    EXPECT_EQ(net.inputChannels, 3);
+    EXPECT_EQ(net.layers.size(), 3u);
+    EXPECT_EQ(net.layers.back().outChannels, 3);
+    for (const auto &layer : net.layers)
+        EXPECT_EQ(layer.kernel, 3);
 }
 
 TEST(NetworkSpec, MacsPerFrameScalesWithResolution)

@@ -20,8 +20,12 @@
 #include <thread>
 #include <vector>
 
+#include <condition_variable>
+#include <mutex>
+
 #include "obs/metrics.hh"
 #include "obs/trace.hh"
+#include "runtime/thread_pool.hh"
 
 namespace diffy
 {
@@ -529,6 +533,55 @@ TEST(ObsScopedLatency, RecordsOneSample)
     obs::LatencyHistogram::Snapshot snap = hist.snapshot();
     EXPECT_EQ(snap.stat.count(), 1u);
     EXPECT_GE(snap.stat.min(), 0.0);
+}
+
+// Backpressure observability pins (DESIGN.md §13): the serving loop
+// relies on `thread_pool.queue_depth` and `serve.rejected` existing
+// under exactly these names — CI scripts and dashboards key on them.
+
+TEST(ObsGauge, ThreadPoolQueueDepthTracksBacklog)
+{
+    auto &gauge =
+        obs::MetricsRegistry::instance().gauge("thread_pool.queue_depth");
+    std::mutex m;
+    std::condition_variable cv;
+    bool started = false;
+    bool release = false;
+    ThreadPool pool(1);
+    // Block the only worker so submissions pile up deterministically.
+    pool.submit([&] {
+        std::unique_lock<std::mutex> lock(m);
+        started = true;
+        cv.notify_all();
+        cv.wait(lock, [&] { return release; });
+    });
+    {
+        std::unique_lock<std::mutex> lock(m);
+        cv.wait(lock, [&] { return started; });
+    }
+    for (int i = 0; i < 4; ++i)
+        pool.submit([] {});
+    EXPECT_EQ(gauge.value(), 4.0);
+    {
+        std::lock_guard<std::mutex> lock(m);
+        release = true;
+    }
+    cv.notify_all();
+    pool.wait();
+    EXPECT_EQ(gauge.value(), 0.0);
+    auto snap = obs::MetricsRegistry::instance().snapshot();
+    EXPECT_TRUE(snap.gauges.count("thread_pool.queue_depth"));
+}
+
+TEST(ObsCounter, ServeRejectedCounterNameIsPinned)
+{
+    auto &counter =
+        obs::MetricsRegistry::instance().counter("serve.rejected");
+    const std::uint64_t before = counter.value();
+    counter.add(3);
+    EXPECT_EQ(counter.value(), before + 3);
+    auto snap = obs::MetricsRegistry::instance().snapshot();
+    EXPECT_EQ(snap.counters.at("serve.rejected"), before + 3);
 }
 
 } // namespace

@@ -1,0 +1,282 @@
+/**
+ * @file
+ * Tests for the streaming serving subsystem (src/serve).
+ *
+ * The serving determinism contract is the headline: every counter a
+ * StreamServer exposes is a pure function of the offer/admission
+ * sequence, so the same schedule must produce bit-identical counters
+ * at any thread count — with the temporal-delta reconstruction
+ * oracle-checked on every served frame. This file lives in the
+ * runtime test binary so TSan covers the batch execution path.
+ */
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "obs/metrics.hh"
+#include "serve/saturation.hh"
+#include "serve/stream_server.hh"
+
+namespace diffy
+{
+namespace
+{
+
+/** Small, fast server config shared by the tests. */
+ServeOptions
+smallServe(int streams, int queueCapacity, int threads = 1)
+{
+    ServeOptions o;
+    o.streams = streams;
+    o.queueCapacity = queueCapacity;
+    o.batchMax = 4;
+    o.threads = threads;
+    o.reanchorInterval = 4;
+    o.frameHeight = 16;
+    o.frameWidth = 16;
+    o.seed = 21;
+    o.motion = MotionKind::Pan;
+    o.amplitude = 2;
+    return o;
+}
+
+void
+expectCountersEqual(const StreamCounters &a, const StreamCounters &b,
+                    const std::string &label)
+{
+    EXPECT_EQ(a.offered, b.offered) << label;
+    EXPECT_EQ(a.admitted, b.admitted) << label;
+    EXPECT_EQ(a.rejected, b.rejected) << label;
+    EXPECT_EQ(a.served, b.served) << label;
+    EXPECT_EQ(a.failed, b.failed) << label;
+    EXPECT_EQ(a.anchoredLayers, b.anchoredLayers) << label;
+    EXPECT_EQ(a.layers, b.layers) << label;
+    EXPECT_EQ(a.values, b.values) << label;
+    EXPECT_EQ(a.rawTerms, b.rawTerms) << label;
+    EXPECT_EQ(a.spatialTerms, b.spatialTerms) << label;
+    EXPECT_EQ(a.temporalTerms, b.temporalTerms) << label;
+    EXPECT_EQ(a.temporalSpatialTerms, b.temporalSpatialTerms) << label;
+    EXPECT_EQ(a.codecBits, b.codecBits) << label;
+}
+
+TEST(StreamServer, AdmissionAndBackpressureAreExact)
+{
+    StreamServer server(smallServe(3, 2));
+    // Five offers against capacity 2: the first two admit, the next
+    // three bounce — deterministically, before any work runs.
+    EXPECT_TRUE(server.offer(0));
+    EXPECT_TRUE(server.offer(1));
+    EXPECT_FALSE(server.offer(2));
+    EXPECT_FALSE(server.offer(0));
+    EXPECT_FALSE(server.offer(1));
+    EXPECT_EQ(server.pending(), 2u);
+
+    ServeTotals t = server.totals();
+    EXPECT_EQ(t.sum.offered, 5u);
+    EXPECT_EQ(t.sum.admitted, 2u);
+    EXPECT_EQ(t.sum.rejected, 3u);
+    EXPECT_EQ(t.sum.served, 0u);
+    // The frame clock advanced on the rejected offers too.
+    EXPECT_EQ(server.counters(0).offered, 2u);
+    EXPECT_EQ(server.counters(0).rejected, 1u);
+
+    server.drainAll();
+    EXPECT_EQ(server.pending(), 0u);
+    EXPECT_EQ(server.totals().sum.served, 2u);
+    // Queue drained: the same stream admits again.
+    EXPECT_TRUE(server.offer(2));
+}
+
+TEST(StreamServer, RejectionsFeedObsCounter)
+{
+    auto &counter =
+        obs::MetricsRegistry::instance().counter("serve.rejected");
+    const std::uint64_t before = counter.value();
+    StreamServer server(smallServe(2, 1));
+    EXPECT_TRUE(server.offer(0));
+    EXPECT_FALSE(server.offer(1));
+    EXPECT_FALSE(server.offer(1));
+    EXPECT_EQ(counter.value() - before, server.totals().sum.rejected);
+    EXPECT_EQ(counter.value() - before, 2u);
+}
+
+TEST(StreamServer, BatchTakesAtMostOneRequestPerStream)
+{
+    ServeOptions o = smallServe(2, 8);
+    o.batchMax = 8;
+    StreamServer server(o);
+    // Two admitted frames per stream: frame t+1 needs frame t's
+    // output, so one batch may carry only one of each.
+    EXPECT_TRUE(server.offer(0));
+    EXPECT_TRUE(server.offer(0));
+    EXPECT_TRUE(server.offer(1));
+    EXPECT_TRUE(server.offer(1));
+    EXPECT_EQ(server.runBatch(), 2);
+    EXPECT_EQ(server.pending(), 2u);
+    EXPECT_EQ(server.runBatch(), 2);
+    EXPECT_EQ(server.pending(), 0u);
+    EXPECT_EQ(server.totals().sum.served, 4u);
+}
+
+TEST(StreamServer, CountersAreIdenticalAcrossThreadCounts)
+{
+    // The any-thread-count byte-identity proof: the same offer
+    // schedule, served at 1 and 4 workers with the temporal
+    // reconstruction oracle-checked on every frame, must land on
+    // bit-identical per-stream counters (including the work tallies,
+    // which depend on every reconstructed activation value).
+    struct Outcome
+    {
+        int threads = 0;
+        std::vector<StreamCounters> perStream;
+        ServeTotals totals;
+    };
+    auto runSchedule = [](int threads) {
+        ServeOptions o = smallServe(3, 4, threads);
+        o.verifyOracle = true;
+        StreamServer server(o);
+        for (int round = 0; round < 6; ++round) {
+            for (int s = 0; s < o.streams; ++s) {
+                server.offer(s);
+                if (round % 2 == 0)
+                    server.offer(s); // overdrive every other round
+            }
+            server.drainAll();
+        }
+        Outcome out;
+        out.threads = server.threads();
+        for (int s = 0; s < o.streams; ++s)
+            out.perStream.push_back(server.counters(s));
+        out.totals = server.totals();
+        return out;
+    };
+    Outcome serial = runSchedule(1);
+    Outcome parallel = runSchedule(4);
+    EXPECT_EQ(serial.threads, 1);
+    EXPECT_EQ(parallel.threads, 4);
+    for (int s = 0; s < 3; ++s)
+        expectCountersEqual(serial.perStream[s], parallel.perStream[s],
+                            "stream " + std::to_string(s));
+    EXPECT_EQ(serial.totals.sum.served, parallel.totals.sum.served);
+    EXPECT_EQ(serial.totals.sum.failed, 0u);
+    // Temporal mode did real delta work: some layers anchored, the
+    // rest took the delta path.
+    const StreamCounters &sum = serial.totals.sum;
+    EXPECT_GT(sum.anchoredLayers, 0u);
+    EXPECT_LT(sum.anchoredLayers, sum.layers);
+}
+
+TEST(StreamServer, OfferRejectsUnknownStream)
+{
+    StreamServer server(smallServe(2, 2));
+    EXPECT_THROW(server.offer(-1), std::out_of_range);
+    EXPECT_THROW(server.offer(2), std::out_of_range);
+}
+
+TEST(StreamServer, OptionsValidateNamesTheKnob)
+{
+    auto expectThrowNaming = [](ServeOptions o, const std::string &knob) {
+        try {
+            StreamServer server(o);
+            FAIL() << "expected std::invalid_argument for " << knob;
+        } catch (const std::invalid_argument &e) {
+            EXPECT_NE(std::string(e.what()).find(knob),
+                      std::string::npos)
+                << e.what();
+        }
+    };
+    ServeOptions o = smallServe(2, 2);
+    o.streams = 0;
+    expectThrowNaming(o, "streams");
+    o = smallServe(2, 2);
+    o.queueCapacity = 0;
+    expectThrowNaming(o, "queueCapacity");
+    o = smallServe(2, 2);
+    o.batchMax = 0;
+    expectThrowNaming(o, "batchMax");
+    o = smallServe(2, 2);
+    o.frameHeight = 4;
+    expectThrowNaming(o, "frame");
+}
+
+TEST(Saturation, CurveIsMonotoneInOfferedLoad)
+{
+    SaturationOptions opts;
+    opts.serve = smallServe(2, 3);
+    opts.offeredGrid = {1, 2, 4, 8};
+    opts.rounds = 2;
+    opts.arrivalSeed = 7;
+    SaturationCurve curve = runSaturation(opts);
+    ASSERT_EQ(curve.points.size(), 4u);
+    for (std::size_t i = 0; i < curve.points.size(); ++i) {
+        const SaturationPoint &p = curve.points[i];
+        EXPECT_EQ(p.offered,
+                  static_cast<std::uint64_t>(p.offeredPerRound) *
+                      static_cast<std::uint64_t>(opts.rounds));
+        // Inject-then-drain: everything admitted is served.
+        EXPECT_EQ(p.served, p.admitted);
+        EXPECT_EQ(p.offered, p.admitted + p.rejected);
+        EXPECT_EQ(p.failed, 0u);
+        if (i > 0) {
+            // The arrival prefix property makes the curve *exactly*
+            // monotone: more offers can only add admissions and
+            // rejections, never remove them.
+            EXPECT_GE(p.offered, curve.points[i - 1].offered);
+            EXPECT_GE(p.served, curve.points[i - 1].served);
+            EXPECT_GE(p.rejected, curve.points[i - 1].rejected);
+        }
+    }
+    // Past saturation the queue caps admissions per round.
+    const SaturationPoint &last = curve.points.back();
+    EXPECT_GT(last.rejected, 0u);
+    EXPECT_LE(last.served,
+              static_cast<std::uint64_t>(opts.serve.queueCapacity) *
+                  static_cast<std::uint64_t>(opts.rounds));
+}
+
+TEST(Saturation, JsonArtifactCarriesConfigPointsAndLatency)
+{
+    SaturationOptions opts;
+    opts.serve = smallServe(2, 2);
+    opts.offeredGrid = {1, 4};
+    opts.rounds = 2;
+    SaturationCurve curve = runSaturation(opts);
+    std::ostringstream os;
+    writeSaturationJson(curve, os);
+    const std::string json = os.str();
+    for (const char *key :
+         {"\"config\"", "\"network\"", "\"streams\"", "\"queueCapacity\"",
+          "\"threads\"", "\"motion\"", "\"points\"", "\"offeredPerRound\"",
+          "\"served\"", "\"rejected\"", "\"throughputFps\"",
+          "\"latency\"", "\"p50Seconds\"", "\"p99Seconds\""}) {
+        EXPECT_NE(json.find(key), std::string::npos) << key;
+    }
+    // One latency record per stream per point.
+    for (const SaturationPoint &p : curve.points)
+        EXPECT_EQ(p.latency.size(), 2u);
+}
+
+TEST(Saturation, ValidatesOptions)
+{
+    auto base = [] {
+        SaturationOptions o;
+        o.serve = smallServe(2, 2);
+        return o;
+    };
+    SaturationOptions emptyGrid = base();
+    emptyGrid.offeredGrid = {};
+    EXPECT_THROW(runSaturation(emptyGrid), std::invalid_argument);
+    SaturationOptions zeroRounds = base();
+    zeroRounds.rounds = 0;
+    EXPECT_THROW(runSaturation(zeroRounds), std::invalid_argument);
+    SaturationOptions badEntry = base();
+    badEntry.offeredGrid = {1, 0};
+    EXPECT_THROW(runSaturation(badEntry), std::invalid_argument);
+}
+
+} // namespace
+} // namespace diffy

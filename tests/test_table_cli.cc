@@ -66,6 +66,55 @@ TEST(CliArgs, ParsesSpaceAndEqualsForms)
     EXPECT_FALSE(args.has("missing"));
 }
 
+TEST(CliArgs, EqualsFormMatchesSpaceFormEverywhere)
+{
+    // Serving configs lean on --flag=value; it must behave exactly
+    // like --flag value across every accessor.
+    const char *eq[] = {"prog", "--streams=8",     "--queue-cap=16",
+                        "--motion=jitter", "--rate=2.5", "--offered=1,2,4"};
+    const char *sp[] = {"prog",    "--streams", "8",      "--queue-cap",
+                        "16",      "--motion",  "jitter", "--rate",
+                        "2.5",     "--offered", "1,2,4"};
+    CliArgs a(6, eq);
+    CliArgs b(11, sp);
+    EXPECT_EQ(a.getInt("streams", 0), b.getInt("streams", 0));
+    EXPECT_EQ(a.getInt("queue-cap", 0), b.getInt("queue-cap", 0));
+    EXPECT_EQ(a.getString("motion", ""), b.getString("motion", ""));
+    EXPECT_EQ(a.getDouble("rate", 0.0), b.getDouble("rate", 0.0));
+    // A value containing '=' splits only at the first one.
+    const char *nested[] = {"prog", "--define=key=value"};
+    CliArgs c(2, nested);
+    EXPECT_EQ(c.getString("define", ""), "key=value");
+}
+
+TEST(CliArgs, EqualsFormOnDeclaredBoolFlag)
+{
+    // A declared bool flag given as --flag=value binds the value
+    // instead of consuming the next token.
+    const char *argv[] = {"prog", "--verbose=false", "trace.bin"};
+    CliArgs args(3, argv, {"verbose"});
+    EXPECT_FALSE(args.getBool("verbose", true));
+    ASSERT_EQ(args.positionals().size(), 1u);
+    EXPECT_EQ(args.positionals()[0], "trace.bin");
+}
+
+TEST(CliArgs, EqualsFormWithEmptyValue)
+{
+    // "--cache=" explicitly clears a path-valued flag (the benches'
+    // idiom for disabling the trace cache).
+    const char *argv[] = {"prog", "--cache="};
+    CliArgs args(2, argv);
+    EXPECT_TRUE(args.has("cache"));
+    EXPECT_EQ(args.getString("cache", "default"), "");
+}
+
+TEST(CliArgs, EqualsFormRejectsMalformedNumbers)
+{
+    const char *argv[] = {"prog", "--threads=4x"};
+    CliArgs args(2, argv);
+    EXPECT_THROW(args.getInt("threads", 1), std::invalid_argument);
+}
+
 TEST(CliArgs, FallbacksWhenAbsent)
 {
     const char *argv[] = {"prog"};

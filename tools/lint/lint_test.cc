@@ -204,4 +204,16 @@ TEST(DiffyLintCli, ExitCodesAreAsserted)
     EXPECT_EQ(runBinary("--frobnicate"), 2);
 }
 
+TEST(DiffyLintCli, RootAcceptsEqualsForm)
+{
+    // --root=DIR is the same as --root DIR (serving configs get
+    // verbose; every CLI in the tree accepts both forms).
+    EXPECT_EQ(runBinary("--root=" + fixturesRoot() +
+                        " src/arch/r5_ok.hh"),
+              0);
+    EXPECT_EQ(runBinary("--root=" + fixturesRoot() + " src bench"), 1);
+    // An empty value is a usage error, not a scan of "".
+    EXPECT_EQ(runBinary("--root= src"), 2);
+}
+
 } // namespace

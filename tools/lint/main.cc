@@ -44,6 +44,10 @@ main(int argc, char **argv)
             if (i + 1 >= argc)
                 return usage(argv[0]);
             root = argv[++i];
+        } else if (arg.rfind("--root=", 0) == 0) {
+            root = arg.substr(std::string("--root=").size());
+            if (root.empty())
+                return usage(argv[0]);
         } else if (arg == "--list-rules") {
             listRules = true;
         } else if (arg == "--help" || arg == "-h") {
