@@ -3,12 +3,23 @@
  * google-benchmark microbenchmarks of the hot kernels: Booth-term
  * counting, the activation codecs, the direct and differential
  * fixed-point convolutions, and the PRA/Diffy pallet walk.
+ *
+ * The BM_Isa* family is registered at startup once per available
+ * kernel table (common/simd.hh), so one run records scalar, SSE4 and
+ * AVX2 side by side — that per-ISA speedup is the artifact
+ * BENCH_kernels.json tracks across PRs. The dispatched ISA and build
+ * flavor go into the JSON context (run_micro.sh refuses debug runs).
  */
 
 #include <benchmark/benchmark.h>
 
+#include <cstdlib>
+#include <string>
+
+#include "common/aligned.hh"
 #include "common/bitops.hh"
 #include "common/rng.hh"
+#include "common/simd.hh"
 #include "core/differential_conv.hh"
 #include "encode/schemes.hh"
 #include "image/synth.hh"
@@ -167,6 +178,162 @@ BM_PalletWalk(benchmark::State &state)
 }
 BENCHMARK(BM_PalletWalk)->Arg(0)->Arg(1);
 
+// ---------------------------------------------------------------
+// Per-ISA kernel benches: same work, explicit kernel table. One
+// instance per availableIsas() is registered in main(), named
+// BM_Isa<Kernel>/<isa>, so a single run yields the scalar/SSE4/AVX2
+// comparison directly.
+// ---------------------------------------------------------------
+
+AlignedVec<std::int16_t>
+randomI16Plane(std::size_t n, std::uint64_t seed)
+{
+    Rng rng(seed);
+    AlignedVec<std::int16_t> v(n);
+    for (auto &x : v)
+        x = static_cast<std::int16_t>(rng.below(65536) - 32768);
+    return v;
+}
+
+void
+BM_IsaBoothTermsPlane(benchmark::State &state,
+                      const simd::KernelTable *kt)
+{
+    const auto values = randomI16Plane(4096, 7);
+    AlignedVec<std::uint8_t> terms(values.size());
+    for (auto _ : state) {
+        kt->boothTermsPlane16(values.data(), terms.data(), values.size());
+        benchmark::DoNotOptimize(terms.data());
+        benchmark::ClobberMemory();
+    }
+    state.SetItemsProcessed(state.iterations() *
+                            static_cast<std::int64_t>(values.size()));
+}
+
+void
+BM_IsaBitsNeededPlane(benchmark::State &state,
+                      const simd::KernelTable *kt)
+{
+    const auto values = randomI16Plane(4096, 7);
+    AlignedVec<std::uint8_t> bits(values.size());
+    for (auto _ : state) {
+        kt->bitsNeededPlane16(values.data(), bits.data(), values.size());
+        benchmark::DoNotOptimize(bits.data());
+        benchmark::ClobberMemory();
+    }
+    state.SetItemsProcessed(state.iterations() *
+                            static_cast<std::int64_t>(values.size()));
+}
+
+void
+BM_IsaDeltaBits(benchmark::State &state, const simd::KernelTable *kt)
+{
+    const auto prev = randomI16Plane(4096, 11);
+    const auto cur = randomI16Plane(4096, 12);
+    AlignedVec<std::int32_t> deltas(prev.size());
+    for (auto _ : state) {
+        int bits = kt->deltaBits16(prev.data(), cur.data(),
+                                   deltas.data(), prev.size());
+        benchmark::DoNotOptimize(bits);
+        benchmark::ClobberMemory();
+    }
+    state.SetItemsProcessed(state.iterations() *
+                            static_cast<std::int64_t>(prev.size()));
+}
+
+void
+BM_IsaWalkSumMax(benchmark::State &state, const simd::KernelTable *kt)
+{
+    // The pallet geometry of BM_PalletWalk's hot call: 16 channel
+    // rows, a 32x32 plane per channel, 16-column blocks at stride 1.
+    constexpr std::size_t kRowStride = 32 * 32;
+    constexpr std::size_t kRows = 16;
+    constexpr int kCols = 16;
+    Rng rng(13);
+    AlignedVec<std::uint8_t> plane(kRows * kRowStride);
+    for (auto &b : plane)
+        b = static_cast<std::uint8_t>(rng.below(18));
+    std::uint8_t col_max[kCols];
+    for (auto _ : state) {
+        std::int64_t total = 0;
+        for (std::size_t off = 0; off + kCols <= kRowStride;
+             off += kCols) {
+            total += kt->walkSumMax(plane.data() + off, kRowStride,
+                                    kRows, 1, col_max, kCols);
+        }
+        benchmark::DoNotOptimize(total);
+    }
+    state.SetItemsProcessed(
+        state.iterations() *
+        static_cast<std::int64_t>(kRows * kRowStride));
+}
+
+void
+BM_IsaHashStripes(benchmark::State &state, const simd::KernelTable *kt)
+{
+    Rng rng(9);
+    AlignedVec<unsigned char> buf(65536);
+    for (auto &b : buf)
+        b = static_cast<unsigned char>(rng.below(256));
+    const std::size_t stripes = buf.size() / 32;
+    for (auto _ : state) {
+        std::uint32_t acc[8] = {1, 2, 3, 4, 5, 6, 7, 8};
+        kt->hashStripes(buf.data(), stripes, acc);
+        benchmark::DoNotOptimize(acc);
+    }
+    state.SetBytesProcessed(state.iterations() *
+                            static_cast<std::int64_t>(buf.size()));
+}
+
+void
+registerPerIsaBenches()
+{
+    for (simd::Isa isa : simd::availableIsas()) {
+        const simd::KernelTable *kt = simd::table(isa);
+        const std::string suffix = std::string("/") + simd::isaName(isa);
+        benchmark::RegisterBenchmark(
+            ("BM_IsaBoothTermsPlane" + suffix).c_str(),
+            BM_IsaBoothTermsPlane, kt);
+        benchmark::RegisterBenchmark(
+            ("BM_IsaBitsNeededPlane" + suffix).c_str(),
+            BM_IsaBitsNeededPlane, kt);
+        benchmark::RegisterBenchmark(
+            ("BM_IsaDeltaBits" + suffix).c_str(), BM_IsaDeltaBits, kt);
+        benchmark::RegisterBenchmark(
+            ("BM_IsaWalkSumMax" + suffix).c_str(), BM_IsaWalkSumMax, kt);
+        benchmark::RegisterBenchmark(
+            ("BM_IsaHashStripes" + suffix).c_str(), BM_IsaHashStripes,
+            kt);
+    }
+}
+
 } // namespace
 
-BENCHMARK_MAIN();
+int
+main(int argc, char **argv)
+{
+    registerPerIsaBenches();
+    // JSON context for regression tracking: which table actually
+    // dispatched, whether DIFFY_ISA forced it, and the build flavor
+    // (run_micro.sh fails the run unless diffy_build == "release").
+    benchmark::AddCustomContext("diffy_isa",
+                                simd::isaName(simd::activeIsa()));
+    const char *env = std::getenv("DIFFY_ISA");
+    benchmark::AddCustomContext("diffy_isa_env", env ? env : "");
+#if defined(DIFFY_NATIVE_BUILD)
+    benchmark::AddCustomContext("diffy_native", "1");
+#else
+    benchmark::AddCustomContext("diffy_native", "0");
+#endif
+#if defined(NDEBUG)
+    benchmark::AddCustomContext("diffy_build", "release");
+#else
+    benchmark::AddCustomContext("diffy_build", "debug");
+#endif
+    benchmark::Initialize(&argc, argv);
+    if (benchmark::ReportUnrecognizedArguments(argc, argv))
+        return 1;
+    benchmark::RunSpecifiedBenchmarks();
+    benchmark::Shutdown();
+    return 0;
+}

@@ -1,0 +1,84 @@
+/**
+ * @file
+ * 32-byte-aligned allocation for the plane buffers the SIMD kernels
+ * chew through (term planes, delta scratch rows, imap storage).
+ *
+ * The vector kernels themselves use unaligned loads — exact-width
+ * chunking handles tails, so alignment is a throughput optimization,
+ * not a correctness requirement — but keeping every plane on a
+ * 32-byte boundary lets aligned 256-bit accesses dominate and is the
+ * first brick toward the pooled/arena buffers of ROADMAP item 5.
+ */
+
+#ifndef DIFFY_COMMON_ALIGNED_HH
+#define DIFFY_COMMON_ALIGNED_HH
+
+#include <cstddef>
+#include <new>
+#include <vector>
+
+namespace diffy
+{
+
+/** Alignment of every bulk value/plane buffer: one AVX2 register. */
+inline constexpr std::size_t kBufferAlign = 32;
+
+/**
+ * Allocate @p bytes with @p align alignment via aligned operator new,
+ * so sanitizers track the block like any other allocation. Release
+ * with alignedFree() using the same alignment.
+ */
+inline void *
+alignedAlloc(std::size_t bytes, std::size_t align = kBufferAlign)
+{
+    return ::operator new(bytes, std::align_val_t{align});
+}
+
+inline void
+alignedFree(void *p, std::size_t align = kBufferAlign) noexcept
+{
+    ::operator delete(p, std::align_val_t{align});
+}
+
+/**
+ * Minimal C++20 allocator over alignedAlloc(). All instances compare
+ * equal (the global heap), so containers move/swap freely.
+ */
+template <typename T>
+struct AlignedAllocator
+{
+    using value_type = T;
+
+    AlignedAllocator() = default;
+
+    template <typename U>
+    AlignedAllocator(const AlignedAllocator<U> &) noexcept
+    {}
+
+    T *
+    allocate(std::size_t n)
+    {
+        return static_cast<T *>(alignedAlloc(n * sizeof(T)));
+    }
+
+    void
+    deallocate(T *p, std::size_t) noexcept
+    {
+        alignedFree(p);
+    }
+
+    template <typename U>
+    bool
+    operator==(const AlignedAllocator<U> &) const noexcept
+    {
+        return true;
+    }
+};
+
+/** std::vector whose storage starts on a kBufferAlign boundary. */
+template <typename T>
+using AlignedVec = std::vector<T, AlignedAllocator<T>>;
+
+} // namespace diffy
+
+#endif // DIFFY_COMMON_ALIGNED_HH

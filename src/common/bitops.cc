@@ -4,39 +4,10 @@
 #include <bit>
 #include <cstring>
 
+#include "common/simd.hh"
+
 namespace diffy
 {
-
-namespace
-{
-
-/**
- * NAF weight of a sign-extended value that is at least two bits away
- * from the edges of its integer type: writing v in non-adjacent form,
- * a digit position is nonzero exactly where v and 3v disagree, so the
- * term count is popcount(v ^ 3v). For negative v both operands share
- * the sign-extension bits, which cancel in the xor.
- */
-inline int
-nafWeight32(std::int32_t v)
-{
-    return std::popcount(static_cast<std::uint32_t>(v ^ (3 * v)));
-}
-
-inline int
-nafWeight64(std::int64_t v)
-{
-    return std::popcount(static_cast<std::uint64_t>(v ^ (3 * v)));
-}
-
-/** Branch-free magnitude fold: v >= 0 ? v : ~v (see bitsNeeded()). */
-inline std::uint32_t
-foldSign32(std::int32_t v)
-{
-    return static_cast<std::uint32_t>(v ^ (v >> 31));
-}
-
-} // namespace
 
 int
 boothTerms(std::int64_t v)
@@ -55,19 +26,17 @@ boothTerms(std::int64_t v)
 void
 boothTermsPlane(const std::int16_t *src, std::uint8_t *dst, std::size_t n)
 {
-    // 3v of an int16 fits in 18 bits, so 32-bit lanes are exact; the
-    // loop is branch-free and auto-vectorizes.
-    for (std::size_t i = 0; i < n; ++i)
-        dst[i] = static_cast<std::uint8_t>(nafWeight32(src[i]));
+    // Batched kernels route through the runtime ISA dispatch table
+    // (common/simd.hh); the scalar entries are the PR 3 reference
+    // code, so every caller keeps byte-identical results under
+    // DIFFY_ISA=scalar.
+    simd::kernels().boothTermsPlane16(src, dst, n);
 }
 
 void
 boothTermsPlane(const std::int32_t *src, std::uint8_t *dst, std::size_t n)
 {
-    // 64-bit lanes keep 3v exact for any int32 (deltas of int16
-    // streams need 17 bits; the encode-side callers pass int32).
-    for (std::size_t i = 0; i < n; ++i)
-        dst[i] = static_cast<std::uint8_t>(nafWeight64(src[i]));
+    simd::kernels().boothTermsPlane32(src, dst, n);
 }
 
 std::vector<int>
@@ -129,45 +98,68 @@ bitsNeeded(std::int64_t v)
 void
 bitsNeededPlane(const std::int16_t *src, std::uint8_t *dst, std::size_t n)
 {
-    for (std::size_t i = 0; i < n; ++i) {
-        dst[i] = static_cast<std::uint8_t>(
-            std::bit_width(foldSign32(src[i])) + 1);
-    }
+    simd::kernels().bitsNeededPlane16(src, dst, n);
 }
 
 void
 bitsNeededPlane(const std::int32_t *src, std::uint8_t *dst, std::size_t n)
 {
-    for (std::size_t i = 0; i < n; ++i) {
-        dst[i] = static_cast<std::uint8_t>(
-            std::bit_width(foldSign32(src[i])) + 1);
-    }
+    simd::kernels().bitsNeededPlane32(src, dst, n);
 }
 
 std::uint64_t
 contentHash64(const void *data, std::size_t bytes, std::uint64_t seed)
 {
-    // Murmur3-style 8-bytes-per-step mixing. This hashes every imap
-    // on every pallet-walk and footprint memo lookup, so per-byte
-    // FNV-1a was a measurable cost. Keys only in-memory caches: the
-    // value may change across library versions (and between hosts of
-    // different endianness) but is stable within a run and across
-    // runs on one build — which is all the memo caches need.
+    // Murmur3-style mixing. This hashes every imap on every
+    // pallet-walk and footprint memo lookup, so per-byte FNV-1a was a
+    // measurable cost. Keys only in-memory caches: the value may
+    // change across library versions (and between hosts of different
+    // endianness) but is stable within a run and across runs on one
+    // build — which is all the memo caches need.
+    //
+    // Bulk input (>= 32 bytes) runs through eight independent 32-bit
+    // lane accumulators (Murmur3-x86 lane mix, vectorizable — the
+    // dispatched hashStripes kernel) whose final state is folded into
+    // the serial 8-byte mixer; shorter input takes the serial mixer
+    // alone, so sub-32-byte hashes are unchanged from the pre-SIMD
+    // implementation.
     const std::uint64_t c1 = 0x87C37B91114253D5ULL;
     const std::uint64_t c2 = 0x4CF5AD432745937FULL;
     const auto *p = static_cast<const unsigned char *>(data);
     std::uint64_t h = seed ^ (static_cast<std::uint64_t>(bytes) * c1);
 
-    std::size_t i = 0;
-    for (; i + 8 <= bytes; i += 8) {
-        std::uint64_t k;
-        std::memcpy(&k, p + i, 8);
+    auto mix8 = [&h, c1, c2](std::uint64_t k) {
         k *= c1;
         k = std::rotl(k, 31);
         k *= c2;
         h ^= k;
         h = std::rotl(h, 27);
         h = h * 5 + 0x52DCE729ULL;
+    };
+
+    std::size_t i = 0;
+    const std::size_t stripes = bytes / 32;
+    if (stripes > 0) {
+        // Arbitrary odd constants diversify the lanes; the seed is
+        // folded in so seeded hashes diverge in the bulk path too.
+        std::uint32_t acc[8] = {0x9E3779B9u, 0x85EBCA6Bu, 0xC2B2AE35u,
+                                0x27D4EB2Fu, 0x165667B1u, 0xD3A2646Cu,
+                                0xFD7046C5u, 0xB55A4F09u};
+        const auto s_lo = static_cast<std::uint32_t>(seed);
+        const auto s_hi = static_cast<std::uint32_t>(seed >> 32);
+        for (int l = 0; l < 8; ++l)
+            acc[l] ^= (l & 1) != 0 ? s_hi : s_lo;
+        simd::kernels().hashStripes(p, stripes, acc);
+        for (int l = 0; l < 8; l += 2) {
+            mix8(static_cast<std::uint64_t>(acc[l]) |
+                 (static_cast<std::uint64_t>(acc[l + 1]) << 32));
+        }
+        i = stripes * 32;
+    }
+    for (; i + 8 <= bytes; i += 8) {
+        std::uint64_t k;
+        std::memcpy(&k, p + i, 8);
+        mix8(k);
     }
     if (i < bytes) {
         std::uint64_t k = 0;
@@ -228,13 +220,7 @@ crc32c(const void *data, std::size_t bytes, std::uint32_t crc)
 int
 groupBitsNeeded(const std::int16_t *group, std::size_t n)
 {
-    // bit_width(a | b) == max(bit_width(a), bit_width(b)), so or-ing
-    // the sign-folded magnitudes gives the group maximum in one
-    // branch-free reduction.
-    std::uint32_t m = 0;
-    for (std::size_t i = 0; i < n; ++i)
-        m |= foldSign32(group[i]);
-    return std::bit_width(m) + 1;
+    return simd::kernels().groupBits16(group, n);
 }
 
 } // namespace diffy

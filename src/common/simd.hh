@@ -1,0 +1,150 @@
+/**
+ * @file
+ * Runtime ISA dispatch for the hot kernels (DESIGN.md §14).
+ *
+ * Every batched inner loop of the reproduction — term/bits planes,
+ * group-header reductions, temporal delta pack/unpack, the
+ * interior-column pallet walk, content-hash bulk mixing — runs
+ * through one function-pointer KernelTable resolved once at startup.
+ * The scalar table is the PR 3 reference code and is always present;
+ * SSE4/AVX2 (x86) and NEON (aarch64) tables are compiled in their own
+ * translation units with per-TU -m flags, so the binary still runs on
+ * baseline hardware and CPUID decides at runtime.
+ *
+ * Contract shared by every table: identical results to the scalar
+ * table, bit for bit, on every input the callers can produce. Vector
+ * implementations use exact-width chunked loads (32/16/8/4-byte) plus
+ * scalar tails — never overreading masked loads — so no buffer
+ * padding is required and sanitizers see only in-bounds accesses.
+ *
+ * `DIFFY_ISA=scalar|sse4|avx2|neon` overrides the CPUID probe for
+ * testing (the CI byte-identical gates run every bench twice); an
+ * unavailable or unknown request warns on stderr and falls back to
+ * scalar so stdout purity is never at risk.
+ */
+
+#ifndef DIFFY_COMMON_SIMD_HH
+#define DIFFY_COMMON_SIMD_HH
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace diffy::simd
+{
+
+/** Instruction sets a kernel table can target. */
+enum class Isa
+{
+    Scalar,
+    Sse4,
+    Avx2,
+    Neon,
+};
+
+/** Lowercase name used by DIFFY_ISA and the bench JSON context. */
+const char *isaName(Isa isa);
+
+/** Parse an isaName() spelling; returns false on an unknown name. */
+bool parseIsa(const std::string &name, Isa &out);
+
+/**
+ * The dispatch table. One instance per compiled-in ISA; all entries
+ * are non-null and produce results identical to the scalar table.
+ */
+struct KernelTable
+{
+    Isa isa = Isa::Scalar;
+
+    /** dst[i] = boothTerms(src[i]), NAF weight via popcount(v^3v). */
+    void (*boothTermsPlane16)(const std::int16_t *src, std::uint8_t *dst,
+                              std::size_t n) = nullptr;
+    void (*boothTermsPlane32)(const std::int32_t *src, std::uint8_t *dst,
+                              std::size_t n) = nullptr;
+
+    /** dst[i] = bitsNeeded(src[i]) (two's complement width). */
+    void (*bitsNeededPlane16)(const std::int16_t *src, std::uint8_t *dst,
+                              std::size_t n) = nullptr;
+    void (*bitsNeededPlane32)(const std::int32_t *src, std::uint8_t *dst,
+                              std::size_t n) = nullptr;
+
+    /** Group max of bitsNeeded over n values (>= 1, even when n==0). */
+    int (*groupBits16)(const std::int16_t *group, std::size_t n) = nullptr;
+    int (*groupBits32)(const std::int32_t *group, std::size_t n) = nullptr;
+
+    /**
+     * Temporal encode inner loop: delta[i] = cur[i] - prev[i] and the
+     * group header width in one pass. Returns max(1, max bitsNeeded
+     * over the deltas).
+     */
+    int (*deltaBits16)(const std::int16_t *prev, const std::int16_t *cur,
+                       std::int32_t *delta, std::size_t n) = nullptr;
+
+    /**
+     * Temporal decode inner loop: out[i] = saturate16(prev[i] +
+     * delta[i]). Deltas must fit 18 signed bits (the codecs cap
+     * fields at kMaxFieldBits == 17), so prev + delta is exact int32.
+     */
+    void (*addSat16)(const std::int16_t *prev, const std::int32_t *delta,
+                     std::int16_t *out, std::size_t n) = nullptr;
+
+    /**
+     * Pallet-walk interior block: over rows r in [0, rows) and
+     * columns j in [0, cols), reads v = base[r*rowStride +
+     * j*colStride], OVERWRITES colMax[j] with the per-column max and
+     * returns the total sum of every element visited. rows >= 1.
+     */
+    std::int64_t (*walkSumMax)(const std::uint8_t *base,
+                               std::size_t rowStride, std::size_t rows,
+                               int colStride, std::uint8_t *colMax,
+                               int cols) = nullptr;
+
+    /**
+     * contentHash64 bulk mixing: folds @p stripes 32-byte stripes of
+     * @p p into the eight 32-bit lane accumulators (Murmur3-x86 lane
+     * mix; see bitops.cc). Lanes stay independent, so any width of
+     * vector can batch them.
+     */
+    void (*hashStripes)(const unsigned char *p, std::size_t stripes,
+                        std::uint32_t acc[8]) = nullptr;
+};
+
+/** The reference table (PR 3 scalar kernels); always available. */
+const KernelTable &scalarTable();
+
+/**
+ * Table for @p isa, or nullptr when it is not compiled in or the CPU
+ * lacks it. table(Isa::Scalar) is never null.
+ */
+const KernelTable *table(Isa isa);
+
+/** Every ISA with a usable table on this host, Scalar first. */
+std::vector<Isa> availableIsas();
+
+/** The widest available ISA (what the probe dispatches to). */
+Isa bestIsa();
+
+/**
+ * The dispatched table: bestIsa() unless DIFFY_ISA overrides it.
+ * Resolved once on first use and immutable afterwards (thread-safe).
+ */
+const KernelTable &kernels();
+
+/** ISA of the dispatched table. */
+Isa activeIsa();
+
+namespace detail
+{
+
+// Per-ISA table factories, defined in their own -m-flagged TUs and
+// referenced by the dispatcher only when compiled in.
+const KernelTable &sse4Table();
+const KernelTable &avx2Table();
+const KernelTable &neonTable();
+
+} // namespace detail
+
+} // namespace diffy::simd
+
+#endif // DIFFY_COMMON_SIMD_HH

@@ -1,0 +1,434 @@
+/**
+ * @file
+ * Shared 128-bit x86 kernel implementations (SSE4.1/SSSE3 level),
+ * included by both the -msse4.2 and -mavx2 translation units. Only
+ * those TUs may include this header (lint rule R8 confines raw
+ * intrinsics to src/common/simd*).
+ *
+ * Tail handling follows the DESIGN.md §14 contract: exact-width
+ * chunked loads (16/8/4-byte) plus scalar remainders — no masked
+ * overreads — so callers need no padding and sanitizers stay quiet.
+ *
+ * Everything here has internal linkage (anonymous namespace): the two
+ * including TUs are compiled with different -m flags, so letting the
+ * linker COMDAT-merge one copy could leave VEX-encoded code behind
+ * the SSE4 table and crash pre-AVX2 hardware. Each TU must own its
+ * own instructions.
+ */
+
+#ifndef DIFFY_COMMON_SIMD_X86_HH
+#define DIFFY_COMMON_SIMD_X86_HH
+
+#include <bit>
+#include <cstddef>
+#include <cstdint>
+#include <cstring>
+
+#include <immintrin.h>
+
+namespace diffy::simd::x86
+{
+
+namespace
+{
+
+/** Per-byte popcount via the SSSE3 nibble-LUT shuffle. */
+inline __m128i
+popcountBytes(__m128i v)
+{
+    const __m128i lut = _mm_setr_epi8(0, 1, 1, 2, 1, 2, 2, 3, 1, 2, 2,
+                                      3, 2, 3, 3, 4);
+    const __m128i low = _mm_set1_epi8(0x0F);
+    const __m128i lo = _mm_and_si128(v, low);
+    const __m128i hi =
+        _mm_and_si128(_mm_srli_epi16(v, 4), low);
+    return _mm_add_epi8(_mm_shuffle_epi8(lut, lo),
+                        _mm_shuffle_epi8(lut, hi));
+}
+
+/** Per-dword popcount of the four 32-bit lanes of @p v. */
+inline __m128i
+popcountDwords(__m128i v)
+{
+    const __m128i bytes = popcountBytes(v);
+    // Horizontal add of the 4 byte counts per dword: bytes are <= 8,
+    // so unsigned*signed maddubs never overflows int16.
+    const __m128i ones8 = _mm_set1_epi8(1);
+    const __m128i ones16 = _mm_set1_epi16(1);
+    return _mm_madd_epi16(_mm_maddubs_epi16(bytes, ones8), ones16);
+}
+
+/** v ^ 3v in 32-bit lanes (exact while |v| < 2^29). */
+inline __m128i
+nafXor(__m128i v)
+{
+    const __m128i v3 = _mm_add_epi32(_mm_add_epi32(v, v), v);
+    return _mm_xor_si128(v, v3);
+}
+
+/** Sign fold in 32-bit lanes: v ^ (v >> 31). */
+inline __m128i
+foldSign(__m128i v)
+{
+    return _mm_xor_si128(v, _mm_srai_epi32(v, 31));
+}
+
+/**
+ * bit_width of each (non-negative) 32-bit lane via bit smearing:
+ * after OR-ing in every right shift the lane holds 2^bit_width - 1,
+ * whose popcount is the width.
+ */
+inline __m128i
+bitWidthDwords(__m128i m)
+{
+    m = _mm_or_si128(m, _mm_srli_epi32(m, 1));
+    m = _mm_or_si128(m, _mm_srli_epi32(m, 2));
+    m = _mm_or_si128(m, _mm_srli_epi32(m, 4));
+    m = _mm_or_si128(m, _mm_srli_epi32(m, 8));
+    m = _mm_or_si128(m, _mm_srli_epi32(m, 16));
+    return popcountDwords(m);
+}
+
+/** Pack two regs of 8 dword counts (each < 256) into 8 bytes. */
+inline void
+storeCounts8(std::uint8_t *dst, __m128i lo, __m128i hi)
+{
+    const __m128i w = _mm_packs_epi32(lo, hi);
+    const __m128i b = _mm_packus_epi16(w, _mm_setzero_si128());
+    _mm_storel_epi64(reinterpret_cast<__m128i *>(dst), b);
+}
+
+inline void
+boothPlane16(const std::int16_t *src, std::uint8_t *dst, std::size_t n)
+{
+    std::size_t i = 0;
+    for (; i + 8 <= n; i += 8) {
+        const __m128i v16 = _mm_loadu_si128(
+            reinterpret_cast<const __m128i *>(src + i));
+        const __m128i lo = _mm_cvtepi16_epi32(v16);
+        const __m128i hi =
+            _mm_cvtepi16_epi32(_mm_srli_si128(v16, 8));
+        storeCounts8(dst + i, popcountDwords(nafXor(lo)),
+                     popcountDwords(nafXor(hi)));
+    }
+    for (; i < n; ++i) {
+        dst[i] = static_cast<std::uint8_t>(
+            std::popcount(static_cast<std::uint32_t>(
+                src[i] ^ (3 * static_cast<std::int32_t>(src[i])))));
+    }
+}
+
+/** Scalar NAF weight of an int32, exact over the full domain. */
+inline std::uint8_t
+nafWeight64Scalar(std::int32_t v)
+{
+    const auto w = static_cast<std::int64_t>(v);
+    return static_cast<std::uint8_t>(
+        std::popcount(static_cast<std::uint64_t>(w ^ (3 * w))));
+}
+
+inline void
+boothPlane32(const std::int32_t *src, std::uint8_t *dst, std::size_t n)
+{
+    // 32-bit lanes keep v^3v exact only while the folded magnitude is
+    // below 2^29 (3v must not overflow). Encode-side deltas are
+    // 17-bit quantities, so the wide path is the near-universal case;
+    // a chunk containing any big value falls back to 64-bit scalar.
+    const __m128i big = _mm_set1_epi32(0x1FFFFFFF);
+    const __m128i shuffle = _mm_setr_epi8(
+        0, 4, 8, 12, -1, -1, -1, -1, -1, -1, -1, -1, -1, -1, -1, -1);
+    std::size_t i = 0;
+    for (; i + 4 <= n; i += 4) {
+        const __m128i v = _mm_loadu_si128(
+            reinterpret_cast<const __m128i *>(src + i));
+        if (_mm_movemask_epi8(_mm_cmpgt_epi32(foldSign(v), big)) !=
+            0) {
+            for (std::size_t t = 0; t < 4; ++t)
+                dst[i + t] = nafWeight64Scalar(src[i + t]);
+            continue;
+        }
+        const __m128i cnt = popcountDwords(nafXor(v));
+        const int packed = _mm_cvtsi128_si32(
+            _mm_shuffle_epi8(cnt, shuffle));
+        std::memcpy(dst + i, &packed, 4);
+    }
+    for (; i < n; ++i)
+        dst[i] = nafWeight64Scalar(src[i]);
+}
+
+inline void
+bitsPlane16(const std::int16_t *src, std::uint8_t *dst, std::size_t n)
+{
+    const __m128i one = _mm_set1_epi32(1);
+    std::size_t i = 0;
+    for (; i + 8 <= n; i += 8) {
+        const __m128i v16 = _mm_loadu_si128(
+            reinterpret_cast<const __m128i *>(src + i));
+        const __m128i lo = _mm_cvtepi16_epi32(v16);
+        const __m128i hi =
+            _mm_cvtepi16_epi32(_mm_srli_si128(v16, 8));
+        storeCounts8(
+            dst + i,
+            _mm_add_epi32(bitWidthDwords(foldSign(lo)), one),
+            _mm_add_epi32(bitWidthDwords(foldSign(hi)), one));
+    }
+    for (; i < n; ++i) {
+        const std::int32_t v = src[i];
+        dst[i] = static_cast<std::uint8_t>(
+            std::bit_width(static_cast<std::uint32_t>(v ^ (v >> 31))) +
+            1);
+    }
+}
+
+inline void
+bitsPlane32(const std::int32_t *src, std::uint8_t *dst, std::size_t n)
+{
+    const __m128i one = _mm_set1_epi32(1);
+    const __m128i shuffle = _mm_setr_epi8(
+        0, 4, 8, 12, -1, -1, -1, -1, -1, -1, -1, -1, -1, -1, -1, -1);
+    std::size_t i = 0;
+    for (; i + 4 <= n; i += 4) {
+        const __m128i v = _mm_loadu_si128(
+            reinterpret_cast<const __m128i *>(src + i));
+        const __m128i cnt =
+            _mm_add_epi32(bitWidthDwords(foldSign(v)), one);
+        const int packed = _mm_cvtsi128_si32(
+            _mm_shuffle_epi8(cnt, shuffle));
+        std::memcpy(dst + i, &packed, 4);
+    }
+    for (; i < n; ++i) {
+        const std::int32_t v = src[i];
+        dst[i] = static_cast<std::uint8_t>(
+            std::bit_width(static_cast<std::uint32_t>(v ^ (v >> 31))) +
+            1);
+    }
+}
+
+/** OR-reduce the four 32-bit lanes of @p v. */
+inline std::uint32_t
+orReduceDwords(__m128i v)
+{
+    const std::uint64_t a = static_cast<std::uint64_t>(
+        _mm_cvtsi128_si64(v));
+    const std::uint64_t b = static_cast<std::uint64_t>(
+        _mm_cvtsi128_si64(_mm_srli_si128(v, 8)));
+    const std::uint64_t m = a | b;
+    return static_cast<std::uint32_t>(m | (m >> 32));
+}
+
+inline int
+groupBits16(const std::int16_t *group, std::size_t n)
+{
+    __m128i acc = _mm_setzero_si128();
+    std::size_t i = 0;
+    for (; i + 8 <= n; i += 8) {
+        const __m128i v = _mm_loadu_si128(
+            reinterpret_cast<const __m128i *>(group + i));
+        // 16-bit sign fold: for int16 inputs it equals the low half
+        // of the 32-bit fold and the high half is zero.
+        acc = _mm_or_si128(
+            acc, _mm_xor_si128(v, _mm_srai_epi16(v, 15)));
+    }
+    const std::uint32_t wide = orReduceDwords(acc);
+    std::uint32_t m = (wide | (wide >> 16)) & 0xFFFFu;
+    for (; i < n; ++i) {
+        const std::int32_t v = group[i];
+        m |= static_cast<std::uint32_t>(v ^ (v >> 31));
+    }
+    return std::bit_width(m) + 1;
+}
+
+inline int
+groupBits32(const std::int32_t *group, std::size_t n)
+{
+    __m128i acc = _mm_setzero_si128();
+    std::size_t i = 0;
+    for (; i + 4 <= n; i += 4) {
+        const __m128i v = _mm_loadu_si128(
+            reinterpret_cast<const __m128i *>(group + i));
+        acc = _mm_or_si128(acc, foldSign(v));
+    }
+    std::uint32_t m = orReduceDwords(acc);
+    for (; i < n; ++i) {
+        const std::int32_t v = group[i];
+        m |= static_cast<std::uint32_t>(v ^ (v >> 31));
+    }
+    return std::bit_width(m) + 1;
+}
+
+inline int
+deltaBits16(const std::int16_t *prev, const std::int16_t *cur,
+            std::int32_t *delta, std::size_t n)
+{
+    __m128i acc = _mm_setzero_si128();
+    std::size_t i = 0;
+    for (; i + 8 <= n; i += 8) {
+        const __m128i p16 = _mm_loadu_si128(
+            reinterpret_cast<const __m128i *>(prev + i));
+        const __m128i c16 = _mm_loadu_si128(
+            reinterpret_cast<const __m128i *>(cur + i));
+        const __m128i d0 =
+            _mm_sub_epi32(_mm_cvtepi16_epi32(c16),
+                          _mm_cvtepi16_epi32(p16));
+        const __m128i d1 = _mm_sub_epi32(
+            _mm_cvtepi16_epi32(_mm_srli_si128(c16, 8)),
+            _mm_cvtepi16_epi32(_mm_srli_si128(p16, 8)));
+        _mm_storeu_si128(reinterpret_cast<__m128i *>(delta + i), d0);
+        _mm_storeu_si128(
+            reinterpret_cast<__m128i *>(delta + i + 4), d1);
+        acc = _mm_or_si128(acc, foldSign(d0));
+        acc = _mm_or_si128(acc, foldSign(d1));
+    }
+    std::uint32_t m = orReduceDwords(acc);
+    for (; i < n; ++i) {
+        const std::int32_t d = static_cast<std::int32_t>(cur[i]) -
+                               static_cast<std::int32_t>(prev[i]);
+        delta[i] = d;
+        m |= static_cast<std::uint32_t>(d ^ (d >> 31));
+    }
+    return std::bit_width(m) + 1;
+}
+
+inline void
+addSat16(const std::int16_t *prev, const std::int32_t *delta,
+         std::int16_t *out, std::size_t n)
+{
+    std::size_t i = 0;
+    for (; i + 8 <= n; i += 8) {
+        const __m128i p16 = _mm_loadu_si128(
+            reinterpret_cast<const __m128i *>(prev + i));
+        const __m128i s0 = _mm_add_epi32(
+            _mm_cvtepi16_epi32(p16),
+            _mm_loadu_si128(
+                reinterpret_cast<const __m128i *>(delta + i)));
+        const __m128i s1 = _mm_add_epi32(
+            _mm_cvtepi16_epi32(_mm_srli_si128(p16, 8)),
+            _mm_loadu_si128(
+                reinterpret_cast<const __m128i *>(delta + i + 4)));
+        // packs_epi32 saturates to int16 — exactly saturate16(), and
+        // the int32 sums are exact under the 18-bit delta contract.
+        _mm_storeu_si128(reinterpret_cast<__m128i *>(out + i),
+                         _mm_packs_epi32(s0, s1));
+    }
+    for (; i < n; ++i) {
+        const std::int32_t v =
+            static_cast<std::int32_t>(prev[i]) + delta[i];
+        out[i] = static_cast<std::int16_t>(
+            v < -32768 ? -32768 : (v > 32767 ? 32767 : v));
+    }
+}
+
+/** Sum of the 16 bytes of @p v, as a 64-bit scalar. */
+inline std::int64_t
+sumBytes(__m128i v)
+{
+    const __m128i s = _mm_sad_epu8(v, _mm_setzero_si128());
+    return _mm_cvtsi128_si64(s) +
+           _mm_cvtsi128_si64(_mm_srli_si128(s, 8));
+}
+
+inline std::int64_t
+walkSumMax(const std::uint8_t *base, std::size_t rowStride,
+           std::size_t rows, int colStride, std::uint8_t *colMax,
+           int cols)
+{
+    if (colStride != 1 || cols < 8) {
+        // Strided windows (stride > 1) and narrow blocks: scalar.
+        std::int64_t sum = 0;
+        for (int j = 0; j < cols; ++j)
+            colMax[j] = 0;
+        for (std::size_t r = 0; r < rows; ++r) {
+            const std::uint8_t *row = base + r * rowStride;
+            for (int j = 0; j < cols; ++j) {
+                const std::uint8_t v =
+                    row[static_cast<std::size_t>(j) * colStride];
+                sum += v;
+                if (v > colMax[j])
+                    colMax[j] = v;
+            }
+        }
+        return sum;
+    }
+
+    std::int64_t total = 0;
+    int j = 0;
+    for (; j + 16 <= cols; j += 16) {
+        __m128i mx = _mm_setzero_si128();
+        __m128i sums = _mm_setzero_si128();
+        for (std::size_t r = 0; r < rows; ++r) {
+            const __m128i v = _mm_loadu_si128(
+                reinterpret_cast<const __m128i *>(
+                    base + r * rowStride + j));
+            mx = _mm_max_epu8(mx, v);
+            sums = _mm_add_epi64(
+                sums, _mm_sad_epu8(v, _mm_setzero_si128()));
+        }
+        _mm_storeu_si128(reinterpret_cast<__m128i *>(colMax + j), mx);
+        total += _mm_cvtsi128_si64(sums) +
+                 _mm_cvtsi128_si64(_mm_srli_si128(sums, 8));
+    }
+    if (j + 8 <= cols) {
+        __m128i mx = _mm_setzero_si128();
+        for (std::size_t r = 0; r < rows; ++r) {
+            const __m128i v = _mm_loadl_epi64(
+                reinterpret_cast<const __m128i *>(
+                    base + r * rowStride + j));
+            mx = _mm_max_epu8(mx, v);
+            total += sumBytes(v);
+        }
+        _mm_storel_epi64(reinterpret_cast<__m128i *>(colMax + j), mx);
+        j += 8;
+    }
+    for (; j < cols; ++j) {
+        std::uint8_t m = 0;
+        for (std::size_t r = 0; r < rows; ++r) {
+            const std::uint8_t v = base[r * rowStride + j];
+            total += v;
+            if (v > m)
+                m = v;
+        }
+        colMax[j] = m;
+    }
+    return total;
+}
+
+inline void
+hashStripes(const unsigned char *p, std::size_t stripes,
+            std::uint32_t acc[8])
+{
+    const __m128i c1 = _mm_set1_epi32(
+        static_cast<int>(0xCC9E2D51u));
+    const __m128i c2 = _mm_set1_epi32(
+        static_cast<int>(0x1B873593u));
+    const __m128i c3 = _mm_set1_epi32(
+        static_cast<int>(0xE6546B64u));
+    __m128i a0 = _mm_loadu_si128(
+        reinterpret_cast<const __m128i *>(acc));
+    __m128i a1 = _mm_loadu_si128(
+        reinterpret_cast<const __m128i *>(acc + 4));
+    for (std::size_t s = 0; s < stripes; ++s) {
+        for (int half = 0; half < 2; ++half) {
+            __m128i k = _mm_loadu_si128(
+                reinterpret_cast<const __m128i *>(p + 32 * s +
+                                                  16 * half));
+            k = _mm_mullo_epi32(k, c1);
+            k = _mm_or_si128(_mm_slli_epi32(k, 15),
+                             _mm_srli_epi32(k, 17));
+            k = _mm_mullo_epi32(k, c2);
+            __m128i &a = half == 0 ? a0 : a1;
+            a = _mm_xor_si128(a, k);
+            a = _mm_or_si128(_mm_slli_epi32(a, 13),
+                             _mm_srli_epi32(a, 19));
+            a = _mm_add_epi32(
+                _mm_add_epi32(a, _mm_slli_epi32(a, 2)), c3);
+        }
+    }
+    _mm_storeu_si128(reinterpret_cast<__m128i *>(acc), a0);
+    _mm_storeu_si128(reinterpret_cast<__m128i *>(acc + 4), a1);
+}
+
+} // namespace
+
+} // namespace diffy::simd::x86
+
+#endif // DIFFY_COMMON_SIMD_X86_HH

@@ -6,6 +6,7 @@
 
 #include "common/bitops.hh"
 #include "common/fixed_point.hh"
+#include "common/simd.hh"
 #include "encode/bitstream.hh"
 
 namespace diffy
@@ -453,17 +454,16 @@ class DeltaDCodec : public ActivationCodec
         }
         BitWriter bw;
         std::vector<BitRange> headers;
+        const simd::KernelTable &kt = simd::kernels();
         for (std::size_t start = 0; start < stream.size();
              start += static_cast<std::size_t>(groupSize_)) {
             std::size_t len = std::min(
                 static_cast<std::size_t>(groupSize_),
                 stream.size() - start);
-            int bits = 1;
-            for (std::size_t i = 0; i < len; ++i) {
-                int b = bitsNeeded(stream[start + i]);
-                if (b > bits)
-                    bits = b;
-            }
+            // Group header width via the dispatched OR-fold reduction
+            // (common/simd.hh); equals max(1, max bitsNeeded).
+            const int bits =
+                kt.groupBits32(stream.data() + start, len);
             headers.push_back({bw.bitCount(), 5});
             bw.write(static_cast<std::uint32_t>(bits - 1), 5);
             for (std::size_t i = 0; i < len; ++i)

@@ -6,7 +6,8 @@
 #include <utility>
 #include <vector>
 
-#include "common/bitops.hh"
+#include "common/aligned.hh"
+#include "common/simd.hh"
 #include "encode/bitstream.hh"
 
 namespace diffy
@@ -14,14 +15,6 @@ namespace diffy
 
 namespace
 {
-
-std::int16_t
-saturate16(std::int64_t v)
-{
-    constexpr std::int64_t lo = -32768;
-    constexpr std::int64_t hi = 32767;
-    return static_cast<std::int16_t>(std::clamp(v, lo, hi));
-}
 
 DecodeResult
 truncatedAt(const BitReader &br, std::size_t values_decoded,
@@ -61,15 +54,14 @@ TemporalCodec::encode(const TensorI16 &prev, const TensorI16 &cur) const
     const std::int16_t *c = cur.data();
     const std::size_t n = cur.size();
     const auto group = static_cast<std::size_t>(groupSize_);
-    std::vector<std::int32_t> deltas(group);
+    AlignedVec<std::int32_t> deltas(group);
+    const simd::KernelTable &kt = simd::kernels();
     for (std::size_t start = 0; start < n; start += group) {
         const std::size_t len = std::min(group, n - start);
-        int bits = 1;
-        for (std::size_t i = 0; i < len; ++i) {
-            deltas[i] = static_cast<std::int32_t>(c[start + i]) -
-                        static_cast<std::int32_t>(p[start + i]);
-            bits = std::max(bits, bitsNeeded(deltas[i]));
-        }
+        // One dispatched pass computes the deltas and the group
+        // header width (max bitsNeeded) together (common/simd.hh).
+        const int bits =
+            kt.deltaBits16(p + start, c + start, deltas.data(), len);
         headers.push_back({bw.bitCount(), 5});
         bw.write(static_cast<std::uint32_t>(bits - 1), 5);
         for (std::size_t i = 0; i < len; ++i)
@@ -98,6 +90,8 @@ TemporalCodec::tryDecode(const TensorI16 &prev,
     std::int16_t *out = t.data();
     BitReader br(enc.bytes);
     const auto group = static_cast<std::size_t>(groupSize_);
+    AlignedVec<std::int32_t> dbuf(group);
+    const simd::KernelTable &kt = simd::kernels();
     for (std::size_t start = 0; start < n; start += group) {
         const std::size_t len = std::min(group, n - start);
         std::uint32_t hdr = 0;
@@ -114,12 +108,12 @@ TemporalCodec::tryDecode(const TensorI16 &prev,
             return r;
         }
         for (std::size_t i = 0; i < len; ++i) {
-            std::int32_t d = 0;
-            if (!br.tryReadSigned(bits, d))
+            if (!br.tryReadSigned(bits, dbuf[i]))
                 return truncatedAt(br, start + i, "a temporal field");
-            out[start + i] = saturate16(
-                static_cast<std::int64_t>(p[start + i]) + d);
         }
+        // Fields fit kMaxFieldBits (17) signed bits, within the
+        // 18-bit delta contract of the batched saturating add.
+        kt.addSat16(p + start, dbuf.data(), out + start, len);
     }
     r.tensor = std::move(t);
     r.valuesDecoded = n;

@@ -1,7 +1,6 @@
 #include "sim/activity.hh"
 
-#include <vector>
-
+#include "common/aligned.hh"
 #include "common/bitops.hh"
 
 namespace diffy
@@ -31,7 +30,7 @@ computeTermTensors(const LayerTrace &layer, WalkCost cost)
     // staged in an int32 scratch row and batch-converted. Positions
     // x < stride have no in-row predecessor and stay raw (delta
     // against zero).
-    std::vector<std::int32_t> drow(static_cast<std::size_t>(w));
+    AlignedVec<std::int32_t> drow(static_cast<std::size_t>(w));
     const int head = stride < w ? stride : w;
     for (int c = 0; c < channels; ++c) {
         for (int y = 0; y < h; ++y) {

@@ -8,6 +8,7 @@
 
 #include "common/bitops.hh"
 #include "common/cache_registry.hh"
+#include "common/simd.hh"
 
 namespace diffy
 {
@@ -134,7 +135,8 @@ walkLayer(const LayerTrace &layer, const AcceleratorConfig &cfg,
     // column, the termsPerFilter activation lanes of a step share the
     // SIP adder tree and advance at the pace of their widest value.
     std::vector<std::int64_t> col_cycles(static_cast<std::size_t>(cols));
-    std::vector<int> step_max(static_cast<std::size_t>(cols));
+    std::vector<std::uint8_t> step_max(static_cast<std::size_t>(cols));
+    const simd::KernelTable &kt = simd::kernels();
 
     for (int oy = 0; oy < out_h; ++oy) {
         for (int px = 0; px < out_w; px += cols) {
@@ -171,7 +173,8 @@ walkLayer(const LayerTrace &layer, const AcceleratorConfig &cfg,
                         if (j_hi < j_lo)
                             j_hi = j_lo;
                         std::fill(step_max.begin(),
-                                  step_max.begin() + cols_here, 0);
+                                  step_max.begin() + cols_here,
+                                  std::uint8_t{0});
 
                         // Boundary columns: taps in the zero padding
                         // contribute nothing, except the differential
@@ -196,7 +199,8 @@ walkLayer(const LayerTrace &layer, const AcceleratorConfig &cfg,
                                 if (t > sm)
                                     sm = t;
                             }
-                            step_max[j] = sm;
+                            step_max[j] =
+                                static_cast<std::uint8_t>(sm);
                         };
                         for (int j = 0; j < j_lo; ++j)
                             boundaryColumn(j);
@@ -221,41 +225,28 @@ walkLayer(const LayerTrace &layer, const AcceleratorConfig &cfg,
                                 if (t > sm)
                                     sm = t;
                             }
-                            step_max[0] = sm;
+                            step_max[0] =
+                                static_cast<std::uint8_t>(sm);
                             ji = 1;
                         }
                         if (ji < j_hi) {
+                            // Interior block: one dispatched kernel
+                            // call sums every term and records the
+                            // per-column max over the channel rows
+                            // (wide loads; common/simd.hh). The
+                            // kernel overwrites its colMax span,
+                            // which is disjoint from the boundary
+                            // and anchor columns handled above.
                             const std::uint8_t *plane =
                                 differential ? delta_base : raw_base;
-                            const int nj = j_hi - ji;
-                            int *smp = step_max.data() + ji;
-                            std::int64_t sum = 0;
-                            for (int c = c_lo; c < c_hi; ++c) {
-                                const std::uint8_t *pr =
-                                    plane + c * chan_stride + row_off +
-                                    (x0 + static_cast<std::ptrdiff_t>(
-                                              ji) *
-                                              s);
-                                if (s == 1) {
-                                    for (int t = 0; t < nj; ++t) {
-                                        const int v = pr[t];
-                                        sum += v;
-                                        if (v > smp[t])
-                                            smp[t] = v;
-                                    }
-                                } else {
-                                    for (int t = 0; t < nj; ++t) {
-                                        const int v =
-                                            pr[static_cast<std::size_t>(
-                                                   t) *
-                                               s];
-                                        sum += v;
-                                        if (v > smp[t])
-                                            smp[t] = v;
-                                    }
-                                }
-                            }
-                            useful_terms += sum;
+                            const std::uint8_t *block =
+                                plane + c_lo * chan_stride + row_off +
+                                (x0 +
+                                 static_cast<std::ptrdiff_t>(ji) * s);
+                            useful_terms += kt.walkSumMax(
+                                block, chan_stride,
+                                static_cast<std::size_t>(c_hi - c_lo),
+                                s, step_max.data() + ji, j_hi - ji);
                         }
 
                         for (int j = 0; j < cols_here; ++j)

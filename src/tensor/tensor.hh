@@ -15,6 +15,8 @@
 #include <cstdint>
 #include <vector>
 
+#include "common/aligned.hh"
+
 namespace diffy
 {
 
@@ -109,7 +111,9 @@ class Tensor3
 
   private:
     Shape3 shape_;
-    std::vector<T> data_;
+    // 32-byte aligned so the SIMD kernels' wide accesses to value and
+    // term planes start on register boundaries (common/aligned.hh).
+    AlignedVec<T> data_;
 };
 
 using TensorI16 = Tensor3<std::int16_t>;
@@ -180,7 +184,7 @@ class Tensor4
 
   private:
     Shape4 shape_;
-    std::vector<T> data_;
+    AlignedVec<T> data_;
 };
 
 using FilterBankI16 = Tensor4<std::int16_t>;

@@ -7,6 +7,7 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cstdint>
 #include <sstream>
 
@@ -372,6 +373,59 @@ TEST(CodecSizes, SmallerGroupsAdaptBetterBeforeMetadata)
         t.at(0, 0, x) = 30000;
     EXPECT_LT(makeRawDCodec(8)->bitsPerValue(t),
               makeRawDCodec(256)->bitsPerValue(t));
+}
+
+TEST(DeltaDCodec, StreamMatchesScalarOracleAcrossGroupSizes)
+{
+    // Group sizes 1..33 cross every chunk boundary of the dispatched
+    // group-header reduction (common/simd.hh). Whatever table the
+    // host dispatched to, the emitted stream must match a reference
+    // parse built purely from the scalar bitsNeeded(): per group, a
+    // 5-bit header holding max bitsNeeded of the X-delta stream, then
+    // that many bits per field.
+    TensorI16 t = sparseSmoothTensor(77, 3, 5, 23);
+    std::vector<std::int32_t> stream;
+    for (int c = 0; c < t.channels(); ++c) {
+        for (int y = 0; y < t.height(); ++y) {
+            std::int32_t prev = 0;
+            for (int x = 0; x < t.width(); ++x) {
+                const std::int32_t cur = t.at(c, y, x);
+                stream.push_back(x == 0 ? cur : cur - prev);
+                prev = cur;
+            }
+        }
+    }
+    for (int g = 1; g <= 33; ++g) {
+        auto codec = makeDeltaDCodec(g);
+        EncodedTensor enc = codec->encode(t);
+        ASSERT_EQ(codec->decode(enc), t) << codec->name();
+        BitReader br(enc.bytes);
+        std::size_t hidx = 0;
+        const auto group = static_cast<std::size_t>(g);
+        for (std::size_t start = 0; start < stream.size();
+             start += group) {
+            const std::size_t len =
+                std::min(group, stream.size() - start);
+            int want_bits = 1;
+            for (std::size_t i = 0; i < len; ++i)
+                want_bits =
+                    std::max(want_bits, bitsNeeded(stream[start + i]));
+            ASSERT_LT(hidx, enc.headerBits.size()) << codec->name();
+            ASSERT_EQ(enc.headerBits[hidx].first, br.bitPosition())
+                << codec->name();
+            // diffy-lint: allow(R4): scalar format oracle parses raw bits
+            const int bits = static_cast<int>(br.read(5)) + 1;
+            ASSERT_EQ(bits, want_bits)
+                << codec->name() << " group at " << start;
+            for (std::size_t i = 0; i < len; ++i)
+                // diffy-lint: allow(R4): scalar format oracle parses raw bits
+                ASSERT_EQ(br.readSigned(bits), stream[start + i])
+                    << codec->name() << " field " << start + i;
+            ++hidx;
+        }
+        EXPECT_EQ(hidx, enc.headerBits.size()) << codec->name();
+        EXPECT_EQ(br.bitPosition(), enc.bits) << codec->name();
+    }
 }
 
 TEST(CodecSizes, MeasuredBitsMatchBufferLength)

@@ -17,12 +17,15 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <stdexcept>
 #include <vector>
 
+#include "common/bitops.hh"
 #include "common/rng.hh"
 #include "core/differential_conv.hh"
 #include "core/temporal.hh"
+#include "encode/bitstream.hh"
 #include "encode/temporal.hh"
 #include "image/sequence.hh"
 #include "nn/executor.hh"
@@ -66,6 +69,55 @@ TEST(TemporalCodec, RoundTripsArbitraryFramePairs)
         TensorI16 cur = randomTensor(rng, 3, 9, 13, 30000);
         EncodedTensor enc = codec.encode(prev, cur);
         EXPECT_EQ(codec.decode(prev, enc), cur);
+    }
+}
+
+TEST(TemporalCodec, StreamMatchesScalarOracleAcrossGroupSizes)
+{
+    // Group sizes 1..33 cross every chunk boundary of the dispatched
+    // deltaBits16 kernel (common/simd.hh). The emitted stream must
+    // match a parse built purely from the scalar bitsNeeded(): per
+    // group a 5-bit header holding max bitsNeeded over cur - prev,
+    // then that many bits per delta.
+    Rng rng(0x0AC1E);
+    TensorI16 prev = randomTensor(rng, 2, 7, 11, 32768);
+    TensorI16 cur = randomTensor(rng, 2, 7, 11, 32768);
+    for (int g = 1; g <= 33; ++g) {
+        TemporalCodec codec(g);
+        EncodedTensor enc = codec.encode(prev, cur);
+        ASSERT_EQ(codec.decode(prev, enc), cur) << codec.name();
+        BitReader br(enc.bytes);
+        const std::size_t n = cur.size();
+        const auto group = static_cast<std::size_t>(g);
+        std::size_t hidx = 0;
+        for (std::size_t start = 0; start < n; start += group) {
+            const std::size_t len = std::min(group, n - start);
+            int want_bits = 1;
+            for (std::size_t i = 0; i < len; ++i) {
+                const std::int32_t d =
+                    static_cast<std::int32_t>(cur.data()[start + i]) -
+                    prev.data()[start + i];
+                want_bits = std::max(want_bits, bitsNeeded(d));
+            }
+            ASSERT_LT(hidx, enc.headerBits.size()) << codec.name();
+            ASSERT_EQ(enc.headerBits[hidx].first, br.bitPosition())
+                << codec.name();
+            // diffy-lint: allow(R4): scalar format oracle parses raw bits
+            const int bits = static_cast<int>(br.read(5)) + 1;
+            ASSERT_EQ(bits, want_bits)
+                << codec.name() << " group at " << start;
+            for (std::size_t i = 0; i < len; ++i) {
+                const std::int32_t d =
+                    static_cast<std::int32_t>(cur.data()[start + i]) -
+                    prev.data()[start + i];
+                // diffy-lint: allow(R4): scalar format oracle parses raw bits
+                ASSERT_EQ(br.readSigned(bits), d)
+                    << codec.name() << " field " << start + i;
+            }
+            ++hidx;
+        }
+        EXPECT_EQ(hidx, enc.headerBits.size()) << codec.name();
+        EXPECT_EQ(br.bitPosition(), enc.bits) << codec.name();
     }
 }
 

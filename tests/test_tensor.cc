@@ -6,6 +6,8 @@
 
 #include <gtest/gtest.h>
 
+#include <cstdint>
+
 #include "common/rng.hh"
 #include "tensor/tensor.hh"
 
@@ -115,6 +117,28 @@ INSTANTIATE_TEST_SUITE_P(
     ::testing::Values(std::tuple{1, 1, 1}, std::tuple{1, 1, 17},
                       std::tuple{3, 5, 8}, std::tuple{16, 8, 8},
                       std::tuple{2, 9, 33}, std::tuple{64, 4, 4}));
+
+TEST(AlignedStorage, TensorBuffersStartOn32ByteBoundaries)
+{
+    // The SIMD kernel tables (common/simd.hh) issue wide loads from
+    // tensor plane bases; AlignedVec pins them to kBufferAlign.
+    for (std::size_t n : {1u, 7u, 33u, 1000u}) {
+        AlignedVec<std::int16_t> v(n);
+        EXPECT_EQ(reinterpret_cast<std::uintptr_t>(v.data()) %
+                      kBufferAlign,
+                  0u)
+            << n;
+    }
+    TensorI16 t3(3, 5, 7);
+    EXPECT_EQ(reinterpret_cast<std::uintptr_t>(t3.data()) % kBufferAlign,
+              0u);
+    Tensor3<std::uint8_t> t8(4, 6, 9);
+    EXPECT_EQ(reinterpret_cast<std::uintptr_t>(t8.data()) % kBufferAlign,
+              0u);
+    FilterBankI16 t4(2, 3, 3, 3);
+    EXPECT_EQ(reinterpret_cast<std::uintptr_t>(t4.data()) % kBufferAlign,
+              0u);
+}
 
 TEST(XDeltas, ConstantRowsCollapseToSingleRawValue)
 {

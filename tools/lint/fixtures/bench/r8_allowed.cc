@@ -1,0 +1,14 @@
+// R8 suppression fixture: an intrinsic outside the dispatch layer
+// lints clean when it carries the explicit allow() escape (e.g. a
+// one-off experiment that has not been promoted to a kernel yet).
+namespace diffy
+{
+
+unsigned
+allowedIntrinsicFixture(unsigned x)
+{
+    // diffy-lint: allow(R8): bench-local experiment, not a hot kernel
+    return static_cast<unsigned>(_mm_popcnt_u32(x));
+}
+
+} // namespace diffy

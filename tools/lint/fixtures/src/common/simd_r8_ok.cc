@@ -1,0 +1,15 @@
+// R8 no-fire fixture: src/common/simd* is the sanctioned home for
+// raw intrinsics, so the same patterns must not fire here.
+#include <immintrin.h>
+
+namespace diffy::simd
+{
+
+int
+sanctionedIntrinsicFixture(const int *p)
+{
+    __m128i v = _mm_loadu_si128(reinterpret_cast<const __m128i *>(p));
+    return _mm_cvtsi128_si32(v);
+}
+
+} // namespace diffy::simd

@@ -1,0 +1,18 @@
+// R8 must-fire fixture: raw SIMD intrinsics outside src/common/simd*
+// bypass the dispatch table and its scalar-oracle contract. Fires on
+// the vendor header, an x86 _mm* call, and a NEON v*q_* call.
+#include <immintrin.h>
+
+namespace diffy
+{
+
+int
+rawIntrinsicFixture(const int *p)
+{
+    __m128i v = _mm_loadu_si128(reinterpret_cast<const __m128i *>(p));
+    int lane = _mm_cvtsi128_si32(v);
+    lane += static_cast<int>(vaddvq_s32(vdupq_n_s32(lane)));
+    return lane;
+}
+
+} // namespace diffy

@@ -638,6 +638,47 @@ ruleR7(const std::string &rel_path,
     }
 }
 
+/** R8: SIMD intrinsics live only in src/common/simd*. */
+void
+ruleR8(const std::string &rel_path,
+       const std::vector<std::string> &lines, const Suppressions &allow,
+       std::vector<Finding> &out)
+{
+    // The dispatch layer itself is the one sanctioned home for raw
+    // intrinsics (simd.hh/cc, simd_x86.hh, simd_sse4/avx2/neon.cc).
+    if (startsWith(rel_path, "src/common/simd"))
+        return;
+    // x86 `_mm*(...)` / `_mm256*(...)` and NEON q-register
+    // `v*q_*(...)` calls; any real intrinsic use also needs the
+    // vendor header, so the include pattern backstops spellings the
+    // call patterns miss.
+    static const std::regex intrinCall(
+        R"(\b(_mm\w*|v[a-z][a-z0-9]*q_[a-z0-9_]+)\s*\()");
+    static const std::regex intrinHeader(
+        R"(^\s*#\s*include\s*<(?:[a-z0-9_]*intrin\.h|arm_neon\.h|arm_sve\.h)>)");
+    for (std::size_t li = 0; li < lines.size(); ++li) {
+        const std::string &line = lines[li];
+        if (std::regex_search(line, intrinHeader)) {
+            addFinding(out, allow, rel_path, static_cast<int>(li) + 1,
+                       "R8",
+                       "vendor intrinsics header outside "
+                       "src/common/simd*; add a kernel to the dispatch "
+                       "table (common/simd.hh) instead");
+            continue;
+        }
+        for (auto it = std::sregex_iterator(line.begin(), line.end(),
+                                            intrinCall);
+             it != std::sregex_iterator(); ++it) {
+            addFinding(out, allow, rel_path, static_cast<int>(li) + 1,
+                       "R8",
+                       "SIMD intrinsic '" + (*it)[1].str() +
+                           "' outside src/common/simd*; add a kernel "
+                           "to the dispatch table (common/simd.hh) "
+                           "instead");
+        }
+    }
+}
+
 } // namespace
 
 /* ------------------------------------------------------------------ */
@@ -664,6 +705,9 @@ ruleCatalog()
         {"R7", "no bare catch (...) that swallows the failure "
                "(rethrow, capture, classify into the taxonomy, or "
                "record to an obs counter)"},
+        {"R8", "no raw SIMD intrinsics (_mm*, NEON v*q_*) or vendor "
+               "intrinsics headers outside src/common/simd* (kernels "
+               "go through the dispatch table)"},
     };
 }
 
@@ -683,6 +727,7 @@ lintFile(const std::string &rel_path, const std::string &contents)
     ruleR5(rel_path, lines, allow, out);
     ruleR6(rel_path, lines, allow, out);
     ruleR7(rel_path, lines, allow, out);
+    ruleR8(rel_path, lines, allow, out);
     return out;
 }
 

@@ -61,6 +61,9 @@ const std::map<std::string, std::set<std::string>> kFixtureExpectations =
         {"src/obs/r6_ok.cc", {}},
         {"src/runtime/r7_fire.cc", {"R7"}},
         {"src/runtime/r7_ok.cc", {}},
+        {"src/sim/r8_fire.cc", {"R8"}},
+        {"src/common/simd_r8_ok.cc", {}},
+        {"bench/r8_allowed.cc", {}},
         {"src/analysis/suppressed_ok.cc", {}},
 };
 
