@@ -10,10 +10,14 @@ BitWriter::write(std::uint32_t value, int bits)
 {
     if (bits < 1 || bits > 32)
         throw std::invalid_argument("BitWriter: bits out of range");
+    // Grow to the final byte count up front (value-initialized, same
+    // zero bytes push_back(0) appended) so the bit loop never
+    // reallocates.
+    const std::size_t needed = (bitCount_ + static_cast<std::size_t>(bits) + 7) / 8;
+    if (needed > bytes_.size())
+        bytes_.resize(needed);
     for (int i = 0; i < bits; ++i) {
         std::size_t bit_index = bitCount_ + i;
-        if (bit_index / 8 >= bytes_.size())
-            bytes_.push_back(0);
         if ((value >> i) & 1)
             bytes_[bit_index / 8] |=
                 static_cast<std::uint8_t>(1u << (bit_index % 8));

@@ -54,9 +54,10 @@ SaturationOptions::validate() const
             "SaturationOptions: empty offered-load grid");
     for (int offered : offeredGrid)
         if (offered < 1)
+            // Throw path: the message only materializes on rejection.
             throw std::invalid_argument(
                 "SaturationOptions: offered load must be >= 1, got " +
-                std::to_string(offered));
+                std::to_string(offered)); // diffy-lint: allow(R9)
 }
 
 SaturationPoint
@@ -66,8 +67,11 @@ runSaturationPoint(const ServeOptions &serve, int offeredPerRound,
     auto &registry = obs::MetricsRegistry::instance();
     // Per-point quantiles: drop samples from earlier points (the
     // handles themselves are stable for the process lifetime).
+    // Once per saturation point, not per served frame.
     for (int k = 0; k < serve.streams; ++k)
-        registry.histogram("serve.frame_seconds:s" + std::to_string(k))
+        registry
+            .histogram("serve.frame_seconds:s" +
+                       std::to_string(k)) // diffy-lint: allow(R9)
             .reset();
     registry.histogram("serve.batch_seconds").reset();
 

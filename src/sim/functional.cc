@@ -11,6 +11,9 @@ void
 OffsetGenerator::load(std::int32_t value)
 {
     offsets_.clear();
+    // A 33-bit NAF has at most 17 nonzero digits (no two adjacent),
+    // so the digit loop below never reallocates.
+    offsets_.reserve(17);
     cursor_ = 0;
     std::int64_t v = value;
     std::uint8_t exponent = 0;

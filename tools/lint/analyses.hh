@@ -1,0 +1,67 @@
+/**
+ * @file
+ * diffy-lint pass 2: the analyses.
+ *
+ * Per-file rules (R1–R10's single-file parts) read one FileModel;
+ * cross-file analyses read the whole tree's models at once:
+ *
+ *   L1  include-graph layering — the actual `#include` graph between
+ *       src/ top-level directories must match the layer DAG declared
+ *       in tools/lint/layers.txt exactly: no cycles, no undeclared
+ *       edges, no declared-but-unused edges (full-src scans only);
+ *   R10 lock-order graph — per-function acquisition order harvested
+ *       in pass 1 merges into one graph over src/runtime, src/serve
+ *       and src/core/trace_cache; any cycle is a potential deadlock.
+ *
+ * The rule catalogue and Finding type live in lint.hh (the public
+ * API); this header is internal to the engine and the self-tests.
+ */
+
+#ifndef DIFFY_TOOLS_LINT_ANALYSES_HH
+#define DIFFY_TOOLS_LINT_ANALYSES_HH
+
+#include <string>
+#include <vector>
+
+#include "lint.hh"
+#include "model.hh"
+
+namespace diffy::lint
+{
+
+/** The parsed layer DAG (tools/lint/layers.txt). */
+struct LayerSpec
+{
+    struct Decl
+    {
+        std::string layer;
+        int line = 0;                   ///< 1-based line in the spec
+        std::vector<std::string> deps;  ///< declared allowed edges
+    };
+    std::string relPath;  ///< spec path as reported in findings
+    std::vector<Decl> decls;
+    /// Malformed lines, reported as L1 findings against the spec.
+    std::vector<std::pair<int, std::string>> errors;
+};
+
+/** Parse a layers.txt: `layer: dep dep ...`, '#' comments, blanks. */
+LayerSpec parseLayerSpec(const std::string &rel_path,
+                         const std::string &contents);
+
+/** Run every single-file rule over @p model. */
+void runFileAnalyses(const FileModel &model,
+                     std::vector<Finding> &out);
+
+/**
+ * Run the cross-file analyses over the whole tree. @p spec may be
+ * null (no layers.txt: L1 is skipped). @p full_src_scan gates the
+ * declared-but-unused edge check — on a partial scan an edge's
+ * includes may simply not have been read.
+ */
+void runTreeAnalyses(const std::vector<FileModel> &models,
+                     const LayerSpec *spec, bool full_src_scan,
+                     std::vector<Finding> &out);
+
+} // namespace diffy::lint
+
+#endif // DIFFY_TOOLS_LINT_ANALYSES_HH

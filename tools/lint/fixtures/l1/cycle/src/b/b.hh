@@ -1,0 +1,4 @@
+#ifndef DIFFY_B_B_HH
+#define DIFFY_B_B_HH
+#include "a/a.hh"
+#endif // DIFFY_B_B_HH

@@ -1,0 +1,4 @@
+#ifndef DIFFY_A_A_HH
+#define DIFFY_A_A_HH
+#include "b/b.hh"
+#endif // DIFFY_A_A_HH

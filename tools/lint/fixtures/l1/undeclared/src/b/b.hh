@@ -1,0 +1,3 @@
+#ifndef DIFFY_B_B_HH
+#define DIFFY_B_B_HH
+#endif // DIFFY_B_B_HH

@@ -1,0 +1,3 @@
+#ifndef DIFFY_A_A_HH
+#define DIFFY_A_A_HH
+#endif // DIFFY_A_A_HH

@@ -1,0 +1,16 @@
+// Raw-string blind spot regression: rule-triggering text inside
+// R"(...)" literals (plain, prefixed, custom-delimited) is string
+// content, not code. The v1 scanner only blanked ordinary quoted
+// strings and fired R3/R4/R8 on all of these.
+#include <string>
+
+const char *kPlain = R"(std::mt19937 gen(42); rand();)";
+const char *kDelim = R"re(br.read(4); br.readSigned(8) " unbalanced)re";
+const char *kWide = u8R"(_mm_add_ps(a, b); #include <immintrin.h>)";
+
+std::string
+describeRules()
+{
+    // A ')' followed by '"' inside the literal must not end it early.
+    return R"q(catch (...) { std::random_device rd; })q";
+}

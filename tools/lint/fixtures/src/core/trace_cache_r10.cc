@@ -1,0 +1,14 @@
+// The other half of the cross-file inversion pair: acquires stats,
+// then shard — the opposite of src/serve/r10_ab.cc. Clean on its
+// own; the tree scan that reads both files reports the cycle.
+#include <mutex>
+
+extern std::mutex shard_mu;
+extern std::mutex stats_mu;
+
+void
+flushTrace()
+{
+    std::lock_guard<std::mutex> stats(stats_mu);
+    std::lock_guard<std::mutex> shard(shard_mu);
+}

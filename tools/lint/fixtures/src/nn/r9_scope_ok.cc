@@ -1,0 +1,11 @@
+// R9 scope check: src/nn is outside the rule's hot-path dirs
+// (src/sim, src/serve, src/encode), so per-iteration growth here is
+// not a finding.
+#include <vector>
+
+void
+buildTopology(int n, std::vector<int> &out)
+{
+    for (int i = 0; i < n; ++i)
+        out.push_back(i);
+}

@@ -1,0 +1,14 @@
+// R10 must-fire: blocking the thread while a lock is held stalls
+// every waiter behind the sleep.
+#include <chrono>
+#include <mutex>
+#include <thread>
+
+std::mutex mu;
+
+void
+blockUnderLock()
+{
+    std::lock_guard<std::mutex> guard(mu);
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+}

@@ -1,0 +1,20 @@
+// R10 must-fire, single file: two functions acquire the same two
+// mutexes in opposite orders — the classic lock-order inversion.
+#include <mutex>
+
+std::mutex mu_a;
+std::mutex mu_b;
+
+void
+forward()
+{
+    std::lock_guard<std::mutex> la(mu_a);
+    std::lock_guard<std::mutex> lb(mu_b);
+}
+
+void
+backward()
+{
+    std::lock_guard<std::mutex> lb(mu_b);
+    std::lock_guard<std::mutex> la(mu_a);
+}

@@ -1,0 +1,32 @@
+// R10 must-not-fire: consistent acquisition order everywhere, and
+// the sanctioned drop-the-lock-before-blocking idiom (unlock() before
+// the sleep, re-lock after).
+#include <chrono>
+#include <mutex>
+#include <thread>
+
+std::mutex mu_a;
+std::mutex mu_b;
+
+void
+consistentForward()
+{
+    std::lock_guard<std::mutex> la(mu_a);
+    std::lock_guard<std::mutex> lb(mu_b);
+}
+
+void
+consistentForwardAgain()
+{
+    std::unique_lock<std::mutex> la(mu_a);
+    std::unique_lock<std::mutex> lb(mu_b);
+}
+
+void
+dropBeforeBlocking()
+{
+    std::unique_lock<std::mutex> lock(mu_a);
+    lock.unlock();
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    lock.lock();
+}

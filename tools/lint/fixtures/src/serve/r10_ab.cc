@@ -1,0 +1,14 @@
+// Half of the cross-file inversion pair: acquires shard, then stats.
+// Clean on its own; the deadlock only exists against the opposite
+// order in src/core/trace_cache_r10.cc.
+#include <mutex>
+
+std::mutex shard_mu;
+std::mutex stats_mu;
+
+void
+recordServe()
+{
+    std::lock_guard<std::mutex> shard(shard_mu);
+    std::lock_guard<std::mutex> stats(stats_mu);
+}

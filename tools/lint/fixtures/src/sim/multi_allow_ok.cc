@@ -1,0 +1,14 @@
+// Multi-rule suppression: one comma-separated allow() list covers
+// several rules on the same line (and the next).
+#include <memory>
+#include <random>
+
+void
+multiAllow(int n)
+{
+    for (int i = 0; i < n; ++i) {
+        std::mt19937 g(1); auto p = std::make_unique<int>(i); // diffy-lint: allow(R3,R9)
+        (void)g;
+        (void)p;
+    }
+}

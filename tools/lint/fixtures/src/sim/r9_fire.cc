@@ -1,0 +1,20 @@
+// R9 must-fire: every allocation kind the rule knows, inside a loop.
+#include <memory>
+#include <sstream>
+#include <string>
+#include <vector>
+
+void
+r9Fire(int n)
+{
+    std::vector<int> values;
+    for (int i = 0; i < n; ++i) {
+        values.push_back(i);                      // no loop-external reserve
+        auto boxed = std::make_unique<int>(i);    // per-iteration heap
+        int *raw = new int(i);                    // per-iteration heap
+        std::string label = std::to_string(i);    // string build + to_string
+        std::ostringstream os;                    // stream per iteration
+        os << *boxed << *raw << label;
+        delete raw;
+    }
+}

@@ -1,0 +1,20 @@
+// R9 must-not-fire: the sanctioned zero-allocation-steady-state
+// shapes. Pre-sized append, buffers hoisted out of the loop, string
+// assembly at report level (loop depth 0).
+#include <memory>
+#include <string>
+#include <vector>
+
+void
+r9Ok(int n)
+{
+    std::vector<int> values;
+    values.reserve(static_cast<std::size_t>(n)); // pre-sized at depth 0
+    auto scratch = std::make_unique<int[]>(16);  // allocated once
+    for (int i = 0; i < n; ++i) {
+        values.push_back(i); // growth into reserved capacity
+        scratch[i % 16] = i; // reuse, no per-iteration allocation
+    }
+    std::string report = "n=" + std::to_string(n); // depth 0 assembly
+    (void)report;
+}

@@ -4,12 +4,14 @@
 #include <cctype>
 #include <filesystem>
 #include <fstream>
-#include <map>
 #include <regex>
 #include <set>
 #include <sstream>
 #include <stdexcept>
-#include <unordered_set>
+
+#include "analyses.hh"
+#include "model.hh"
+#include "scanner.hh"
 
 namespace diffy::lint
 {
@@ -19,664 +21,63 @@ namespace
 
 namespace fs = std::filesystem;
 
-/* ------------------------------------------------------------------ */
-/* Source preprocessing                                                */
-/* ------------------------------------------------------------------ */
-
-/**
- * Replace the contents of comments and string/char literals with
- * spaces, preserving the line structure and the column of every
- * surviving token. Rule patterns quoted in prose (or in this linter's
- * own pattern strings) therefore never fire. Escapes inside literals
- * are honoured; raw strings are not parsed specially (the project
- * style does not use them).
- */
 std::string
-sanitize(const std::string &text)
+readFileOrThrow(const fs::path &path, const std::string &label)
 {
-    enum class State
-    {
-        Code,
-        LineComment,
-        BlockComment,
-        String,
-        Char,
-    };
-    std::string out(text);
-    State state = State::Code;
-    for (std::size_t i = 0; i < text.size(); ++i) {
-        const char c = text[i];
-        const char next = i + 1 < text.size() ? text[i + 1] : '\0';
-        switch (state) {
-          case State::Code:
-            if (c == '/' && next == '/') {
-                state = State::LineComment;
-                out[i] = out[i + 1] = ' ';
-                ++i;
-            } else if (c == '/' && next == '*') {
-                state = State::BlockComment;
-                out[i] = out[i + 1] = ' ';
-                ++i;
-            } else if (c == '"') {
-                state = State::String;
-            } else if (c == '\'') {
-                state = State::Char;
-            }
-            break;
-          case State::LineComment:
-            if (c == '\n')
-                state = State::Code;
-            else
-                out[i] = ' ';
-            break;
-          case State::BlockComment:
-            if (c == '*' && next == '/') {
-                out[i] = out[i + 1] = ' ';
-                state = State::Code;
-                ++i;
-            } else if (c != '\n') {
-                out[i] = ' ';
-            }
-            break;
-          case State::String:
-          case State::Char:
-            if (c == '\\' && next != '\0' && next != '\n') {
-                out[i] = ' ';
-                out[i + 1] = ' ';
-                ++i;
-            } else if ((state == State::String && c == '"') ||
-                       (state == State::Char && c == '\'')) {
-                state = State::Code;
-            } else if (c != '\n') {
-                out[i] = ' ';
-            }
-            break;
-        }
-    }
-    return out;
+    std::ifstream in(path, std::ios::binary);
+    if (!in)
+        throw std::runtime_error("diffy-lint: cannot read " + label);
+    std::ostringstream buffer;
+    buffer << in.rdbuf();
+    return buffer.str();
 }
 
-std::vector<std::string>
-splitLines(const std::string &text)
+void
+sortFindings(std::vector<Finding> &findings)
 {
-    std::vector<std::string> lines;
-    std::string::size_type start = 0;
-    while (start <= text.size()) {
-        std::string::size_type end = text.find('\n', start);
-        if (end == std::string::npos) {
-            lines.push_back(text.substr(start));
-            break;
-        }
-        lines.push_back(text.substr(start, end - start));
-        start = end + 1;
-    }
-    return lines;
+    std::sort(findings.begin(), findings.end(),
+              [](const Finding &a, const Finding &b) {
+                  if (a.file != b.file)
+                      return a.file < b.file;
+                  if (a.line != b.line)
+                      return a.line < b.line;
+                  if (a.rule != b.rule)
+                      return a.rule < b.rule;
+                  return a.message < b.message;
+              });
 }
-
-bool
-startsWith(const std::string &s, const std::string &prefix)
-{
-    return s.rfind(prefix, 0) == 0;
-}
-
-bool
-endsWith(const std::string &s, const std::string &suffix)
-{
-    return s.size() >= suffix.size() &&
-           s.compare(s.size() - suffix.size(), suffix.size(), suffix) ==
-               0;
-}
-
-/* ------------------------------------------------------------------ */
-/* Suppressions                                                        */
-/* ------------------------------------------------------------------ */
 
 /**
- * Per-line suppression sets parsed from the RAW source (suppressions
- * live in comments, which the sanitizer strips). A suppression on
- * line N covers findings on lines N and N+1.
+ * True when the requested scan covers the entire src tree — the
+ * precondition for L1's declared-but-unused edge check (a partial
+ * scan may simply not have read the file carrying an edge's include).
  */
-class Suppressions
+bool
+coversFullSrc(const fs::path &root_path, bool root_is_src,
+              const std::vector<std::string> &paths)
 {
-  public:
-    explicit Suppressions(const std::vector<std::string> &raw_lines)
-    {
-        static const std::regex pattern(
-            R"(diffy-lint:\s*allow\(([^)]*)\))");
-        for (std::size_t i = 0; i < raw_lines.size(); ++i) {
-            std::smatch m;
-            if (!std::regex_search(raw_lines[i], m, pattern))
-                continue;
-            std::string ids = m[1].str();
-            std::string id;
-            std::istringstream is(ids);
-            while (std::getline(is, id, ',')) {
-                id.erase(std::remove_if(id.begin(), id.end(),
-                                        [](unsigned char ch) {
-                                            return std::isspace(ch) !=
-                                                   0;
-                                        }),
-                         id.end());
-                if (id.empty())
-                    continue;
-                byLine_[static_cast<int>(i) + 1].insert(id);
-                byLine_[static_cast<int>(i) + 2].insert(id);
-            }
-        }
-    }
-
-    bool covers(int line, const std::string &rule) const
-    {
-        auto it = byLine_.find(line);
-        return it != byLine_.end() && it->second.count(rule) > 0;
-    }
-
-  private:
-    std::map<int, std::set<std::string>> byLine_;
-};
-
-/* ------------------------------------------------------------------ */
-/* Loop-depth tracking (rule R1)                                       */
-/* ------------------------------------------------------------------ */
-
-/**
- * Tracks how many loop bodies enclose each column of each sanitized
- * line. A small character machine: `for`/`while` headers are located
- * per line by regex, the machine then follows the header's
- * parenthesis span and binds the following `{` to a loop scope (or,
- * for a braceless body, keeps a virtual scope open until the
- * terminating `;`). Known limit: a braceless loop whose body spans
- * multiple physical lines only deepens its own line — the project
- * style braces every multi-line body, and rule R1 additionally
- * requires two enclosing loops to fire, so outer braced nests carry
- * the depth in practice.
- */
-class LoopTracker
-{
-  public:
-    /** Effective loop depth for every column of @p line. */
-    std::vector<int> depths(const std::string &line)
-    {
-        static const std::regex header(R"(\b(?:for|while)\s*\()");
-        std::vector<std::size_t> headerParens;
-        for (auto it = std::sregex_iterator(line.begin(), line.end(),
-                                            header);
-             it != std::sregex_iterator(); ++it) {
-            headerParens.push_back(
-                static_cast<std::size_t>(it->position()) +
-                it->str().size() - 1);
-        }
-        std::size_t nextHeader = 0;
-
-        std::vector<int> depth(line.size() + 1, 0);
-        for (std::size_t i = 0; i <= line.size(); ++i) {
-            depth[i] = static_cast<int>(loopStack_.size()) +
-                       bracelessBodies_;
-            if (i == line.size())
+    std::error_code ec;
+    fs::path srcDir = root_is_src ? root_path : root_path / "src";
+    srcDir = fs::weakly_canonical(srcDir, ec);
+    if (ec || srcDir.empty())
+        return false;
+    for (const std::string &p : paths) {
+        fs::path dir =
+            fs::weakly_canonical(root_path / p, ec);
+        if (ec || !fs::is_directory(dir))
+            continue;
+        // dir == src, or dir is an ancestor of src (e.g. ".").
+        fs::path probe = srcDir;
+        while (true) {
+            if (probe == dir)
+                return true;
+            fs::path parent = probe.parent_path();
+            if (parent == probe)
                 break;
-            const char c = line[i];
-            if (headerDepth_ == 0 && nextHeader < headerParens.size() &&
-                i == headerParens[nextHeader]) {
-                // The '(' opening a for/while header.
-                ++nextHeader;
-                headerDepth_ = 1;
-                awaitingBody_ = false;
-                continue;
-            }
-            if (headerDepth_ > 0) {
-                if (c == '(')
-                    ++headerDepth_;
-                else if (c == ')') {
-                    --headerDepth_;
-                    if (headerDepth_ == 0)
-                        awaitingBody_ = true;
-                }
-                continue;
-            }
-            if (awaitingBody_) {
-                if (std::isspace(static_cast<unsigned char>(c)))
-                    continue;
-                awaitingBody_ = false;
-                if (c == '{') {
-                    ++braceDepth_;
-                    loopStack_.push_back(braceDepth_);
-                    continue;
-                }
-                // Braceless body: one virtual scope until ';'.
-                ++bracelessBodies_;
-                // fall through to classify c normally
-            }
-            if (c == '{') {
-                ++braceDepth_;
-            } else if (c == '}') {
-                if (!loopStack_.empty() &&
-                    loopStack_.back() == braceDepth_)
-                    loopStack_.pop_back();
-                --braceDepth_;
-            } else if (c == ';' && bracelessBodies_ > 0 &&
-                       headerDepth_ == 0) {
-                bracelessBodies_ = 0;
-            }
-        }
-        return depth;
-    }
-
-  private:
-    int braceDepth_ = 0;
-    std::vector<int> loopStack_;
-    int headerDepth_ = 0;
-    bool awaitingBody_ = false;
-    int bracelessBodies_ = 0;
-};
-
-/* ------------------------------------------------------------------ */
-/* Individual rules                                                    */
-/* ------------------------------------------------------------------ */
-
-void
-addFinding(std::vector<Finding> &out, const Suppressions &allow,
-           const std::string &file, int line, const char *rule,
-           std::string message)
-{
-    if (allow.covers(line, rule))
-        return;
-    out.push_back(Finding{file, line, rule, std::move(message)});
-}
-
-/** R1: float/double accumulation in src/sim loop nests (depth >= 2). */
-void
-ruleR1(const std::string &rel_path,
-       const std::vector<std::string> &lines, const Suppressions &allow,
-       std::vector<Finding> &out)
-{
-    if (!startsWith(rel_path, "src/sim/"))
-        return;
-
-    // Single sequential pass: the set of identifiers currently known
-    // to be float/double evolves as declarations go by, so an integer
-    // re-declaration (`std::int64_t cycles` after a `double cycles`
-    // struct member) takes over — within a function, declaration
-    // precedes use, so "latest declaration wins" is the right
-    // resolution for a file-scoped heuristic.
-    static const std::regex decl(
-        R"(\b(?:float|double)\s+([A-Za-z_]\w*))");
-    static const std::regex vecDecl(
-        R"(\bvector\s*<\s*(?:float|double)\s*>\s+([A-Za-z_]\w*))");
-    static const std::regex intDecl(
-        R"(\b(?:(?:std::)?u?int(?:8|16|32|64)_t|(?:std::)?size_t|(?:std::)?ptrdiff_t|int|long|short|unsigned)\s+([A-Za-z_]\w*))");
-    static const std::regex intVecDecl(
-        R"(\bvector\s*<\s*[^<>]*\bu?int[^<>]*>\s+([A-Za-z_]\w*))");
-    static const std::regex accum(
-        R"(([A-Za-z_]\w*)\s*(?:\[[^\]]*\])?\s*\+=)");
-    std::unordered_set<std::string> floatIdents;
-    LoopTracker tracker;
-    for (std::size_t li = 0; li < lines.size(); ++li) {
-        const std::string &line = lines[li];
-        for (auto it = std::sregex_iterator(line.begin(), line.end(),
-                                            decl);
-             it != std::sregex_iterator(); ++it) {
-            // Skip function declarations: `double foo(...)`.
-            std::size_t after =
-                static_cast<std::size_t>(it->position()) +
-                it->str().size();
-            while (after < line.size() &&
-                   std::isspace(
-                       static_cast<unsigned char>(line[after])))
-                ++after;
-            if (after < line.size() && line[after] == '(')
-                continue;
-            floatIdents.insert((*it)[1].str());
-        }
-        for (auto it = std::sregex_iterator(line.begin(), line.end(),
-                                            vecDecl);
-             it != std::sregex_iterator(); ++it)
-            floatIdents.insert((*it)[1].str());
-        for (auto it = std::sregex_iterator(line.begin(), line.end(),
-                                            intDecl);
-             it != std::sregex_iterator(); ++it)
-            floatIdents.erase((*it)[1].str());
-        for (auto it = std::sregex_iterator(line.begin(), line.end(),
-                                            intVecDecl);
-             it != std::sregex_iterator(); ++it)
-            floatIdents.erase((*it)[1].str());
-
-        std::vector<int> depth = tracker.depths(line);
-        for (auto it = std::sregex_iterator(line.begin(), line.end(),
-                                            accum);
-             it != std::sregex_iterator(); ++it) {
-            const std::string ident = (*it)[1].str();
-            if (floatIdents.count(ident) == 0)
-                continue;
-            const auto col = static_cast<std::size_t>(it->position());
-            if (depth[col] < 2)
-                continue;
-            addFinding(out, allow, rel_path,
-                       static_cast<int>(li) + 1, "R1",
-                       "float/double tally '" + ident +
-                           "' accumulated inside a sim loop nest; "
-                           "tally in an integer and convert at stat "
-                           "assembly (determinism contract)");
+            probe = parent;
         }
     }
-}
-
-/** R2: thread_local memo caches must register a clear hook. */
-void
-ruleR2(const std::string &rel_path,
-       const std::vector<std::string> &lines, const Suppressions &allow,
-       std::vector<Finding> &out)
-{
-    if (rel_path == "src/common/cache_registry.hh" ||
-        rel_path == "src/common/cache_registry.cc")
-        return;
-    static const std::regex tl(R"(\bthread_local\b)");
-    static const std::regex reg(R"(\bDIFFY_REGISTER_THREAD_CACHE\s*\()");
-    bool registers = false;
-    for (const std::string &line : lines) {
-        if (std::regex_search(line, reg)) {
-            registers = true;
-            break;
-        }
-    }
-    if (registers)
-        return;
-    for (std::size_t li = 0; li < lines.size(); ++li) {
-        if (std::regex_search(lines[li], tl)) {
-            addFinding(out, allow, rel_path, static_cast<int>(li) + 1,
-                       "R2",
-                       "thread_local cache without a registered clear "
-                       "hook; add DIFFY_REGISTER_THREAD_CACHE in this "
-                       "file (common/cache_registry.hh)");
-        }
-    }
-}
-
-/** R3: RNG construction outside src/common/rng. */
-void
-ruleR3(const std::string &rel_path,
-       const std::vector<std::string> &lines, const Suppressions &allow,
-       std::vector<Finding> &out)
-{
-    if (startsWith(rel_path, "src/common/rng."))
-        return;
-    static const std::regex rng(
-        R"(\bmt19937(?:_64)?\b|\brandom_device\b|\bsrand\s*\(|\brand\s*\()");
-    for (std::size_t li = 0; li < lines.size(); ++li) {
-        auto begin = std::sregex_iterator(lines[li].begin(),
-                                          lines[li].end(), rng);
-        for (auto it = begin; it != std::sregex_iterator(); ++it) {
-            addFinding(out, allow, rel_path, static_cast<int>(li) + 1,
-                       "R3",
-                       "RNG construction '" + it->str() +
-                           "' outside src/common/rng; use the seeded "
-                           "Rng (splitmix64/xoshiro) streams");
-        }
-    }
-}
-
-/** R4: raw BitReader::read* decode calls outside src/encode. */
-void
-ruleR4(const std::string &rel_path,
-       const std::vector<std::string> &lines, const Suppressions &allow,
-       std::vector<Finding> &out)
-{
-    if (startsWith(rel_path, "src/encode/"))
-        return;
-
-    // Pass 1: variables declared (or bound) as BitReader.
-    static const std::regex decl(
-        R"(\bBitReader\s*&?\s+([A-Za-z_]\w*))");
-    std::unordered_set<std::string> readers;
-    for (const std::string &line : lines) {
-        for (auto it = std::sregex_iterator(line.begin(), line.end(),
-                                            decl);
-             it != std::sregex_iterator(); ++it)
-            readers.insert((*it)[1].str());
-    }
-
-    // Pass 2: raw read calls on those variables (or on a temporary).
-    static const std::regex call(
-        R"(\b([A-Za-z_]\w*)\s*\.\s*(read|readSigned)\s*\()");
-    static const std::regex tempCall(
-        R"(\bBitReader\s*\([^)]*\)\s*\.\s*(read|readSigned)\s*\()");
-    for (std::size_t li = 0; li < lines.size(); ++li) {
-        const std::string &line = lines[li];
-        for (auto it = std::sregex_iterator(line.begin(), line.end(),
-                                            call);
-             it != std::sregex_iterator(); ++it) {
-            if (readers.count((*it)[1].str()) == 0)
-                continue;
-            addFinding(out, allow, rel_path, static_cast<int>(li) + 1,
-                       "R4",
-                       "raw BitReader::" + (*it)[2].str() +
-                           "() outside codec internals; decode via "
-                           "ActivationCodec::tryDecode/DecodeResult");
-        }
-        if (std::regex_search(line, tempCall)) {
-            addFinding(out, allow, rel_path, static_cast<int>(li) + 1,
-                       "R4",
-                       "raw BitReader read on a temporary outside "
-                       "codec internals; decode via "
-                       "ActivationCodec::tryDecode/DecodeResult");
-        }
-    }
-}
-
-/** Canonical include-guard macro for a header path. */
-std::string
-expectedGuard(const std::string &rel_path)
-{
-    std::string p = rel_path;
-    if (startsWith(p, "src/"))
-        p = p.substr(4);
-    std::string guard = "DIFFY_";
-    for (char c : p) {
-        if (std::isalnum(static_cast<unsigned char>(c)))
-            guard += static_cast<char>(
-                std::toupper(static_cast<unsigned char>(c)));
-        else
-            guard += '_';
-    }
-    return guard; // e.g. common/rng.hh -> DIFFY_COMMON_RNG_HH
-}
-
-/** R5: header hygiene (using-directives, canonical include guards). */
-void
-ruleR5(const std::string &rel_path,
-       const std::vector<std::string> &lines, const Suppressions &allow,
-       std::vector<Finding> &out)
-{
-    if (!endsWith(rel_path, ".hh"))
-        return;
-
-    static const std::regex usingNs(R"(\busing\s+namespace\b)");
-    for (std::size_t li = 0; li < lines.size(); ++li) {
-        if (std::regex_search(lines[li], usingNs)) {
-            addFinding(out, allow, rel_path, static_cast<int>(li) + 1,
-                       "R5",
-                       "using-directive in a header leaks into every "
-                       "includer; qualify names instead");
-        }
-    }
-
-    static const std::regex pragmaOnce(R"(^\s*#\s*pragma\s+once\b)");
-    static const std::regex ifndef(R"(^\s*#\s*ifndef\s+(\w+))");
-    static const std::regex define(R"(^\s*#\s*define\s+(\w+))");
-    const std::string want = expectedGuard(rel_path);
-
-    for (std::size_t li = 0; li < lines.size(); ++li) {
-        const std::string &line = lines[li];
-        std::smatch m;
-        if (std::regex_search(line, pragmaOnce)) {
-            addFinding(out, allow, rel_path, static_cast<int>(li) + 1,
-                       "R5",
-                       "#pragma once; the project convention is a "
-                       "canonical " +
-                           want + " include guard");
-            return;
-        }
-        if (std::regex_search(line, m, ifndef)) {
-            const std::string guard = m[1].str();
-            bool defined = false;
-            for (std::size_t dj = li + 1;
-                 dj < lines.size() && dj <= li + 3; ++dj) {
-                std::smatch dm;
-                if (std::regex_search(lines[dj], dm, define) &&
-                    dm[1].str() == guard) {
-                    defined = true;
-                    break;
-                }
-            }
-            if (!defined) {
-                addFinding(out, allow, rel_path,
-                           static_cast<int>(li) + 1, "R5",
-                           "include guard #ifndef " + guard +
-                               " is not followed by its #define");
-            } else if (guard != want) {
-                addFinding(out, allow, rel_path,
-                           static_cast<int>(li) + 1, "R5",
-                           "include guard " + guard +
-                               " does not match the canonical " + want);
-            }
-            return;
-        }
-        // Skip leading comments/blank lines; any other preprocessor
-        // or code line before the guard means the guard is missing.
-        std::string stripped = line;
-        stripped.erase(std::remove_if(stripped.begin(), stripped.end(),
-                                      [](unsigned char c) {
-                                          return std::isspace(c) != 0;
-                                      }),
-                       stripped.end());
-        if (!stripped.empty())
-            break;
-    }
-    addFinding(out, allow, rel_path, 1, "R5",
-               "missing include guard; expected #ifndef " + want);
-}
-
-/** R6: clock reads outside the observability/runtime timing layers. */
-void
-ruleR6(const std::string &rel_path,
-       const std::vector<std::string> &lines, const Suppressions &allow,
-       std::vector<Finding> &out)
-{
-    if (startsWith(rel_path, "src/obs/") ||
-        startsWith(rel_path, "src/runtime/"))
-        return;
-    static const std::regex clockNow(
-        R"(\b(?:steady_clock|system_clock|high_resolution_clock)\s*::\s*now\s*\()");
-    for (std::size_t li = 0; li < lines.size(); ++li) {
-        auto begin = std::sregex_iterator(lines[li].begin(),
-                                          lines[li].end(), clockNow);
-        for (auto it = begin; it != std::sregex_iterator(); ++it) {
-            addFinding(out, allow, rel_path, static_cast<int>(li) + 1,
-                       "R6",
-                       "clock read '" + it->str() +
-                           ")' outside src/obs + src/runtime; time via "
-                           "obs::Span / obs::ScopedLatency so timing "
-                           "stays centralized");
-        }
-    }
-}
-
-/** R7: a bare catch (...) must rethrow or record the failure. */
-void
-ruleR7(const std::string &rel_path,
-       const std::vector<std::string> &lines, const Suppressions &allow,
-       std::vector<Finding> &out)
-{
-    // No path scope: the rule applies tree-wide — every layer owns
-    // its errors.
-    static const std::regex bareCatch(R"(\bcatch\s*\(\s*\.\.\.\s*\))");
-    // Evidence the handler did something with the failure: rethrowing
-    // (throw; / rethrow_exception), capturing it for later
-    // (current_exception), classifying it into the taxonomy
-    // (classifyException / SweepReport / a FailureKind result), or
-    // recording to an obs counter (counter(...) / .add(...)).
-    static const std::regex marker(
-        R"(\bthrow\b|\bcurrent_exception\b|\brethrow_exception\b|\bclassifyException\b|\bSweepReport\b|\bFailureKind\b|\bcounter\s*\(|\.\s*add\s*\()");
-    for (std::size_t li = 0; li < lines.size(); ++li) {
-        std::smatch m;
-        if (!std::regex_search(lines[li], m, bareCatch))
-            continue;
-        // Collect the brace-matched handler body that follows.
-        std::string body;
-        int depth = 0;
-        bool opened = false;
-        bool closed = false;
-        std::size_t col = static_cast<std::size_t>(m.position()) +
-                          m.str().size();
-        for (std::size_t lj = li; lj < lines.size() && !closed;
-             ++lj, col = 0) {
-            const std::string &cur = lines[lj];
-            for (; col < cur.size(); ++col) {
-                const char c = cur[col];
-                if (c == '{') {
-                    ++depth;
-                    opened = true;
-                } else if (c == '}') {
-                    --depth;
-                    if (opened && depth == 0) {
-                        closed = true;
-                        break;
-                    }
-                }
-                if (opened)
-                    body += c;
-            }
-            body += '\n';
-        }
-        if (!opened || std::regex_search(body, marker))
-            continue;
-        addFinding(out, allow, rel_path, static_cast<int>(li) + 1,
-                   "R7",
-                   "bare catch (...) swallows the failure; rethrow, "
-                   "capture via current_exception, classify into the "
-                   "failure taxonomy (classifyException/SweepReport), "
-                   "or record it to an obs counter (DESIGN.md §12)");
-    }
-}
-
-/** R8: SIMD intrinsics live only in src/common/simd*. */
-void
-ruleR8(const std::string &rel_path,
-       const std::vector<std::string> &lines, const Suppressions &allow,
-       std::vector<Finding> &out)
-{
-    // The dispatch layer itself is the one sanctioned home for raw
-    // intrinsics (simd.hh/cc, simd_x86.hh, simd_sse4/avx2/neon.cc).
-    if (startsWith(rel_path, "src/common/simd"))
-        return;
-    // x86 `_mm*(...)` / `_mm256*(...)` and NEON q-register
-    // `v*q_*(...)` calls; any real intrinsic use also needs the
-    // vendor header, so the include pattern backstops spellings the
-    // call patterns miss.
-    static const std::regex intrinCall(
-        R"(\b(_mm\w*|v[a-z][a-z0-9]*q_[a-z0-9_]+)\s*\()");
-    static const std::regex intrinHeader(
-        R"(^\s*#\s*include\s*<(?:[a-z0-9_]*intrin\.h|arm_neon\.h|arm_sve\.h)>)");
-    for (std::size_t li = 0; li < lines.size(); ++li) {
-        const std::string &line = lines[li];
-        if (std::regex_search(line, intrinHeader)) {
-            addFinding(out, allow, rel_path, static_cast<int>(li) + 1,
-                       "R8",
-                       "vendor intrinsics header outside "
-                       "src/common/simd*; add a kernel to the dispatch "
-                       "table (common/simd.hh) instead");
-            continue;
-        }
-        for (auto it = std::sregex_iterator(line.begin(), line.end(),
-                                            intrinCall);
-             it != std::sregex_iterator(); ++it) {
-            addFinding(out, allow, rel_path, static_cast<int>(li) + 1,
-                       "R8",
-                       "SIMD intrinsic '" + (*it)[1].str() +
-                           "' outside src/common/simd*; add a kernel "
-                           "to the dispatch table (common/simd.hh) "
-                           "instead");
-        }
-    }
+    return false;
 }
 
 } // namespace
@@ -708,31 +109,39 @@ ruleCatalog()
         {"R8", "no raw SIMD intrinsics (_mm*, NEON v*q_*) or vendor "
                "intrinsics headers outside src/common/simd* (kernels "
                "go through the dispatch table)"},
+        {"R9", "no per-iteration allocation in src/sim + src/serve + "
+               "src/encode loop bodies: new/make_unique/make_shared, "
+               "un-pre-sized vector growth, string building (the "
+               "zero-allocation steady-state contract)"},
+        {"R10", "lock discipline over src/runtime + src/serve + "
+                "src/core/trace_cache: cycle-free cross-file "
+                "lock-acquisition order, no blocking call while "
+                "holding a lock"},
+        {"L1", "src/ include graph matches the layer DAG declared in "
+               "tools/lint/layers.txt: no cycles, no undeclared "
+               "edges, no declared-but-unused edges"},
     };
 }
 
 std::vector<Finding>
 lintFile(const std::string &rel_path, const std::string &contents)
 {
-    const std::vector<std::string> raw = splitLines(contents);
-    const std::vector<std::string> lines =
-        splitLines(sanitize(contents));
-    const Suppressions allow(raw);
+    std::vector<FileModel> models;
+    models.push_back(buildFileModel(rel_path, contents));
 
     std::vector<Finding> out;
-    ruleR1(rel_path, lines, allow, out);
-    ruleR2(rel_path, lines, allow, out);
-    ruleR3(rel_path, lines, allow, out);
-    ruleR4(rel_path, lines, allow, out);
-    ruleR5(rel_path, lines, allow, out);
-    ruleR6(rel_path, lines, allow, out);
-    ruleR7(rel_path, lines, allow, out);
-    ruleR8(rel_path, lines, allow, out);
+    runFileAnalyses(models.front(), out);
+    // The single-file slice of the cross-file pass: intra-file
+    // lock-order inversions. L1 needs a layer spec, so only lintTree
+    // runs it.
+    runTreeAnalyses(models, nullptr, false, out);
+    sortFindings(out);
     return out;
 }
 
 std::vector<Finding>
 lintTree(const std::string &root, const std::vector<std::string> &paths,
+         const TreeOptions &options,
          std::vector<std::string> *scanned_out)
 {
     const fs::path rootPath(root);
@@ -757,6 +166,12 @@ lintTree(const std::string &root, const std::vector<std::string> &paths,
         }
     }
 
+    // `--root src` (scanning the src tree directly) loses the src/
+    // prefix rule scopes and the layer DAG key on; put it back so
+    // both invocations see identical relative paths.
+    const bool rootIsSrc =
+        fs::weakly_canonical(rootPath).filename() == "src";
+
     std::vector<std::string> rels;
     rels.reserve(files.size());
     for (const fs::path &f : files) {
@@ -764,34 +179,128 @@ lintTree(const std::string &root, const std::vector<std::string> &paths,
             fs::relative(f, rootPath).generic_string();
         if (rel.find("tools/lint/fixtures") != std::string::npos)
             continue; // fixtures exist to violate the rules
+        if (rootIsSrc)
+            rel = "src/" + rel;
         rels.push_back(std::move(rel));
     }
     std::sort(rels.begin(), rels.end());
     rels.erase(std::unique(rels.begin(), rels.end()), rels.end());
 
+    std::vector<FileModel> models;
+    models.reserve(rels.size());
     std::vector<Finding> findings;
     for (const std::string &rel : rels) {
-        std::ifstream in(rootPath / rel, std::ios::binary);
-        if (!in)
-            throw std::runtime_error("diffy-lint: cannot read " + rel);
-        std::ostringstream buffer;
-        buffer << in.rdbuf();
-        std::vector<Finding> f = lintFile(rel, buffer.str());
-        findings.insert(findings.end(),
-                        std::make_move_iterator(f.begin()),
-                        std::make_move_iterator(f.end()));
+        const fs::path onDisk =
+            rootIsSrc ? rootPath / rel.substr(4) : rootPath / rel;
+        models.push_back(
+            buildFileModel(rel, readFileOrThrow(onDisk, rel)));
+        runFileAnalyses(models.back(), findings);
     }
-    std::sort(findings.begin(), findings.end(),
-              [](const Finding &a, const Finding &b) {
-                  if (a.file != b.file)
-                      return a.file < b.file;
-                  if (a.line != b.line)
-                      return a.line < b.line;
-                  return a.rule < b.rule;
-              });
+
+    LayerSpec spec;
+    bool haveSpec = false;
+    if (options.layering) {
+        fs::path layersPath;
+        std::string specRel = "tools/lint/layers.txt";
+        if (!options.layersFile.empty()) {
+            layersPath = options.layersFile;
+            specRel = options.layersFile;
+            if (!fs::is_regular_file(layersPath))
+                throw std::runtime_error(
+                    "diffy-lint: no such layers file: " +
+                    layersPath.string());
+        } else {
+            for (const fs::path &candidate :
+                 {rootPath / "tools/lint/layers.txt",
+                  rootPath / ".." / "tools/lint/layers.txt"}) {
+                if (fs::is_regular_file(candidate)) {
+                    layersPath = candidate;
+                    break;
+                }
+            }
+        }
+        if (!layersPath.empty()) {
+            spec = parseLayerSpec(
+                specRel, readFileOrThrow(layersPath, specRel));
+            haveSpec = true;
+        }
+    }
+
+    runTreeAnalyses(models, haveSpec ? &spec : nullptr,
+                    coversFullSrc(rootPath, rootIsSrc, paths),
+                    findings);
+    sortFindings(findings);
     if (scanned_out != nullptr)
         *scanned_out = rels;
     return findings;
+}
+
+std::vector<Finding>
+lintTree(const std::string &root, const std::vector<std::string> &paths,
+         std::vector<std::string> *scanned_out)
+{
+    return lintTree(root, paths, TreeOptions{}, scanned_out);
+}
+
+/* ------------------------------------------------------------------ */
+/* Baseline                                                            */
+/* ------------------------------------------------------------------ */
+
+Baseline
+parseBaseline(const std::string &contents)
+{
+    Baseline baseline;
+    static const std::regex entry(
+        R"(^\s*([^\s:][^:]*):(\d+):\s*\[([A-Za-z]\d+)\])");
+    const std::vector<std::string> lines = splitLines(contents);
+    for (std::size_t li = 0; li < lines.size(); ++li) {
+        const std::string &line = lines[li];
+        bool blank = true;
+        for (char c : line)
+            if (!std::isspace(static_cast<unsigned char>(c)))
+                blank = false;
+        if (blank)
+            continue;
+        std::string::size_type first =
+            line.find_first_not_of(" \t");
+        if (first != std::string::npos && line[first] == '#')
+            continue;
+        std::smatch m;
+        if (!std::regex_search(line, m, entry)) {
+            baseline.errors.push_back(
+                {static_cast<int>(li) + 1, line});
+            continue;
+        }
+        baseline.entries.push_back(
+            BaselineEntry{m[1].str(), std::stoi(m[2].str()),
+                          m[3].str(), static_cast<int>(li) + 1});
+    }
+    return baseline;
+}
+
+BaselineSplit
+applyBaseline(const std::vector<Finding> &findings,
+              const Baseline &baseline)
+{
+    BaselineSplit split;
+    std::vector<bool> used(baseline.entries.size(), false);
+    for (const Finding &f : findings) {
+        bool matched = false;
+        for (std::size_t i = 0; i < baseline.entries.size(); ++i) {
+            const BaselineEntry &e = baseline.entries[i];
+            if (e.file == f.file && e.line == f.line &&
+                e.rule == f.rule) {
+                used[i] = true;
+                matched = true;
+                break;
+            }
+        }
+        (matched ? split.excluded : split.fresh).push_back(f);
+    }
+    for (std::size_t i = 0; i < baseline.entries.size(); ++i)
+        if (!used[i])
+            split.stale.push_back(baseline.entries[i]);
+    return split;
 }
 
 std::string

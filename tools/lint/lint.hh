@@ -2,9 +2,14 @@
  * @file
  * diffy-lint: project-invariant static analysis.
  *
- * A deliberately small, heuristic source scanner that machine-checks
- * the contracts the compiler cannot know about (see DESIGN.md §10 for
- * the rule catalogue and the reasoning behind each rule):
+ * A deliberately small, dependency-free analysis engine that
+ * machine-checks the contracts the compiler cannot know about (see
+ * DESIGN.md §10 and §15 for the rule catalogue and the reasoning
+ * behind each rule). Since v2 it runs in two passes: pass 1 parses
+ * every file into a lightweight model (model.hh — include edges, loop
+ * extents, lock acquisitions, allocation sites), pass 2 runs the
+ * rules (analyses.hh) — per-file rules over one model, cross-file
+ * analyses over the whole tree:
  *
  *   R1  no float/double accumulation inside src/sim tally loops —
  *       integer tallies only, converted at stat assembly (the
@@ -28,19 +33,36 @@
  *       (current_exception), classify it into the failure taxonomy
  *       (classifyException / SweepReport), or at minimum record it to
  *       an obs counter, so no error path is silently dropped
- *       (DESIGN.md §12).
+ *       (DESIGN.md §12);
+ *   R8  raw SIMD intrinsics and vendor intrinsics headers live only
+ *       in src/common/simd* — kernels go through the dispatch table;
+ *   R9  allocation discipline in the hot paths (src/sim, src/serve,
+ *       src/encode): no new/make_unique/make_shared, no un-pre-sized
+ *       vector growth, no string building inside loop bodies — the
+ *       gating rule for the arena refactor (ROADMAP item 5);
+ *   R10 lock discipline over src/runtime, src/serve and
+ *       src/core/trace_cache: the cross-file lock-acquisition-order
+ *       graph must be cycle-free (no potential deadlocks) and no
+ *       known-blocking call is made while a lock is held;
+ *   L1  include-graph layering: the actual #include graph between
+ *       src/ top-level directories must match the layer DAG declared
+ *       in tools/lint/layers.txt — no cycles, no undeclared edges,
+ *       no declared-but-unused edges.
  *
- * The scanner strips comments and string/char literals before rule
- * matching, so rule patterns quoted in prose (or in this linter's own
- * sources) never fire. Findings can be suppressed at the line level:
+ * The scanner strips comments and string/char literals — including
+ * raw string literals R"(...)" — before rule matching, so rule
+ * patterns quoted in prose (or in this linter's own sources) never
+ * fire. Findings can be suppressed at the line level:
  *
  *     some_violation();  // diffy-lint: allow(R4): testing raw reads
  *
- * A suppression on line N covers findings on lines N and N+1, so a
- * pure comment line may precede the offending statement. This is the
- * only suppression mechanism — there are no file- or directory-level
- * escapes; rules with legitimate blanket exemptions encode them as
- * path scopes instead.
+ * A suppression on line N covers findings on lines N and N+1 exactly
+ * (so a pure comment line may precede the offending statement; a
+ * blank line in between voids it). `allow(R9,R10)` lists and several
+ * allow() markers on one line all apply. This is the only
+ * code-level escape; rules with legitimate blanket exemptions encode
+ * them as path scopes, and pre-existing findings being burned down
+ * live in tools/lint/baseline.txt (see Baseline below).
  */
 
 #ifndef DIFFY_TOOLS_LINT_LINT_HH
@@ -57,7 +79,7 @@ struct Finding
 {
     std::string file; ///< path relative to the lint root
     int line = 0;     ///< 1-based
-    std::string rule; ///< "R1".."R7"
+    std::string rule; ///< "R1".."R10", "L1"
     std::string message;
 };
 
@@ -68,31 +90,96 @@ struct RuleInfo
     std::string summary;
 };
 
-/** The rule catalogue, in rule-id order. */
+/** The rule catalogue, in rule-id order (R1..R10, then L1). */
 std::vector<RuleInfo> ruleCatalog();
 
 /**
  * Lint one file. @p rel_path is the path relative to the lint root —
  * rule path scopes (src/sim for R1, src/encode for R4, ...) and the
- * canonical guard name (R5) derive from it.
+ * canonical guard name (R5) derive from it. Runs every per-file rule
+ * plus the single-file slice of the cross-file analyses (a lock-order
+ * inversion between two functions of the same file is reported here;
+ * L1 needs the tree and a layers file, so only lintTree runs it).
  */
 std::vector<Finding> lintFile(const std::string &rel_path,
                               const std::string &contents);
+
+/** Knobs for lintTree beyond the scan roots. */
+struct TreeOptions
+{
+    /**
+     * Layer-DAG file for L1. Empty = auto-discover
+     * <root>/tools/lint/layers.txt, then <root>/../tools/lint/
+     * layers.txt (so `--root src` run from the repo root still finds
+     * it); L1 is skipped when no file is found.
+     */
+    std::string layersFile;
+    bool layering = true; ///< false disables L1 outright
+};
 
 /**
  * Lint every .cc/.hh file under the given paths (files or directories,
  * relative to @p root). Results are sorted by (file, line, rule) so
  * output is deterministic regardless of directory iteration order.
  * Fixture trees (any path containing "tools/lint/fixtures") are
- * skipped — they exist to violate the rules. When @p scanned_out is
- * non-null it receives the relative paths of every scanned file.
+ * skipped — they exist to violate the rules. When @p root itself is a
+ * `src` directory, reported paths are normalized back to `src/...` so
+ * rule path scopes and the layer DAG apply identically to
+ * `--root . src` and `--root src .`. When @p scanned_out is non-null
+ * it receives the relative paths of every scanned file.
  * @throws std::runtime_error when a path does not exist or a file
  *         cannot be read.
  */
 std::vector<Finding> lintTree(const std::string &root,
                               const std::vector<std::string> &paths,
+                              const TreeOptions &options,
                               std::vector<std::string> *scanned_out
                               = nullptr);
+
+/** lintTree with default options (auto-discovered layer DAG). */
+std::vector<Finding> lintTree(const std::string &root,
+                              const std::vector<std::string> &paths,
+                              std::vector<std::string> *scanned_out
+                              = nullptr);
+
+/* ------------------------------------------------------------------ */
+/* Baseline (tools/lint/baseline.txt)                                  */
+/* ------------------------------------------------------------------ */
+
+/**
+ * One baselined pre-existing finding. Entries are formatFinding()
+ * lines (`file:line: [Rn] message...`); only file, line and rule
+ * participate in matching, the message tail is documentation.
+ */
+struct BaselineEntry
+{
+    std::string file;
+    int line = 0;
+    std::string rule;
+    int specLine = 0; ///< 1-based line in baseline.txt (diagnostics)
+};
+
+/** The parsed baseline: '#' comments and blank lines are skipped. */
+struct Baseline
+{
+    std::vector<BaselineEntry> entries;
+    /// Malformed lines: (line number, text). The CLI reports these.
+    std::vector<std::pair<int, std::string>> errors;
+};
+
+Baseline parseBaseline(const std::string &contents);
+
+/** Findings partitioned against a baseline. */
+struct BaselineSplit
+{
+    std::vector<Finding> fresh;    ///< not baselined: these gate CI
+    std::vector<Finding> excluded; ///< baselined, listed explicitly
+    /// Baseline entries that matched nothing — stale, remove them.
+    std::vector<BaselineEntry> stale;
+};
+
+BaselineSplit applyBaseline(const std::vector<Finding> &findings,
+                            const Baseline &baseline);
 
 /** "file:line: [Rn] message" — clickable in editors and CI logs. */
 std::string formatFinding(const Finding &finding);

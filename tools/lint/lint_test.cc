@@ -1,27 +1,39 @@
 /**
  * @file
- * diffy-lint self-tests: every rule has at least one must-fire and
- * one must-not-fire fixture under tools/lint/fixtures/, the CLI's
- * exit codes are asserted against the real binary, and the full
- * project tree must lint clean.
+ * diffy-lint self-tests: every rule (R1-R10 and the L1 layering
+ * analysis) has at least one must-fire and one must-not-fire fixture
+ * under tools/lint/fixtures/, the cross-file analyses are exercised
+ * against dedicated fixture trees, the SARIF output parses back into
+ * the 2.1.0 shape, the baseline workflow round-trips, the CLI's exit
+ * codes are asserted against the real binary, and the full project
+ * tree must lint clean modulo the checked-in baseline.
  */
 
 #include <cstdlib>
+#include <fstream>
 #include <map>
 #include <set>
+#include <sstream>
+#include <stdexcept>
 #include <string>
 #include <vector>
 
 #include <gtest/gtest.h>
 
 #include "lint.hh"
+#include "sarif.hh"
 
 namespace
 {
 
+using diffy::lint::applyBaseline;
+using diffy::lint::Baseline;
+using diffy::lint::BaselineSplit;
 using diffy::lint::Finding;
 using diffy::lint::lintFile;
 using diffy::lint::lintTree;
+using diffy::lint::parseBaseline;
+using diffy::lint::TreeOptions;
 
 std::string
 fixturesRoot()
@@ -33,6 +45,17 @@ std::string
 sourceRoot()
 {
     return DIFFY_LINT_SOURCE_ROOT;
+}
+
+std::string
+readFile(const std::string &path)
+{
+    std::ifstream in(path, std::ios::binary);
+    if (!in)
+        throw std::runtime_error("cannot read " + path);
+    std::ostringstream buffer;
+    buffer << in.rdbuf();
+    return buffer.str();
 }
 
 std::set<std::string>
@@ -65,6 +88,32 @@ const std::map<std::string, std::set<std::string>> kFixtureExpectations =
         {"src/common/simd_r8_ok.cc", {}},
         {"bench/r8_allowed.cc", {}},
         {"src/analysis/suppressed_ok.cc", {}},
+        {"src/sim/r9_fire.cc", {"R9"}},
+        {"src/sim/r9_ok.cc", {}},
+        {"src/nn/r9_scope_ok.cc", {}},
+        {"src/sim/multi_allow_ok.cc", {}},
+        {"src/core/rawstring_ok.cc", {}},
+        {"src/runtime/r10_fire.cc", {"R10"}},
+        {"src/runtime/r10_block_fire.cc", {"R10"}},
+        {"src/runtime/r10_ok.cc", {}},
+        // Each half of the cross-file inversion pair is clean alone;
+        // CrossFileLockOrderInversion scans them together.
+        {"src/serve/r10_ab.cc", {}},
+        {"src/core/trace_cache_r10.cc", {}},
+};
+
+/** L1 fixture trees: root dir under fixtures/, message needle. */
+struct LayerCase
+{
+    const char *dir;
+    const char *needle; ///< "" = must lint clean
+};
+const LayerCase kLayerCases[] = {
+    {"l1/cycle", "include cycle"},
+    {"l1/undeclared", "not declared"},
+    {"l1/unused", "no #include behind it"},
+    {"l1/bad", "malformed layer line"},
+    {"l1/ok", ""},
 };
 
 TEST(DiffyLint, EveryFixtureMatchesItsExpectation)
@@ -88,10 +137,16 @@ TEST(DiffyLint, EveryRuleHasFireAndNoFireCoverage)
         if (expected.empty())
             cleanCovered.insert(rel);
     }
+    for (const LayerCase &c : kLayerCases) {
+        if (c.needle[0] == '\0')
+            cleanCovered.insert(c.dir);
+        else
+            fired.insert("L1");
+    }
     for (const auto &rule : diffy::lint::ruleCatalog())
         EXPECT_TRUE(fired.count(rule.id)) << rule.id
                                           << " has no must-fire fixture";
-    // One clean counterpart per rule (r1_ok, r2_ok, rng, r4_ok, r5_ok).
+    // At least one clean counterpart per rule.
     EXPECT_GE(cleanCovered.size(), diffy::lint::ruleCatalog().size());
 }
 
@@ -114,6 +169,12 @@ TEST(DiffyLint, FireFixturesReportExactLines)
     std::vector<Finding> r5 =
         lintTree(fixturesRoot(), {"src/arch/r5_fire.hh"});
     EXPECT_EQ(r5.size(), 2u);
+
+    // The R9 fixture fires once per allocation kind: push_back,
+    // make_unique, new, string decl, to_string, stringstream.
+    std::vector<Finding> r9 =
+        lintTree(fixturesRoot(), {"src/sim/r9_fire.cc"});
+    EXPECT_EQ(r9.size(), 6u);
 }
 
 TEST(DiffyLint, PatternsInsideCommentsAndStringsDoNotFire)
@@ -123,6 +184,34 @@ TEST(DiffyLint, PatternsInsideCommentsAndStringsDoNotFire)
         "const char *s = \"std::mt19937 rand() thread_local\";\n"
         "/* BitReader br; br.read(4); */\n";
     EXPECT_TRUE(lintFile("src/core/strings.cc", contents).empty());
+}
+
+TEST(DiffyLint, RawStringLiteralsAreOpaque)
+{
+    // Plain, prefixed and custom-delimited raw literals are string
+    // content, not code (the v1 scanner's blind spot).
+    EXPECT_TRUE(lintFile("src/core/raw.cc",
+                         "const char *p = R\"(std::mt19937 g(1);)\";\n")
+                    .empty());
+    EXPECT_TRUE(
+        lintFile("src/core/raw.cc",
+                 "const char *p = R\"re(rand(); \" dangling)re\";\n")
+            .empty());
+    EXPECT_TRUE(lintFile("src/core/raw.cc",
+                         "const char *p = u8R\"(_mm_add_ps(a, b))\";\n")
+                    .empty());
+
+    // Code AFTER the literal on the same line is still scanned.
+    std::vector<Finding> after = lintFile(
+        "src/core/raw.cc",
+        "const char *p = R\"(x)\"; std::mt19937 g(1);\n");
+    ASSERT_EQ(after.size(), 1u);
+    EXPECT_EQ(after[0].rule, "R3");
+
+    // An identifier ending in R is not a raw-string prefix.
+    std::vector<Finding> ident = lintFile(
+        "src/core/raw.cc", "int myVarR = 0; std::mt19937 g(1);\n");
+    ASSERT_EQ(ident.size(), 1u);
 }
 
 TEST(DiffyLint, SuppressionCoversSameAndNextLineOnly)
@@ -141,6 +230,51 @@ TEST(DiffyLint, SuppressionCoversSameAndNextLineOnly)
     const std::string wrongRule =
         "std::mt19937 gen(1); // diffy-lint: allow(R4)\n";
     EXPECT_EQ(lintFile("src/core/c.cc", wrongRule).size(), 1u);
+}
+
+TEST(DiffyLint, SuppressionAcceptsMultiRuleLists)
+{
+    // One comma-separated list covers several rules on the marker
+    // line and the next.
+    const std::string body =
+        "void f(int n) {\n"
+        "    for (int i = 0; i < n; ++i) {\n"
+        "        // diffy-lint: allow(R3, R9)\n"
+        "        std::mt19937 g(1); auto p = std::make_unique<int>(i);\n"
+        "    }\n"
+        "}\n";
+    EXPECT_TRUE(lintFile("src/sim/multi.cc", body).empty());
+
+    // Without the marker the same line yields both findings.
+    const std::string bare =
+        "void f(int n) {\n"
+        "    for (int i = 0; i < n; ++i) {\n"
+        "        std::mt19937 g(1); auto p = std::make_unique<int>(i);\n"
+        "    }\n"
+        "}\n";
+    EXPECT_EQ(rulesIn(lintFile("src/sim/multi.cc", bare)),
+              (std::set<std::string>{"R3", "R9"}));
+
+    // A list only suppresses the rules it names.
+    const std::string partial =
+        "void f(int n) {\n"
+        "    for (int i = 0; i < n; ++i) {\n"
+        "        // diffy-lint: allow(R9)\n"
+        "        std::mt19937 g(1); auto p = std::make_unique<int>(i);\n"
+        "    }\n"
+        "}\n";
+    EXPECT_EQ(rulesIn(lintFile("src/sim/multi.cc", partial)),
+              (std::set<std::string>{"R3"}));
+
+    // Two markers on one line both take effect.
+    const std::string twoMarkers =
+        "void f(int n) {\n"
+        "    for (int i = 0; i < n; ++i) {\n"
+        "        // diffy-lint: allow(R3) diffy-lint: allow(R9)\n"
+        "        std::mt19937 g(1); auto p = std::make_unique<int>(i);\n"
+        "    }\n"
+        "}\n";
+    EXPECT_TRUE(lintFile("src/sim/multi.cc", twoMarkers).empty());
 }
 
 TEST(DiffyLint, CanonicalGuardDerivation)
@@ -162,20 +296,351 @@ TEST(DiffyLint, CanonicalGuardDerivation)
               std::string::npos);
 }
 
-TEST(DiffyLint, FullProjectTreeIsClean)
+TEST(DiffyLint, CrossFileLockOrderInversion)
+{
+    // Each file is clean alone (asserted in the expectations table);
+    // scanning both exposes the shard/stats inversion, reported once.
+    std::vector<Finding> findings = lintTree(
+        fixturesRoot(),
+        {"src/serve/r10_ab.cc", "src/core/trace_cache_r10.cc"});
+    ASSERT_EQ(findings.size(), 1u);
+    EXPECT_EQ(findings[0].rule, "R10");
+    EXPECT_NE(findings[0].message.find("inversion"), std::string::npos);
+    // The chain names both participating files.
+    EXPECT_NE(findings[0].message.find("src/serve/r10_ab.cc"),
+              std::string::npos);
+    EXPECT_NE(findings[0].message.find("src/core/trace_cache_r10.cc"),
+              std::string::npos);
+}
+
+TEST(DiffyLint, LayeringFixtureTrees)
+{
+    for (const LayerCase &c : kLayerCases) {
+        const std::string root = fixturesRoot() + "/" + c.dir;
+        TreeOptions options;
+        options.layersFile = root + "/layers.txt";
+        std::vector<Finding> findings =
+            lintTree(root, {"src"}, options, nullptr);
+        if (c.needle[0] == '\0') {
+            EXPECT_TRUE(findings.empty()) << c.dir;
+            continue;
+        }
+        ASSERT_EQ(findings.size(), 1u) << c.dir;
+        EXPECT_EQ(findings[0].rule, "L1") << c.dir;
+        EXPECT_NE(findings[0].message.find(c.needle),
+                  std::string::npos)
+            << c.dir << ": " << findings[0].message;
+    }
+}
+
+TEST(DiffyLint, LayeringUnusedEdgeNeedsFullSrcScan)
+{
+    // A partial scan may simply not have read the file carrying a
+    // declared edge's include, so the unused-edge check stays quiet.
+    const std::string root = fixturesRoot() + "/l1/unused";
+    TreeOptions options;
+    options.layersFile = root + "/layers.txt";
+    std::vector<Finding> partial =
+        lintTree(root, {"src/b/b.hh"}, options, nullptr);
+    EXPECT_TRUE(partial.empty());
+}
+
+/* ------------------------------------------------------------------ */
+/* Baseline                                                            */
+/* ------------------------------------------------------------------ */
+
+TEST(DiffyLintBaseline, ParseSkipsCommentsAndFlagsGarbage)
+{
+    Baseline b = parseBaseline(
+        "# header comment\n"
+        "\n"
+        "src/encode/schemes.cc:183: [R9] some message\n"
+        "not a baseline entry\n"
+        "src/core/x.cc:7: [R10] another\n");
+    ASSERT_EQ(b.entries.size(), 2u);
+    EXPECT_EQ(b.entries[0].file, "src/encode/schemes.cc");
+    EXPECT_EQ(b.entries[0].line, 183);
+    EXPECT_EQ(b.entries[0].rule, "R9");
+    EXPECT_EQ(b.entries[1].rule, "R10");
+    ASSERT_EQ(b.errors.size(), 1u);
+    EXPECT_EQ(b.errors[0].first, 4);
+}
+
+TEST(DiffyLintBaseline, ApplySplitsFreshExcludedStale)
+{
+    Baseline b = parseBaseline(
+        "src/a.cc:1: [R9] old\n"
+        "src/gone.cc:9: [R9] removed since\n");
+    std::vector<Finding> findings = {
+        Finding{"src/a.cc", 1, "R9", "message text may differ"},
+        Finding{"src/b.cc", 2, "R3", "new"},
+    };
+    BaselineSplit split = applyBaseline(findings, b);
+    ASSERT_EQ(split.excluded.size(), 1u);
+    EXPECT_EQ(split.excluded[0].file, "src/a.cc");
+    ASSERT_EQ(split.fresh.size(), 1u);
+    EXPECT_EQ(split.fresh[0].file, "src/b.cc");
+    ASSERT_EQ(split.stale.size(), 1u);
+    EXPECT_EQ(split.stale[0].file, "src/gone.cc");
+}
+
+/* ------------------------------------------------------------------ */
+/* SARIF: minimal JSON parser + parse-back                             */
+/* ------------------------------------------------------------------ */
+
+/** Just enough JSON to parse back what sarifJson() emits. */
+struct Json
+{
+    enum class Kind
+    {
+        Null,
+        Bool,
+        Num,
+        Str,
+        Arr,
+        Obj
+    };
+    Kind kind = Kind::Null;
+    bool boolean = false;
+    double number = 0.0;
+    std::string str;
+    std::vector<Json> arr;
+    std::map<std::string, Json> obj;
+
+    const Json &at(const std::string &key) const { return obj.at(key); }
+    const Json &at(std::size_t i) const { return arr.at(i); }
+};
+
+class JsonParser
+{
+  public:
+    explicit JsonParser(const std::string &text) : text_(text) {}
+
+    Json parse()
+    {
+        Json v = value();
+        ws();
+        if (pos_ != text_.size())
+            throw std::runtime_error("trailing JSON garbage");
+        return v;
+    }
+
+  private:
+    void ws()
+    {
+        while (pos_ < text_.size() &&
+               (text_[pos_] == ' ' || text_[pos_] == '\t' ||
+                text_[pos_] == '\n' || text_[pos_] == '\r'))
+            ++pos_;
+    }
+
+    char next()
+    {
+        if (pos_ >= text_.size())
+            throw std::runtime_error("unexpected end of JSON");
+        return text_[pos_];
+    }
+
+    void expect(char c)
+    {
+        if (next() != c)
+            throw std::runtime_error(std::string("expected '") + c +
+                                     "' at " + std::to_string(pos_));
+        ++pos_;
+    }
+
+    bool consume(char c)
+    {
+        ws();
+        if (pos_ < text_.size() && text_[pos_] == c) {
+            ++pos_;
+            return true;
+        }
+        return false;
+    }
+
+    Json value()
+    {
+        ws();
+        const char c = next();
+        Json v;
+        if (c == '{') {
+            v.kind = Json::Kind::Obj;
+            ++pos_;
+            if (consume('}'))
+                return v;
+            do {
+                ws();
+                std::string key = stringLiteral();
+                ws();
+                expect(':');
+                v.obj[key] = value();
+            } while (consume(','));
+            ws();
+            expect('}');
+        } else if (c == '[') {
+            v.kind = Json::Kind::Arr;
+            ++pos_;
+            if (consume(']'))
+                return v;
+            do {
+                v.arr.push_back(value());
+            } while (consume(','));
+            ws();
+            expect(']');
+        } else if (c == '"') {
+            v.kind = Json::Kind::Str;
+            v.str = stringLiteral();
+        } else if (c == 't' || c == 'f') {
+            v.kind = Json::Kind::Bool;
+            v.boolean = c == 't';
+            pos_ += v.boolean ? 4 : 5;
+        } else if (c == 'n') {
+            pos_ += 4;
+        } else {
+            v.kind = Json::Kind::Num;
+            std::size_t used = 0;
+            v.number = std::stod(text_.substr(pos_), &used);
+            pos_ += used;
+        }
+        return v;
+    }
+
+    std::string stringLiteral()
+    {
+        expect('"');
+        std::string out;
+        while (next() != '"') {
+            char c = text_[pos_++];
+            if (c != '\\') {
+                out += c;
+                continue;
+            }
+            const char esc = next();
+            ++pos_;
+            switch (esc) {
+              case 'n':
+                out += '\n';
+                break;
+              case 'r':
+                out += '\r';
+                break;
+              case 't':
+                out += '\t';
+                break;
+              case 'u': {
+                const unsigned code = static_cast<unsigned>(std::stoul(
+                    text_.substr(pos_, 4), nullptr, 16));
+                pos_ += 4;
+                out += static_cast<char>(code);
+                break;
+              }
+              default:
+                out += esc; // \" \\ \/
+            }
+        }
+        ++pos_; // closing quote
+        return out;
+    }
+
+    const std::string &text_;
+    std::size_t pos_ = 0;
+};
+
+TEST(DiffyLintSarif, ParsesBackInto210Shape)
+{
+    const std::vector<Finding> fresh = {
+        Finding{"src/sim/hot.cc", 7, "R9",
+                "message with \"quotes\", a \\ backslash\nand a newline"},
+    };
+    const std::vector<Finding> baselined = {
+        Finding{"src/encode/schemes.cc", 183, "R9", "pre-existing"},
+    };
+    Json doc =
+        JsonParser(diffy::lint::sarifJson(fresh, baselined)).parse();
+
+    EXPECT_EQ(doc.at("version").str, "2.1.0");
+    EXPECT_NE(doc.at("$schema").str.find("sarif-2.1.0"),
+              std::string::npos);
+    ASSERT_EQ(doc.at("runs").arr.size(), 1u);
+    const Json &run = doc.at("runs").at(0u);
+
+    const Json &driver = run.at("tool").at("driver");
+    EXPECT_EQ(driver.at("name").str, "diffy-lint");
+    const std::vector<diffy::lint::RuleInfo> catalog =
+        diffy::lint::ruleCatalog();
+    ASSERT_EQ(driver.at("rules").arr.size(), catalog.size());
+    for (std::size_t i = 0; i < catalog.size(); ++i) {
+        const Json &rule = driver.at("rules").at(i);
+        EXPECT_EQ(rule.at("id").str, catalog[i].id);
+        EXPECT_EQ(rule.at("shortDescription").at("text").str,
+                  catalog[i].summary);
+    }
+
+    ASSERT_EQ(run.at("results").arr.size(), 2u);
+    const Json &first = run.at("results").at(0u);
+    EXPECT_EQ(first.at("ruleId").str, "R9");
+    // ruleIndex points back at the matching catalog entry.
+    const std::size_t idx =
+        static_cast<std::size_t>(first.at("ruleIndex").number);
+    EXPECT_EQ(driver.at("rules").at(idx).at("id").str, "R9");
+    EXPECT_EQ(first.at("level").str, "error");
+    // The message round-trips through the JSON escaping.
+    EXPECT_EQ(first.at("message").at("text").str, fresh[0].message);
+    const Json &loc =
+        first.at("locations").at(0u).at("physicalLocation");
+    EXPECT_EQ(loc.at("artifactLocation").at("uri").str,
+              "src/sim/hot.cc");
+    EXPECT_EQ(loc.at("artifactLocation").at("uriBaseId").str,
+              "%SRCROOT%");
+    EXPECT_EQ(loc.at("region").at("startLine").number, 7.0);
+    EXPECT_EQ(first.obj.count("suppressions"), 0u);
+
+    // The baselined finding carries an external suppression.
+    const Json &second = run.at("results").at(1u);
+    ASSERT_EQ(second.at("suppressions").arr.size(), 1u);
+    EXPECT_EQ(second.at("suppressions").at(0u).at("kind").str,
+              "external");
+}
+
+TEST(DiffyLintSarif, EmptyResultsStillParse)
+{
+    Json doc = JsonParser(diffy::lint::sarifJson({}, {})).parse();
+    EXPECT_TRUE(
+        doc.at("runs").at(0u).at("results").arr.empty());
+}
+
+/* ------------------------------------------------------------------ */
+/* Whole-tree gate                                                     */
+/* ------------------------------------------------------------------ */
+
+TEST(DiffyLint, FullProjectTreeIsCleanModuloBaseline)
 {
     std::vector<std::string> scanned;
     std::vector<Finding> findings = lintTree(
         sourceRoot(), {"src", "bench", "tests", "tools"}, &scanned);
+    const Baseline baseline = parseBaseline(
+        readFile(sourceRoot() + "/tools/lint/baseline.txt"));
+    EXPECT_TRUE(baseline.errors.empty());
+    const BaselineSplit split = applyBaseline(findings, baseline);
+
     std::string rendered;
-    for (const Finding &f : findings)
+    for (const Finding &f : split.fresh)
         rendered += diffy::lint::formatFinding(f) + "\n";
-    EXPECT_TRUE(findings.empty()) << rendered;
+    EXPECT_TRUE(split.fresh.empty()) << rendered;
+    // The baseline is exact: every entry still matches a finding.
+    for (const auto &e : split.stale)
+        ADD_FAILURE() << "stale baseline entry: " << e.file << ":"
+                      << e.line << " [" << e.rule << "]";
     // The scan actually covered the tree (and skipped the fixtures).
     EXPECT_GT(scanned.size(), 100u);
     for (const std::string &rel : scanned)
         EXPECT_EQ(rel.find("tools/lint/fixtures"), std::string::npos);
 }
+
+/* ------------------------------------------------------------------ */
+/* CLI                                                                 */
+/* ------------------------------------------------------------------ */
 
 /** Exit status of a spawned process, -1 on abnormal termination. */
 int
@@ -197,14 +662,23 @@ TEST(DiffyLintCli, ExitCodesAreAsserted)
     EXPECT_EQ(runBinary("--root " + fixturesRoot() +
                         " src/arch/r5_ok.hh"),
               0);
-    // The real tree -> 0 (the CI gate).
+    // The real tree -> 0 (the CI gate: baseline-excluded findings
+    // are listed on stderr but do not fail the run).
     EXPECT_EQ(runBinary("--root " + sourceRoot() +
                         " src bench tests tools"),
               0);
+    // Without the baseline the same tree has findings -> 1.
+    EXPECT_EQ(runBinary("--root " + sourceRoot() +
+                        " --no-baseline src bench tests tools"),
+              1);
     // A missing path -> 2 (usage/I-O error).
     EXPECT_EQ(runBinary("--root " + fixturesRoot() + " no/such/dir"), 2);
     // Bad flag -> 2.
     EXPECT_EQ(runBinary("--frobnicate"), 2);
+    // A named baseline that does not exist -> 2.
+    EXPECT_EQ(runBinary("--root " + fixturesRoot() +
+                        " --baseline /no/such/baseline.txt src"),
+              2);
 }
 
 TEST(DiffyLintCli, RootAcceptsEqualsForm)
@@ -217,6 +691,46 @@ TEST(DiffyLintCli, RootAcceptsEqualsForm)
     EXPECT_EQ(runBinary("--root=" + fixturesRoot() + " src bench"), 1);
     // An empty value is a usage error, not a scan of "".
     EXPECT_EQ(runBinary("--root= src"), 2);
+}
+
+TEST(DiffyLintCli, ListRulesExitsZero)
+{
+    EXPECT_EQ(runBinary("--list-rules"), 0);
+}
+
+TEST(DiffyLintCli, SarifFlagWritesTheReport)
+{
+    const std::string out = ::testing::TempDir() + "diffy_lint.sarif";
+    std::remove(out.c_str());
+    EXPECT_EQ(runBinary("--root " + fixturesRoot() + " --sarif " + out +
+                        " src/sim/r9_fire.cc"),
+              1);
+    Json doc = JsonParser(readFile(out)).parse();
+    EXPECT_EQ(doc.at("version").str, "2.1.0");
+    EXPECT_EQ(
+        doc.at("runs").at(0u).at("results").arr.size(), 6u);
+    std::remove(out.c_str());
+}
+
+TEST(DiffyLintCli, UpdateBaselineRoundTrips)
+{
+    const std::string baseline =
+        ::testing::TempDir() + "diffy_lint_baseline.txt";
+    std::remove(baseline.c_str());
+    // The fire fixture has findings -> 1 against an empty gate...
+    EXPECT_EQ(runBinary("--root " + fixturesRoot() +
+                        " --no-baseline src/sim/r9_fire.cc"),
+              1);
+    // ...--update-baseline captures them and exits 0...
+    EXPECT_EQ(runBinary("--root " + fixturesRoot() + " --baseline " +
+                        baseline +
+                        " --update-baseline src/sim/r9_fire.cc"),
+              0);
+    // ...after which the same scan is green: everything is excluded.
+    EXPECT_EQ(runBinary("--root " + fixturesRoot() + " --baseline " +
+                        baseline + " src/sim/r9_fire.cc"),
+              0);
+    std::remove(baseline.c_str());
 }
 
 } // namespace

@@ -2,31 +2,72 @@
  * @file
  * diffy-lint CLI.
  *
- *   diffy_lint [--root DIR] [--list-rules] [PATH...]
+ *   diffy_lint [--root DIR] [--list-rules] [--sarif FILE]
+ *              [--baseline FILE | --no-baseline] [--update-baseline]
+ *              [--layers FILE] [PATH...]
  *
  * PATHs (files or directories, relative to --root, default ".") are
  * scanned for .cc/.hh files; with no PATH the project default
- * `src bench tests tools` is used. Exit status: 0 clean, 1 findings,
- * 2 usage or I/O error — CI treats any nonzero as a failed gate.
+ * `src bench tests tools` is used (pruned to the subset that exists
+ * under --root, so `--root src` scans the src tree directly).
+ *
+ * The baseline (default: <root>/tools/lint/baseline.txt, falling back
+ * to <root>/../tools/lint/baseline.txt, skipped when absent) excludes
+ * pre-existing findings from the gate: they are still listed
+ * explicitly on stderr, and carried as suppressed results in the
+ * SARIF output, but only NON-baselined findings fail the run.
+ * `--update-baseline` rewrites the baseline to the current findings.
+ *
+ * Exit status: 0 clean (baseline-excluded findings allowed),
+ * 1 non-baselined findings, 2 usage or I/O error — CI treats any
+ * nonzero as a failed gate.
  */
 
 #include <cstdio>
 #include <exception>
+#include <filesystem>
+#include <fstream>
 #include <string>
 #include <vector>
 
 #include "lint.hh"
+#include "sarif.hh"
 
 namespace
 {
 
+namespace fs = std::filesystem;
+
 int
 usage(const char *argv0)
 {
-    std::fprintf(stderr,
-                 "usage: %s [--root DIR] [--list-rules] [PATH...]\n",
-                 argv0);
+    std::fprintf(
+        stderr,
+        "usage: %s [--root DIR] [--list-rules] [--sarif FILE]\n"
+        "          [--baseline FILE | --no-baseline] "
+        "[--update-baseline]\n"
+        "          [--layers FILE] [PATH...]\n",
+        argv0);
     return 2;
+}
+
+/** `--flag value` / `--flag=value` into @p out; -1 error, 0 no, 1 yes. */
+int
+flagValue(int argc, char **argv, int &i, const std::string &flag,
+          std::string &out)
+{
+    const std::string arg = argv[i];
+    if (arg == flag) {
+        if (i + 1 >= argc)
+            return -1;
+        out = argv[++i];
+        return out.empty() ? -1 : 1;
+    }
+    if (arg.rfind(flag + "=", 0) == 0) {
+        out = arg.substr(flag.size() + 1);
+        return out.empty() ? -1 : 1;
+    }
+    return 0;
 }
 
 } // namespace
@@ -35,21 +76,38 @@ int
 main(int argc, char **argv)
 {
     std::string root = ".";
+    std::string sarifPath;
+    std::string baselinePath;
+    std::string layersPath;
     std::vector<std::string> paths;
     bool listRules = false;
+    bool noBaseline = false;
+    bool updateBaseline = false;
 
     for (int i = 1; i < argc; ++i) {
         const std::string arg = argv[i];
-        if (arg == "--root") {
-            if (i + 1 >= argc)
+        int got;
+        if ((got = flagValue(argc, argv, i, "--root", root)) != 0) {
+            if (got < 0)
                 return usage(argv[0]);
-            root = argv[++i];
-        } else if (arg.rfind("--root=", 0) == 0) {
-            root = arg.substr(std::string("--root=").size());
-            if (root.empty())
+        } else if ((got = flagValue(argc, argv, i, "--sarif",
+                                    sarifPath)) != 0) {
+            if (got < 0)
+                return usage(argv[0]);
+        } else if ((got = flagValue(argc, argv, i, "--baseline",
+                                    baselinePath)) != 0) {
+            if (got < 0)
+                return usage(argv[0]);
+        } else if ((got = flagValue(argc, argv, i, "--layers",
+                                    layersPath)) != 0) {
+            if (got < 0)
                 return usage(argv[0]);
         } else if (arg == "--list-rules") {
             listRules = true;
+        } else if (arg == "--no-baseline") {
+            noBaseline = true;
+        } else if (arg == "--update-baseline") {
+            updateBaseline = true;
         } else if (arg == "--help" || arg == "-h") {
             usage(argv[0]);
             return 0;
@@ -67,19 +125,118 @@ main(int argc, char **argv)
         return 0;
     }
 
-    if (paths.empty())
-        paths = {"src", "bench", "tests", "tools"};
+    if (paths.empty()) {
+        // Project default, pruned to what exists under --root so
+        // `--root src` degrades to scanning the src tree itself.
+        for (const char *p : {"src", "bench", "tests", "tools"})
+            if (fs::is_directory(fs::path(root) / p))
+                paths.push_back(p);
+        if (paths.empty())
+            paths = {"."};
+    }
 
     try {
+        diffy::lint::TreeOptions options;
+        options.layersFile = layersPath;
         std::vector<std::string> scanned;
         const std::vector<diffy::lint::Finding> findings =
-            diffy::lint::lintTree(root, paths, &scanned);
-        for (const auto &finding : findings)
+            diffy::lint::lintTree(root, paths, options, &scanned);
+
+        // Resolve the baseline: explicit path, or the checked-in
+        // default next to the layer DAG.
+        fs::path baselineFile;
+        if (!baselinePath.empty()) {
+            baselineFile = baselinePath;
+            if (!updateBaseline &&
+                !fs::is_regular_file(baselineFile))
+                throw std::runtime_error(
+                    "diffy-lint: no such baseline: " + baselinePath);
+        } else if (!noBaseline) {
+            for (const fs::path &candidate :
+                 {fs::path(root) / "tools/lint/baseline.txt",
+                  fs::path(root) / ".." / "tools/lint/baseline.txt"}) {
+                if (fs::is_regular_file(candidate)) {
+                    baselineFile = candidate;
+                    break;
+                }
+            }
+        }
+
+        if (updateBaseline) {
+            if (baselineFile.empty())
+                baselineFile =
+                    fs::path(root) / "tools/lint/baseline.txt";
+            std::ofstream out(baselineFile, std::ios::binary);
+            if (!out)
+                throw std::runtime_error(
+                    "diffy-lint: cannot write baseline " +
+                    baselineFile.string());
+            out << "# diffy-lint baseline: pre-existing findings "
+                   "excluded from the gate.\n"
+                   "# One formatFinding() line each (file:line: "
+                   "[rule] message); only file, line\n"
+                   "# and rule match. Burn entries down; regenerate "
+                   "with --update-baseline.\n";
+            for (const auto &finding : findings)
+                out << diffy::lint::formatFinding(finding) << "\n";
+            std::fprintf(stderr,
+                         "diffy-lint: wrote %zu baseline entr%s to "
+                         "%s\n",
+                         findings.size(),
+                         findings.size() == 1 ? "y" : "ies",
+                         baselineFile.string().c_str());
+            return 0;
+        }
+
+        diffy::lint::Baseline baseline;
+        if (!noBaseline && !baselineFile.empty()) {
+            std::ifstream in(baselineFile, std::ios::binary);
+            std::string contents(
+                (std::istreambuf_iterator<char>(in)),
+                std::istreambuf_iterator<char>());
+            baseline = diffy::lint::parseBaseline(contents);
+            for (const auto &[line, text] : baseline.errors)
+                std::fprintf(stderr,
+                             "diffy-lint: malformed baseline entry "
+                             "%s:%d: %s\n",
+                             baselineFile.string().c_str(), line,
+                             text.c_str());
+        }
+        const diffy::lint::BaselineSplit split =
+            diffy::lint::applyBaseline(findings, baseline);
+
+        for (const auto &finding : split.fresh)
             std::printf("%s\n",
                         diffy::lint::formatFinding(finding).c_str());
-        std::fprintf(stderr, "diffy-lint: %zu file(s), %zu finding(s)\n",
-                     scanned.size(), findings.size());
-        return findings.empty() ? 0 : 1;
+        for (const auto &finding : split.excluded)
+            std::fprintf(
+                stderr, "baselined: %s\n",
+                diffy::lint::formatFinding(finding).c_str());
+        for (const auto &entry : split.stale)
+            std::fprintf(stderr,
+                         "diffy-lint: stale baseline entry (line %d: "
+                         "%s:%d [%s]) matches nothing — remove it\n",
+                         entry.specLine, entry.file.c_str(),
+                         entry.line, entry.rule.c_str());
+
+        if (!sarifPath.empty()) {
+            std::ofstream out(sarifPath, std::ios::binary);
+            if (!out)
+                throw std::runtime_error(
+                    "diffy-lint: cannot write SARIF file " +
+                    sarifPath);
+            out << diffy::lint::sarifJson(split.fresh,
+                                          split.excluded);
+        }
+
+        std::fprintf(stderr,
+                     "diffy-lint: %zu file(s), %zu finding(s), %zu "
+                     "baseline-excluded, %zu stale baseline "
+                     "entr%s\n",
+                     scanned.size(), split.fresh.size(),
+                     split.excluded.size(), split.stale.size(),
+                     split.stale.size() == 1 ? "y" : "ies");
+        return split.fresh.empty() ? 0 : 1;
     } catch (const std::exception &e) {
         std::fprintf(stderr, "%s\n", e.what());
         return 2;

@@ -1,0 +1,365 @@
+#include "model.hh"
+
+#include <algorithm>
+#include <cctype>
+#include <regex>
+
+namespace diffy::lint
+{
+
+namespace
+{
+
+/* ------------------------------------------------------------------ */
+/* Includes (from RAW lines: the sanitizer blanks the quoted path)     */
+/* ------------------------------------------------------------------ */
+
+void
+harvestIncludes(const std::vector<std::string> &raw_lines,
+                FileModel &model)
+{
+    static const std::regex inc(
+        R"re(^\s*#\s*include\s*"([^"]+)")re");
+    for (std::size_t li = 0; li < raw_lines.size(); ++li) {
+        std::smatch m;
+        if (std::regex_search(raw_lines[li], m, inc))
+            model.includes.push_back(
+                IncludeSite{static_cast<int>(li) + 1, m[1].str()});
+    }
+}
+
+/* ------------------------------------------------------------------ */
+/* Allocation / growth sites (loop-depth aware)                        */
+/* ------------------------------------------------------------------ */
+
+void
+harvestGrowth(const std::vector<std::string> &lines, FileModel &model)
+{
+    static const std::regex newExpr(R"(\bnew\s+[A-Za-z_(])");
+    static const std::regex makeX(R"(\bmake_(unique|shared)\s*<)");
+    static const std::regex containerGrowth(
+        R"(([A-Za-z_]\w*(?:(?:\.|->)[A-Za-z_]\w*)*)\s*(?:\.|->)\s*(push_back|emplace_back|resize|reserve)\s*\()");
+    static const std::regex stringDecl(
+        R"(\bstring\s+([A-Za-z_]\w*))");
+    static const std::regex toString(R"(\bto_string\s*\()");
+    static const std::regex sstreamDecl(
+        R"(\b[io]?stringstream\s+([A-Za-z_]\w*))");
+
+    LoopTracker tracker;
+    for (std::size_t li = 0; li < lines.size(); ++li) {
+        const std::string &line = lines[li];
+        const int lineNo = static_cast<int>(li) + 1;
+        const std::vector<int> depth = tracker.depths(line);
+        auto depthAt = [&](std::ptrdiff_t pos) {
+            return depth[static_cast<std::size_t>(pos)];
+        };
+
+        for (auto it = std::sregex_iterator(line.begin(), line.end(),
+                                            containerGrowth);
+             it != std::sregex_iterator(); ++it) {
+            const std::string chain = (*it)[1].str();
+            const std::string call = (*it)[2].str();
+            const int d = depthAt(it->position());
+            if (d == 0) {
+                if (call == "reserve" || call == "resize")
+                    model.presized.insert(chain);
+                continue;
+            }
+            model.growth.push_back(
+                GrowthSite{lineNo, call, chain, d});
+        }
+
+        auto scanSimple = [&](const std::regex &re,
+                              const char *kind, int group) {
+            for (auto it = std::sregex_iterator(line.begin(),
+                                                line.end(), re);
+                 it != std::sregex_iterator(); ++it) {
+                const int d = depthAt(it->position());
+                if (d == 0)
+                    continue;
+                std::string what =
+                    group >= 0 ? (*it)[group].str() : it->str();
+                model.growth.push_back(
+                    GrowthSite{lineNo, kind, std::move(what), d});
+            }
+        };
+        scanSimple(newExpr, "new", -1);
+        scanSimple(makeX, "make_unique", 1);
+        scanSimple(toString, "to_string", -1);
+        scanSimple(sstreamDecl, "ostringstream", 1);
+
+        for (auto it = std::sregex_iterator(line.begin(), line.end(),
+                                            stringDecl);
+             it != std::sregex_iterator(); ++it) {
+            const int d = depthAt(it->position());
+            if (d == 0)
+                continue;
+            // `string name(...)` / `string name() const` is a
+            // function declaration, not a buffer build.
+            std::size_t after =
+                static_cast<std::size_t>(it->position()) +
+                it->str().size();
+            while (after < line.size() &&
+                   std::isspace(static_cast<unsigned char>(
+                       line[after])))
+                ++after;
+            if (after < line.size() && line[after] == '(')
+                continue;
+            model.growth.push_back(
+                GrowthSite{lineNo, "string", (*it)[1].str(), d});
+        }
+    }
+}
+
+/* ------------------------------------------------------------------ */
+/* Lock acquisitions, ordering edges and blocking-while-locked         */
+/* ------------------------------------------------------------------ */
+
+/** `this->mu_`, `shard->mutex`, `&r.mutex` → `mu_`, `mutex`, `mutex`. */
+std::string
+normalizeMutexName(std::string arg)
+{
+    arg.erase(std::remove_if(arg.begin(), arg.end(),
+                             [](unsigned char c) {
+                                 return std::isspace(c) != 0;
+                             }),
+              arg.end());
+    while (!arg.empty() && (arg.front() == '&' || arg.front() == '*'))
+        arg.erase(arg.begin());
+    std::size_t pos;
+    while ((pos = arg.find("->")) != std::string::npos)
+        arg = arg.substr(pos + 2);
+    while ((pos = arg.find('.')) != std::string::npos)
+        arg = arg.substr(pos + 1);
+    return arg;
+}
+
+bool
+isLockTag(const std::string &arg)
+{
+    return arg.find("adopt_lock") != std::string::npos ||
+           arg.find("defer_lock") != std::string::npos ||
+           arg.find("try_to_lock") != std::string::npos;
+}
+
+void
+harvestLocks(const std::vector<std::string> &lines, FileModel &model)
+{
+    // One guard scope: an RAII guard variable (or a bare
+    // `mu.lock()`), the normalized mutex it holds, and the brace
+    // depth its scope dies at. `lock.unlock()` deactivates it early,
+    // `lock.lock()` re-arms it (the trace-cache drop-the-lock-before-
+    // blocking idiom).
+    struct Guard
+    {
+        std::string var;
+        std::string mutex;
+        int depth = 0;
+        bool active = true;
+    };
+
+    static const std::regex guardDecl(
+        R"(\b(lock_guard|unique_lock|scoped_lock|shared_lock)\s*(?:<[^;{}<>]*(?:<[^<>]*>)?[^;{}<>]*>)?\s+([A-Za-z_]\w*)\s*\(([^;{}]*)\))");
+    static const std::regex memberCall(
+        R"(([A-Za-z_]\w*(?:(?:\.|->)[A-Za-z_]\w*)*)\s*(?:\.|->)\s*(lock|unlock)\s*\(\s*\))");
+    // Calls that block the calling thread. Condition-variable waits
+    // are deliberately absent: cv.wait(lock) releases the lock while
+    // blocked, which is the sanctioned pattern.
+    static const std::regex blockingCall(
+        R"(\b(sleep_for|sleep_until|fopen|getline|system)\s*\(|\b([A-Za-z_]\w*(?:(?:\.|->)[A-Za-z_]\w*)*)\s*(?:\.|->)\s*(join)\s*\(\s*\)|\b([io]?fstream)\s+[A-Za-z_]\w*\s*\()");
+
+    enum class Kind
+    {
+        Acquire,
+        MemberLock,
+        MemberUnlock,
+        Blocking,
+    };
+    struct Event
+    {
+        std::size_t col = 0;
+        Kind kind = Kind::Acquire;
+        std::string var;                  ///< guard/object name
+        std::vector<std::string> mutexes; ///< normalized args
+        std::string call;                 ///< blocking callee
+    };
+
+    std::vector<Guard> guards;
+    int braceDepth = 0;
+
+    for (std::size_t li = 0; li < lines.size(); ++li) {
+        const std::string &line = lines[li];
+        const int lineNo = static_cast<int>(li) + 1;
+
+        std::vector<Event> events;
+        for (auto it = std::sregex_iterator(line.begin(), line.end(),
+                                            guardDecl);
+             it != std::sregex_iterator(); ++it) {
+            Event e;
+            e.col = static_cast<std::size_t>(it->position());
+            e.kind = Kind::Acquire;
+            e.var = (*it)[2].str();
+            std::string args = (*it)[3].str();
+            std::string::size_type start = 0;
+            while (start <= args.size()) {
+                std::string::size_type comma = args.find(',', start);
+                std::string one =
+                    comma == std::string::npos
+                        ? args.substr(start)
+                        : args.substr(start, comma - start);
+                if (!one.empty() && !isLockTag(one)) {
+                    std::string norm = normalizeMutexName(one);
+                    if (!norm.empty())
+                        e.mutexes.push_back(std::move(norm));
+                }
+                if (comma == std::string::npos)
+                    break;
+                start = comma + 1;
+            }
+            if (!e.mutexes.empty())
+                events.push_back(std::move(e));
+        }
+        for (auto it = std::sregex_iterator(line.begin(), line.end(),
+                                            memberCall);
+             it != std::sregex_iterator(); ++it) {
+            Event e;
+            e.col = static_cast<std::size_t>(it->position());
+            e.kind = (*it)[2].str() == "lock" ? Kind::MemberLock
+                                              : Kind::MemberUnlock;
+            e.var = (*it)[1].str();
+            events.push_back(std::move(e));
+        }
+        for (auto it = std::sregex_iterator(line.begin(), line.end(),
+                                            blockingCall);
+             it != std::sregex_iterator(); ++it) {
+            Event e;
+            e.col = static_cast<std::size_t>(it->position());
+            e.kind = Kind::Blocking;
+            for (int g : {1, 3, 4}) {
+                if ((*it)[static_cast<std::size_t>(g)].matched) {
+                    e.call = (*it)[static_cast<std::size_t>(g)].str();
+                    break;
+                }
+            }
+            events.push_back(std::move(e));
+        }
+        std::sort(events.begin(), events.end(),
+                  [](const Event &a, const Event &b) {
+                      return a.col < b.col;
+                  });
+
+        auto acquire = [&](const std::vector<std::string> &mutexes,
+                           const std::string &var) {
+            for (const std::string &m : mutexes) {
+                for (const Guard &g : guards) {
+                    if (g.active && g.mutex != m)
+                        model.lockEdges.push_back(
+                            LockOrderEdge{lineNo, g.mutex, m});
+                }
+                model.mutexes.insert(m);
+            }
+            // A scoped_lock's mutexes are acquired atomically — the
+            // guards land after the edges so no intra-decl edge forms.
+            for (const std::string &m : mutexes)
+                guards.push_back(Guard{var, m, braceDepth, true});
+        };
+
+        std::size_t next = 0;
+        for (std::size_t col = 0; col <= line.size(); ++col) {
+            while (next < events.size() && events[next].col == col) {
+                const Event &e = events[next];
+                ++next;
+                switch (e.kind) {
+                  case Kind::Acquire:
+                    acquire(e.mutexes, e.var);
+                    break;
+                  case Kind::MemberLock: {
+                    bool rearmed = false;
+                    for (Guard &g : guards) {
+                        if (g.var == e.var && !g.active) {
+                            g.active = true;
+                            rearmed = true;
+                            // Re-locking while other locks are held
+                            // is an acquisition for ordering purposes.
+                            for (const Guard &h : guards)
+                                if (h.active && h.mutex != g.mutex &&
+                                    &h != &g)
+                                    model.lockEdges.push_back(
+                                        LockOrderEdge{lineNo, h.mutex,
+                                                      g.mutex});
+                            break;
+                        }
+                    }
+                    if (!rearmed) {
+                        bool isGuardVar = false;
+                        for (const Guard &g : guards)
+                            if (g.var == e.var && g.active)
+                                isGuardVar = true;
+                        if (!isGuardVar)
+                            acquire({normalizeMutexName(e.var)},
+                                    e.var);
+                    }
+                    break;
+                  }
+                  case Kind::MemberUnlock: {
+                    const std::string norm =
+                        normalizeMutexName(e.var);
+                    for (Guard &g : guards) {
+                        if (g.active &&
+                            (g.var == e.var || g.mutex == norm)) {
+                            g.active = false;
+                            break;
+                        }
+                    }
+                    break;
+                  }
+                  case Kind::Blocking: {
+                    for (const Guard &g : guards) {
+                        if (g.active) {
+                            model.blocking.push_back(BlockingSite{
+                                lineNo, e.call, g.mutex});
+                            break;
+                        }
+                    }
+                    break;
+                  }
+                }
+            }
+            if (col == line.size())
+                break;
+            const char c = line[col];
+            if (c == '{') {
+                ++braceDepth;
+            } else if (c == '}') {
+                guards.erase(
+                    std::remove_if(guards.begin(), guards.end(),
+                                   [&](const Guard &g) {
+                                       return g.depth >= braceDepth;
+                                   }),
+                    guards.end());
+                --braceDepth;
+                if (braceDepth < 0)
+                    braceDepth = 0;
+            }
+        }
+    }
+}
+
+} // namespace
+
+FileModel
+buildFileModel(const std::string &rel_path,
+               const std::string &contents)
+{
+    FileModel model;
+    model.relPath = rel_path;
+    model.rawLines = splitLines(contents);
+    model.lines = splitLines(sanitize(contents));
+    model.allow = Suppressions(model.rawLines);
+    harvestIncludes(model.rawLines, model);
+    harvestGrowth(model.lines, model);
+    harvestLocks(model.lines, model);
+    return model;
+}
+
+} // namespace diffy::lint

@@ -1,0 +1,92 @@
+/**
+ * @file
+ * diffy-lint pass 1: the per-file model.
+ *
+ * `buildFileModel()` parses one source file into a lightweight,
+ * policy-free fact base — include edges, in-loop allocation sites,
+ * lock-acquisition order and blocking calls made while a lock is
+ * held. Pass 2 (analyses.hh) interprets these facts: per-file rules
+ * read one model, cross-file analyses (include-graph layering, the
+ * lock-order graph) read the whole tree's models at once. The model
+ * records everything it sees regardless of path; rule path scopes are
+ * policy and live with the analyses.
+ */
+
+#ifndef DIFFY_TOOLS_LINT_MODEL_HH
+#define DIFFY_TOOLS_LINT_MODEL_HH
+
+#include <set>
+#include <string>
+#include <vector>
+
+#include "scanner.hh"
+
+namespace diffy::lint
+{
+
+/** One `#include "..."` directive (system includes are not modeled). */
+struct IncludeSite
+{
+    int line = 0;        ///< 1-based
+    std::string target;  ///< the quoted path, verbatim
+};
+
+/** One heap-allocation / container-growth / string-build site. */
+struct GrowthSite
+{
+    int line = 0;
+    /// "new" | "make_unique" | "make_shared" | "push_back" |
+    /// "emplace_back" | "resize" | "reserve" | "string" | "to_string"
+    /// | "ostringstream"
+    std::string kind;
+    std::string what;    ///< object chain (`result.layers`) or detail
+    int loopDepth = 0;   ///< enclosing loop-body depth at the site
+};
+
+/**
+ * One lock-order edge: @c held was already held when @c acquired was
+ * taken. Mutex names are normalized to their last path component
+ * (`this->mu_`, `shard->mutex` → `mu_`, `mutex`) so the cross-file
+ * graph unifies member mutexes by name.
+ */
+struct LockOrderEdge
+{
+    int line = 0;            ///< line of the inner acquisition
+    std::string held;
+    std::string acquired;
+};
+
+/** One known-blocking call made while at least one lock was held. */
+struct BlockingSite
+{
+    int line = 0;
+    std::string call;        ///< the matched blocking callee
+    std::string heldMutex;   ///< one of the mutexes held at the call
+};
+
+/** Everything pass 1 knows about one file. */
+struct FileModel
+{
+    std::string relPath;
+    std::vector<std::string> rawLines;  ///< verbatim source lines
+    std::vector<std::string> lines;     ///< sanitized (scanner.hh)
+    Suppressions allow;                 ///< parsed from rawLines
+
+    std::vector<IncludeSite> includes;
+    std::vector<GrowthSite> growth;     ///< only sites with loopDepth>0
+    /// Objects `.reserve()`d / `.resize()`d at loop depth 0 somewhere
+    /// in the file — the pre-sized-append exemption for R9.
+    std::set<std::string> presized;
+    std::vector<LockOrderEdge> lockEdges;
+    std::vector<BlockingSite> blocking;
+    /// Every distinct normalized mutex name acquired in this file.
+    std::set<std::string> mutexes;
+};
+
+/** Parse @p contents (as @p rel_path) into its fact base. */
+FileModel buildFileModel(const std::string &rel_path,
+                         const std::string &contents);
+
+} // namespace diffy::lint
+
+#endif // DIFFY_TOOLS_LINT_MODEL_HH

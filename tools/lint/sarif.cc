@@ -1,0 +1,150 @@
+#include "sarif.hh"
+
+#include <cstdio>
+#include <map>
+#include <sstream>
+
+namespace diffy::lint
+{
+
+std::string
+jsonEscape(const std::string &text)
+{
+    std::string out;
+    out.reserve(text.size() + 8);
+    for (char c : text) {
+        switch (c) {
+          case '"':
+            out += "\\\"";
+            break;
+          case '\\':
+            out += "\\\\";
+            break;
+          case '\n':
+            out += "\\n";
+            break;
+          case '\r':
+            out += "\\r";
+            break;
+          case '\t':
+            out += "\\t";
+            break;
+          default:
+            if (static_cast<unsigned char>(c) < 0x20) {
+                char buf[8];
+                std::snprintf(buf, sizeof buf, "\\u%04x",
+                              static_cast<unsigned>(
+                                  static_cast<unsigned char>(c)));
+                out += buf;
+            } else {
+                out += c;
+            }
+        }
+    }
+    return out;
+}
+
+namespace
+{
+
+void
+appendResult(std::ostringstream &os, const Finding &finding,
+             const std::map<std::string, std::size_t> &ruleIndex,
+             bool baselined, bool first)
+{
+    if (!first)
+        os << ",";
+    os << "\n      {\n"
+       << "        \"ruleId\": \"" << jsonEscape(finding.rule)
+       << "\",\n";
+    auto it = ruleIndex.find(finding.rule);
+    if (it != ruleIndex.end())
+        os << "        \"ruleIndex\": " << it->second << ",\n";
+    os << "        \"level\": \"error\",\n"
+       << "        \"message\": { \"text\": \""
+       << jsonEscape(finding.message) << "\" },\n"
+       << "        \"locations\": [\n"
+       << "          {\n"
+       << "            \"physicalLocation\": {\n"
+       << "              \"artifactLocation\": {\n"
+       << "                \"uri\": \"" << jsonEscape(finding.file)
+       << "\",\n"
+       << "                \"uriBaseId\": \"%SRCROOT%\"\n"
+       << "              },\n"
+       << "              \"region\": { \"startLine\": "
+       << (finding.line > 0 ? finding.line : 1) << " }\n"
+       << "            }\n"
+       << "          }\n"
+       << "        ]";
+    if (baselined) {
+        os << ",\n        \"suppressions\": [\n"
+           << "          {\n"
+           << "            \"kind\": \"external\",\n"
+           << "            \"justification\": \"listed in "
+              "tools/lint/baseline.txt (pre-existing finding under "
+              "burn-down)\"\n"
+           << "          }\n"
+           << "        ]";
+    }
+    os << "\n      }";
+}
+
+} // namespace
+
+std::string
+sarifJson(const std::vector<Finding> &fresh,
+          const std::vector<Finding> &baselined)
+{
+    const std::vector<RuleInfo> rules = ruleCatalog();
+    std::map<std::string, std::size_t> ruleIndex;
+    for (std::size_t i = 0; i < rules.size(); ++i)
+        ruleIndex[rules[i].id] = i;
+
+    std::ostringstream os;
+    os << "{\n"
+       << "  \"$schema\": "
+          "\"https://json.schemastore.org/sarif-2.1.0.json\",\n"
+       << "  \"version\": \"2.1.0\",\n"
+       << "  \"runs\": [\n"
+       << "    {\n"
+       << "      \"tool\": {\n"
+       << "        \"driver\": {\n"
+       << "          \"name\": \"diffy-lint\",\n"
+       << "          \"version\": \"2.0.0\",\n"
+       << "          \"informationUri\": "
+          "\"https://example.invalid/diffy/DESIGN.md\",\n"
+       << "          \"rules\": [";
+    for (std::size_t i = 0; i < rules.size(); ++i) {
+        if (i > 0)
+            os << ",";
+        os << "\n            {\n"
+           << "              \"id\": \"" << jsonEscape(rules[i].id)
+           << "\",\n"
+           << "              \"shortDescription\": { \"text\": \""
+           << jsonEscape(rules[i].summary) << "\" }\n"
+           << "            }";
+    }
+    os << "\n          ]\n"
+       << "        }\n"
+       << "      },\n"
+       << "      \"results\": [";
+    bool first = true;
+    for (const Finding &f : fresh) {
+        appendResult(os, f, ruleIndex, false, first);
+        first = false;
+    }
+    for (const Finding &f : baselined) {
+        appendResult(os, f, ruleIndex, true, first);
+        first = false;
+    }
+    if (first)
+        os << "]";
+    else
+        os << "\n      ]";
+    os << "\n    }\n"
+       << "  ]\n"
+       << "}\n";
+    return os.str();
+}
+
+} // namespace diffy::lint

@@ -1,0 +1,33 @@
+/**
+ * @file
+ * SARIF 2.1.0 output for diffy-lint, the interchange format GitHub
+ * code scanning consumes to annotate PRs. One run, one driver
+ * ("diffy-lint"), the full rule catalogue as reportingDescriptors,
+ * one result per finding with a physicalLocation region. Baselined
+ * findings are included with a `suppressions` entry (kind
+ * "external"), so code scanning shows them as suppressed instead of
+ * annotating them — the burn-down list stays visible without failing
+ * the gate.
+ */
+
+#ifndef DIFFY_TOOLS_LINT_SARIF_HH
+#define DIFFY_TOOLS_LINT_SARIF_HH
+
+#include <string>
+#include <vector>
+
+#include "lint.hh"
+
+namespace diffy::lint
+{
+
+/** The complete SARIF document as a JSON string (trailing newline). */
+std::string sarifJson(const std::vector<Finding> &fresh,
+                      const std::vector<Finding> &baselined);
+
+/** JSON string-escape (quotes, backslashes, control chars). */
+std::string jsonEscape(const std::string &text);
+
+} // namespace diffy::lint
+
+#endif // DIFFY_TOOLS_LINT_SARIF_HH

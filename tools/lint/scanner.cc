@@ -1,0 +1,271 @@
+#include "scanner.hh"
+
+#include <algorithm>
+#include <cctype>
+#include <regex>
+#include <sstream>
+
+namespace diffy::lint
+{
+
+namespace
+{
+
+/**
+ * If the `"` at @p quote opens a raw string literal, return the length
+ * of the encoding-prefix+R run that precedes it (1 for `R"`, 2 for
+ * `uR"`/`UR"`/`LR"`, 3 for `u8R"`); 0 when this is an ordinary string.
+ * The character before the prefix must not be an identifier character
+ * (`FOOBAR"x"` is macro-concatenation of an identifier, not a raw
+ * string).
+ */
+std::size_t
+rawPrefixLength(const std::string &text, std::size_t quote)
+{
+    static const char *prefixes[] = {"u8R", "uR", "UR", "LR", "R"};
+    for (const char *p : prefixes) {
+        const std::size_t n = std::string(p).size();
+        if (quote < n)
+            continue;
+        if (text.compare(quote - n, n, p) != 0)
+            continue;
+        if (quote > n) {
+            const char before = text[quote - n - 1];
+            if (std::isalnum(static_cast<unsigned char>(before)) ||
+                before == '_')
+                continue;
+        }
+        return n;
+    }
+    return 0;
+}
+
+} // namespace
+
+std::string
+sanitize(const std::string &text)
+{
+    enum class State
+    {
+        Code,
+        LineComment,
+        BlockComment,
+        String,
+        Char,
+    };
+    std::string out(text);
+    State state = State::Code;
+    for (std::size_t i = 0; i < text.size(); ++i) {
+        const char c = text[i];
+        const char next = i + 1 < text.size() ? text[i + 1] : '\0';
+        switch (state) {
+          case State::Code:
+            if (c == '/' && next == '/') {
+                state = State::LineComment;
+                out[i] = out[i + 1] = ' ';
+                ++i;
+            } else if (c == '/' && next == '*') {
+                state = State::BlockComment;
+                out[i] = out[i + 1] = ' ';
+                ++i;
+            } else if (c == '"') {
+                // Raw strings are blanked as a unit: find the
+                // `R"delim(` opener, then the matching `)delim"`
+                // terminator. Nothing inside — quotes, escapes,
+                // comment markers — re-enters Code state.
+                if (rawPrefixLength(text, i) > 0) {
+                    std::size_t open = text.find('(', i + 1);
+                    // A raw-string delimiter is at most 16 chars and
+                    // contains no whitespace; anything else means the
+                    // `"` was ordinary after all.
+                    if (open != std::string::npos && open - i <= 17) {
+                        const std::string delim =
+                            text.substr(i + 1, open - i - 1);
+                        const std::string closer = ")" + delim + "\"";
+                        std::size_t end = text.find(closer, open + 1);
+                        std::size_t stop =
+                            end == std::string::npos
+                                ? text.size()
+                                : end + closer.size();
+                        for (std::size_t j = i; j < stop; ++j) {
+                            if (text[j] != '\n')
+                                out[j] = ' ';
+                        }
+                        i = stop - 1;
+                        break;
+                    }
+                }
+                state = State::String;
+            } else if (c == '\'') {
+                state = State::Char;
+            }
+            break;
+          case State::LineComment:
+            if (c == '\n')
+                state = State::Code;
+            else
+                out[i] = ' ';
+            break;
+          case State::BlockComment:
+            if (c == '*' && next == '/') {
+                out[i] = out[i + 1] = ' ';
+                state = State::Code;
+                ++i;
+            } else if (c != '\n') {
+                out[i] = ' ';
+            }
+            break;
+          case State::String:
+          case State::Char:
+            if (c == '\\' && next != '\0' && next != '\n') {
+                out[i] = ' ';
+                out[i + 1] = ' ';
+                ++i;
+            } else if ((state == State::String && c == '"') ||
+                       (state == State::Char && c == '\'')) {
+                state = State::Code;
+            } else if (c != '\n') {
+                out[i] = ' ';
+            }
+            break;
+        }
+    }
+    return out;
+}
+
+std::vector<std::string>
+splitLines(const std::string &text)
+{
+    std::vector<std::string> lines;
+    std::string::size_type start = 0;
+    while (start <= text.size()) {
+        std::string::size_type end = text.find('\n', start);
+        if (end == std::string::npos) {
+            lines.push_back(text.substr(start));
+            break;
+        }
+        lines.push_back(text.substr(start, end - start));
+        start = end + 1;
+    }
+    return lines;
+}
+
+bool
+startsWith(const std::string &s, const std::string &prefix)
+{
+    return s.rfind(prefix, 0) == 0;
+}
+
+bool
+endsWith(const std::string &s, const std::string &suffix)
+{
+    return s.size() >= suffix.size() &&
+           s.compare(s.size() - suffix.size(), suffix.size(), suffix) ==
+               0;
+}
+
+Suppressions::Suppressions(const std::vector<std::string> &raw_lines)
+{
+    static const std::regex pattern(
+        R"(diffy-lint:\s*allow\(([^)]*)\))");
+    for (std::size_t i = 0; i < raw_lines.size(); ++i) {
+        const std::string &line = raw_lines[i];
+        for (auto it = std::sregex_iterator(line.begin(), line.end(),
+                                            pattern);
+             it != std::sregex_iterator(); ++it) {
+            std::string ids = (*it)[1].str();
+            std::string id;
+            std::istringstream is(ids);
+            while (std::getline(is, id, ',')) {
+                id.erase(std::remove_if(id.begin(), id.end(),
+                                        [](unsigned char ch) {
+                                            return std::isspace(ch) !=
+                                                   0;
+                                        }),
+                         id.end());
+                if (id.empty())
+                    continue;
+                // The two-line window: the marker's own line N and
+                // line N+1, nothing else (see scanner.hh).
+                byLine_[static_cast<int>(i) + 1].insert(id);
+                byLine_[static_cast<int>(i) + 2].insert(id);
+            }
+        }
+    }
+}
+
+bool
+Suppressions::covers(int line, const std::string &rule) const
+{
+    auto it = byLine_.find(line);
+    return it != byLine_.end() && it->second.count(rule) > 0;
+}
+
+std::vector<int>
+LoopTracker::depths(const std::string &line)
+{
+    static const std::regex header(R"(\b(?:for|while)\s*\()");
+    std::vector<std::size_t> headerParens;
+    for (auto it = std::sregex_iterator(line.begin(), line.end(),
+                                        header);
+         it != std::sregex_iterator(); ++it) {
+        headerParens.push_back(
+            static_cast<std::size_t>(it->position()) +
+            it->str().size() - 1);
+    }
+    std::size_t nextHeader = 0;
+
+    std::vector<int> depth(line.size() + 1, 0);
+    for (std::size_t i = 0; i <= line.size(); ++i) {
+        depth[i] = static_cast<int>(loopStack_.size()) +
+                   bracelessBodies_;
+        if (i == line.size())
+            break;
+        const char c = line[i];
+        if (headerDepth_ == 0 && nextHeader < headerParens.size() &&
+            i == headerParens[nextHeader]) {
+            // The '(' opening a for/while header.
+            ++nextHeader;
+            headerDepth_ = 1;
+            awaitingBody_ = false;
+            continue;
+        }
+        if (headerDepth_ > 0) {
+            if (c == '(')
+                ++headerDepth_;
+            else if (c == ')') {
+                --headerDepth_;
+                if (headerDepth_ == 0)
+                    awaitingBody_ = true;
+            }
+            continue;
+        }
+        if (awaitingBody_) {
+            if (std::isspace(static_cast<unsigned char>(c)))
+                continue;
+            awaitingBody_ = false;
+            if (c == '{') {
+                ++braceDepth_;
+                loopStack_.push_back(braceDepth_);
+                continue;
+            }
+            // Braceless body: one virtual scope until ';'.
+            ++bracelessBodies_;
+            // fall through to classify c normally
+        }
+        if (c == '{') {
+            ++braceDepth_;
+        } else if (c == '}') {
+            if (!loopStack_.empty() &&
+                loopStack_.back() == braceDepth_)
+                loopStack_.pop_back();
+            --braceDepth_;
+        } else if (c == ';' && bracelessBodies_ > 0 &&
+                   headerDepth_ == 0) {
+            bracelessBodies_ = 0;
+        }
+    }
+    return depth;
+}
+
+} // namespace diffy::lint

@@ -1,0 +1,91 @@
+/**
+ * @file
+ * diffy-lint pass-1 scanner utilities: literal/comment stripping
+ * (including raw strings), line splitting, the suppression parser and
+ * the loop-depth tracker. These are the lexical primitives the file
+ * model (model.hh) and every analysis (analyses.hh) are built on —
+ * they know nothing about rules or paths.
+ */
+
+#ifndef DIFFY_TOOLS_LINT_SCANNER_HH
+#define DIFFY_TOOLS_LINT_SCANNER_HH
+
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+namespace diffy::lint
+{
+
+/**
+ * Replace the contents of comments and string/char literals with
+ * spaces, preserving the line structure and the column of every
+ * surviving token. Rule patterns quoted in prose (or in this linter's
+ * own pattern strings) therefore never fire. Escapes inside literals
+ * are honoured, and raw string literals (`R"delim(...)delim"`, with
+ * any of the u8/u/U/L encoding prefixes) are blanked as a unit — an
+ * unescaped `"` inside a raw string body does not leak the remainder
+ * of the literal into "code".
+ */
+std::string sanitize(const std::string &text);
+
+/** Split @p text into lines ('\n' separated, no terminators kept). */
+std::vector<std::string> splitLines(const std::string &text);
+
+bool startsWith(const std::string &s, const std::string &prefix);
+bool endsWith(const std::string &s, const std::string &suffix);
+
+/**
+ * Per-line suppression sets parsed from the RAW source (suppressions
+ * live in comments, which the sanitizer strips).
+ *
+ * The window is exactly two lines: `// diffy-lint: allow(Rn)` on line
+ * N covers findings on lines N and N+1 and nothing else — a trailing
+ * comment suppresses its own statement, a pure comment line
+ * suppresses the statement directly below it, and a blank line in
+ * between voids the suppression. Multiple rules may share one marker
+ * (`allow(R9,R10)`), and multiple `allow(...)` markers on the same
+ * line all apply.
+ */
+class Suppressions
+{
+  public:
+    Suppressions() = default;
+    explicit Suppressions(const std::vector<std::string> &raw_lines);
+
+    bool covers(int line, const std::string &rule) const;
+
+  private:
+    std::map<int, std::set<std::string>> byLine_;
+};
+
+/**
+ * Tracks how many loop bodies enclose each column of each sanitized
+ * line. A small character machine: `for`/`while` headers are located
+ * per line by regex, the machine then follows the header's
+ * parenthesis span and binds the following `{` to a loop scope (or,
+ * for a braceless body, keeps a virtual scope open until the
+ * terminating `;`). Known limit: a braceless loop whose body spans
+ * multiple physical lines only deepens its own line — the project
+ * style braces every multi-line body, and rule R1 additionally
+ * requires two enclosing loops to fire, so outer braced nests carry
+ * the depth in practice. Feed lines strictly in order.
+ */
+class LoopTracker
+{
+  public:
+    /** Effective loop depth for every column of @p line (size+1). */
+    std::vector<int> depths(const std::string &line);
+
+  private:
+    int braceDepth_ = 0;
+    std::vector<int> loopStack_;
+    int headerDepth_ = 0;
+    bool awaitingBody_ = false;
+    int bracelessBodies_ = 0;
+};
+
+} // namespace diffy::lint
+
+#endif // DIFFY_TOOLS_LINT_SCANNER_HH
