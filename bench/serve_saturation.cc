@@ -17,10 +17,21 @@
  *
  * Quickstart:
  *   serve_saturation --streams 4 --offered 1,2,4,8,16 --out curve.json
+ *
+ * --alloc-gate switches the binary into the steady-state allocation
+ * gate (DESIGN.md §16): --warmup-rounds round-robin rounds warm every
+ * stream's arena, then --rounds more run with the buffer pool in
+ * steady state. The process exits nonzero if the pool fetched any
+ * heap block after warmup (`pool.allocs_steady_state` > 0). A
+ * counting operator-new shim tallies all other heap traffic in the
+ * steady window for the JSON artifact.
  */
 
+#include <atomic>
 #include <cstdio>
+#include <cstdlib>
 #include <fstream>
+#include <new>
 #include <stdexcept>
 #include <string>
 #include <vector>
@@ -30,6 +41,109 @@
 #include "serve/saturation.hh"
 
 using namespace diffy;
+
+namespace
+{
+
+/**
+ * Counting operator-new shim. Disabled (pass-through) until the gate
+ * flips g_countAllocs at the steady-state boundary; the counters then
+ * tally every global allocation — the observational half of the gate
+ * report. malloc/free everywhere so any new/delete pairing is safe.
+ */
+std::atomic<bool> g_countAllocs{false};
+std::atomic<std::uint64_t> g_opNewCalls{0};
+std::atomic<std::uint64_t> g_opNewBytes{0};
+
+void *
+countedAlloc(std::size_t n, std::size_t align)
+{
+    if (g_countAllocs.load(std::memory_order_relaxed)) {
+        g_opNewCalls.fetch_add(1, std::memory_order_relaxed);
+        g_opNewBytes.fetch_add(n, std::memory_order_relaxed);
+    }
+    if (n == 0)
+        n = 1;
+    void *p = nullptr;
+    if (align > alignof(std::max_align_t)) {
+        if (posix_memalign(&p, align, n) != 0)
+            p = nullptr;
+    } else {
+        p = std::malloc(n);
+    }
+    return p;
+}
+
+} // namespace
+
+void *
+operator new(std::size_t n)
+{
+    void *p = countedAlloc(n, 0);
+    if (!p)
+        throw std::bad_alloc();
+    return p;
+}
+
+void *
+operator new[](std::size_t n)
+{
+    return ::operator new(n);
+}
+
+void *
+operator new(std::size_t n, std::align_val_t align)
+{
+    void *p = countedAlloc(n, static_cast<std::size_t>(align));
+    if (!p)
+        throw std::bad_alloc();
+    return p;
+}
+
+void *
+operator new[](std::size_t n, std::align_val_t align)
+{
+    return ::operator new(n, align);
+}
+
+void *
+operator new(std::size_t n, const std::nothrow_t &) noexcept
+{
+    return countedAlloc(n, 0);
+}
+
+void *
+operator new[](std::size_t n, const std::nothrow_t &) noexcept
+{
+    return countedAlloc(n, 0);
+}
+
+void operator delete(void *p) noexcept { std::free(p); }
+void operator delete[](void *p) noexcept { std::free(p); }
+void operator delete(void *p, std::size_t) noexcept { std::free(p); }
+void operator delete[](void *p, std::size_t) noexcept { std::free(p); }
+void operator delete(void *p, std::align_val_t) noexcept { std::free(p); }
+void operator delete[](void *p, std::align_val_t) noexcept { std::free(p); }
+void
+operator delete(void *p, std::size_t, std::align_val_t) noexcept
+{
+    std::free(p);
+}
+void
+operator delete[](void *p, std::size_t, std::align_val_t) noexcept
+{
+    std::free(p);
+}
+void
+operator delete(void *p, const std::nothrow_t &) noexcept
+{
+    std::free(p);
+}
+void
+operator delete[](void *p, const std::nothrow_t &) noexcept
+{
+    std::free(p);
+}
 
 namespace
 {
@@ -94,12 +208,58 @@ optionsFromCli(const CliArgs &args)
     return opts;
 }
 
+/**
+ * Steady-state allocation gate mode. Stdout carries exactly one
+ * deterministic line (the gauge value); the run-dependent operator-new
+ * tallies go to the JSON artifact only.
+ */
+int
+runGateMode(const CliArgs &args, const SaturationOptions &opts)
+{
+    const int warmup =
+        static_cast<int>(args.getInt("warmup-rounds", 4));
+    AllocationGateReport report;
+    try {
+        report = runAllocationGate(
+            opts.serve, warmup, opts.rounds,
+            [] { g_countAllocs.store(true, std::memory_order_relaxed); });
+    } catch (const std::invalid_argument &e) {
+        std::fprintf(stderr, "error: %s\n", e.what());
+        return 2;
+    }
+    g_countAllocs.store(false, std::memory_order_relaxed);
+    report.opNewCalls = g_opNewCalls.load(std::memory_order_relaxed);
+    report.opNewBytes = g_opNewBytes.load(std::memory_order_relaxed);
+
+    std::printf("pool.allocs_steady_state %llu\n",
+                static_cast<unsigned long long>(report.steadyPoolFetches));
+
+    const std::string out = args.getString("out", "");
+    if (!out.empty()) {
+        std::ofstream os(out);
+        if (!os) {
+            std::fprintf(stderr, "error: cannot open %s\n", out.c_str());
+            return 1;
+        }
+        writeAllocationGateJson(report, opts.serve, os);
+    }
+    if (!report.passed()) {
+        std::fprintf(stderr,
+                     "error: %llu pool heap fetches after warmup "
+                     "(steady state must be allocation-free)\n",
+                     static_cast<unsigned long long>(
+                         report.steadyPoolFetches));
+        return 1;
+    }
+    return 0;
+}
+
 } // namespace
 
 int
 main(int argc, char **argv)
 {
-    CliArgs args(argc, argv, {"verify-oracle"});
+    CliArgs args(argc, argv, {"verify-oracle", "alloc-gate"});
     SaturationOptions opts;
     try {
         opts = optionsFromCli(args);
@@ -107,6 +267,9 @@ main(int argc, char **argv)
         std::fprintf(stderr, "error: %s\n", e.what());
         return 2;
     }
+
+    if (args.has("alloc-gate"))
+        return runGateMode(args, opts);
 
     const SaturationCurve curve = runSaturation(opts);
 

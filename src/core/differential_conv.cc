@@ -104,7 +104,8 @@ convolveDirect(const TensorI16 &imap, const FilterBankI16 &bank,
     const int out_h = (imap.height() + 2 * pad - eff_k) / stride + 1;
     const int out_w = (imap.width() + 2 * pad - eff_k) / stride + 1;
 
-    TensorI32 out(bank.filters(), out_h, out_w);
+    TensorI32 out(bank.filters(), out_h, out_w,
+                  scratchAlloc<std::int32_t>());
     for (int f = 0; f < bank.filters(); ++f) {
         for (int oy = 0; oy < out_h; ++oy) {
             for (int ox = 0; ox < out_w; ++ox) {
@@ -127,7 +128,8 @@ convolveDifferential(const TensorI16 &imap, const FilterBankI16 &bank,
     const int out_h = (imap.height() + 2 * pad - eff_k) / stride + 1;
     const int out_w = (imap.width() + 2 * pad - eff_k) / stride + 1;
 
-    TensorI32 out(bank.filters(), out_h, out_w);
+    TensorI32 out(bank.filters(), out_h, out_w,
+                  scratchAlloc<std::int32_t>());
     for (int f = 0; f < bank.filters(); ++f) {
         for (int oy = 0; oy < out_h; ++oy) {
             // Phase 1: leftmost output directly, the rest as
@@ -198,7 +200,8 @@ convolveDifferentialY(const TensorI16 &imap, const FilterBankI16 &bank,
     const int out_h = (imap.height() + 2 * pad - eff_k) / stride + 1;
     const int out_w = (imap.width() + 2 * pad - eff_k) / stride + 1;
 
-    TensorI32 out(bank.filters(), out_h, out_w);
+    TensorI32 out(bank.filters(), out_h, out_w,
+                  scratchAlloc<std::int32_t>());
     for (int f = 0; f < bank.filters(); ++f) {
         for (int ox = 0; ox < out_w; ++ox) {
             std::int64_t base = windowDot(imap, bank, f, 0, ox, stride,

@@ -28,7 +28,7 @@ clampToI32(std::int64_t v)
 std::uint64_t
 boothTermSum(const std::int16_t *src, std::size_t n)
 {
-    std::vector<std::uint8_t> terms(n);
+    AlignedVec<std::uint8_t> terms(n, scratchAlloc<std::uint8_t>());
     boothTermsPlane(src, terms.data(), n);
     std::uint64_t sum = 0;
     for (std::uint8_t t : terms)
@@ -39,7 +39,7 @@ boothTermSum(const std::int16_t *src, std::size_t n)
 std::uint64_t
 boothTermSum(const std::int32_t *src, std::size_t n)
 {
-    std::vector<std::uint8_t> terms(n);
+    AlignedVec<std::uint8_t> terms(n, scratchAlloc<std::uint8_t>());
     boothTermsPlane(src, terms.data(), n);
     std::uint64_t sum = 0;
     for (std::uint8_t t : terms)
@@ -55,7 +55,7 @@ boothTermSum(const std::int32_t *src, std::size_t n)
 TensorI32
 xDeltas32(const TensorI32 &t)
 {
-    TensorI32 out(t.shape());
+    TensorI32 out(t.shape(), scratchAlloc<std::int32_t>());
     for (int c = 0; c < t.channels(); ++c) {
         for (int y = 0; y < t.height(); ++y) {
             std::int32_t prev = 0;
@@ -85,7 +85,8 @@ convolveTemporalDelta(const TensorI32 &delta, const FilterBankI16 &bank,
     const int out_h = (delta.height() + 2 * pad - eff_k) / stride + 1;
     const int out_w = (delta.width() + 2 * pad - eff_k) / stride + 1;
 
-    TensorI32 out(bank.filters(), out_h, out_w);
+    TensorI32 out(bank.filters(), out_h, out_w,
+                  scratchAlloc<std::int32_t>());
     for (int f = 0; f < bank.filters(); ++f) {
         for (int oy = 0; oy < out_h; ++oy) {
             for (int ox = 0; ox < out_w; ++ox) {
@@ -118,7 +119,7 @@ temporalDelta(const TensorI16 &prev, const TensorI16 &cur)
 {
     if (prev.shape() != cur.shape())
         throw std::invalid_argument("temporalDelta: shape mismatch");
-    TensorI32 out(cur.shape());
+    TensorI32 out(cur.shape(), scratchAlloc<std::int32_t>());
     const std::int16_t *p = prev.data();
     const std::int16_t *c = cur.data();
     std::int32_t *d = out.data();
@@ -191,7 +192,8 @@ temporalStep(TemporalNetState &state, const NetworkTrace &trace,
             if (deltaOut.shape() != st.prevOmap.shape())
                 throw std::logic_error(
                     "temporalStep: delta output geometry diverged");
-            omap = TensorI32(deltaOut.shape());
+            omap = TensorI32(deltaOut.shape(),
+                             scratchAlloc<std::int32_t>());
             const std::int32_t *po = st.prevOmap.data();
             const std::int32_t *dl = deltaOut.data();
             std::int32_t *oo = omap.data();
@@ -217,8 +219,12 @@ temporalStep(TemporalNetState &state, const NetworkTrace &trace,
             }
         }
 
+        // Copy-assign (not move): cross-frame state must stay on the
+        // destination's resource. omap may be arena-backed under an
+        // ArenaScope, and a move would adopt storage the next rewind()
+        // recycles (common/aligned.hh propagation contract).
         st.prevImap = lt.imap;
-        st.prevOmap = std::move(omap);
+        st.prevOmap = omap;
         st.prevFracBits = lt.imapFracBits;
         st.valid = true;
     }

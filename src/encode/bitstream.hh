@@ -9,7 +9,10 @@
 #define DIFFY_ENCODE_BITSTREAM_HH
 
 #include <cstdint>
+#include <utility>
 #include <vector>
+
+#include "common/aligned.hh"
 
 namespace diffy
 {
@@ -18,6 +21,13 @@ namespace diffy
 class BitWriter
 {
   public:
+    BitWriter() = default;
+
+    /** Write into @p alloc's resource (e.g. a per-frame arena). */
+    explicit BitWriter(const AlignedAllocator<std::uint8_t> &alloc)
+        : bytes_(alloc)
+    {}
+
     /** Append the low @p bits of @p value (1..32 bits). */
     void write(std::uint32_t value, int bits);
 
@@ -28,10 +38,17 @@ class BitWriter
     std::size_t bitCount() const { return bitCount_; }
 
     /** Finalized byte buffer (zero-padded to a byte boundary). */
-    const std::vector<std::uint8_t> &bytes() const { return bytes_; }
+    const ByteVec &bytes() const & { return bytes_; }
+
+    /**
+     * Move the finalized buffer out (keeps its allocator), so encode
+     * paths hand an arena-backed payload to EncodedTensor without a
+     * heap copy.
+     */
+    ByteVec bytes() && { return std::move(bytes_); }
 
   private:
-    std::vector<std::uint8_t> bytes_;
+    ByteVec bytes_;
     std::size_t bitCount_ = 0;
 };
 
@@ -39,9 +56,7 @@ class BitWriter
 class BitReader
 {
   public:
-    explicit BitReader(const std::vector<std::uint8_t> &bytes)
-        : bytes_(bytes)
-    {}
+    explicit BitReader(const ByteVec &bytes) : bytes_(bytes) {}
 
     /** Read @p bits (1..32) as an unsigned value. */
     std::uint32_t read(int bits);
@@ -77,7 +92,7 @@ class BitReader
     }
 
   private:
-    const std::vector<std::uint8_t> &bytes_;
+    const ByteVec &bytes_;
     std::size_t pos_ = 0;
 };
 

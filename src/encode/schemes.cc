@@ -109,6 +109,19 @@ checkShape(const Shape3 &s, DecodeResult &out)
     return true;
 }
 
+/**
+ * Assemble the BadHeader diagnostic ("<codec> group declares N bits
+ * (legal max M)") outside the decode loops, keeping string building
+ * out of the per-group path (diffy-lint R9).
+ */
+std::string
+badHeaderMessage(const char *codec, int bits, int max_bits)
+{
+    return std::string(codec) + " group declares " +
+           std::to_string(bits) + " bits (legal max " +
+           std::to_string(max_bits) + ")";
+}
+
 DecodeResult
 truncatedAt(const BitReader &br, std::size_t values_decoded,
             const std::string &what)
@@ -130,11 +143,11 @@ class NoCompressionCodec : public ActivationCodec
     EncodedTensor
     encode(const TensorI16 &t) const override
     {
-        BitWriter bw;
+        BitWriter bw(scratchAlloc<std::uint8_t>());
         const std::int16_t *data = t.data();
         for (std::size_t i = 0; i < t.size(); ++i)
             bw.writeSigned(data[i], 16);
-        return {t.shape(), bw.bitCount(), bw.bytes(), {}};
+        return {t.shape(), bw.bitCount(), std::move(bw).bytes(), {}};
     }
 
     DecodeResult
@@ -170,9 +183,23 @@ class RlezCodec : public ActivationCodec
     EncodedTensor
     encode(const TensorI16 &t) const override
     {
-        BitWriter bw;
-        std::vector<BitRange> headers;
         const std::int16_t *data = t.data();
+        // Counting pre-pass mirroring the emit loop below, so the
+        // header list is sized exactly and never grows mid-stream.
+        std::size_t entries = 0;
+        for (std::size_t i = 0; i < t.size();) {
+            int run = 0;
+            while (i < t.size() && data[i] == 0 && run < 15) {
+                ++run;
+                ++i;
+            }
+            ++entries;
+            if (i < t.size())
+                ++i;
+        }
+        BitWriter bw(scratchAlloc<std::uint8_t>());
+        std::vector<BitRange> headers;
+        headers.reserve(entries);
         std::size_t i = 0;
         while (i < t.size()) {
             int run = 0;
@@ -191,7 +218,8 @@ class RlezCodec : public ActivationCodec
                 bw.writeSigned(0, 16);
             }
         }
-        return {t.shape(), bw.bitCount(), bw.bytes(), std::move(headers)};
+        return {t.shape(), bw.bitCount(), std::move(bw).bytes(),
+                std::move(headers)};
     }
 
     DecodeResult
@@ -230,9 +258,21 @@ class RleCodec : public ActivationCodec
     EncodedTensor
     encode(const TensorI16 &t) const override
     {
-        BitWriter bw;
-        std::vector<BitRange> headers;
         const std::int16_t *data = t.data();
+        // Counting pre-pass mirroring the emit loop below.
+        std::size_t entries = 0;
+        for (std::size_t i = 0; i < t.size();) {
+            int run = 1;
+            while (i + run < t.size() && data[i + run] == data[i] &&
+                   run < 16) {
+                ++run;
+            }
+            ++entries;
+            i += static_cast<std::size_t>(run);
+        }
+        BitWriter bw(scratchAlloc<std::uint8_t>());
+        std::vector<BitRange> headers;
+        headers.reserve(entries);
         std::size_t i = 0;
         while (i < t.size()) {
             std::int16_t value = data[i];
@@ -246,7 +286,8 @@ class RleCodec : public ActivationCodec
             bw.writeSigned(value, 16);
             i += static_cast<std::size_t>(run);
         }
-        return {t.shape(), bw.bitCount(), bw.bytes(), std::move(headers)};
+        return {t.shape(), bw.bitCount(), std::move(bw).bytes(),
+                std::move(headers)};
     }
 
     DecodeResult
@@ -295,14 +336,14 @@ class ProfiledCodec : public ActivationCodec
     {
         const std::int32_t lo = -(1 << (precision_ - 1));
         const std::int32_t hi = (1 << (precision_ - 1)) - 1;
-        BitWriter bw;
+        BitWriter bw(scratchAlloc<std::uint8_t>());
         const std::int16_t *data = t.data();
         for (std::size_t i = 0; i < t.size(); ++i) {
             std::int32_t v = data[i];
             v = v < lo ? lo : (v > hi ? hi : v);
             bw.writeSigned(v, precision_);
         }
-        return {t.shape(), bw.bitCount(), bw.bytes(), {}};
+        return {t.shape(), bw.bitCount(), std::move(bw).bytes(), {}};
     }
 
     DecodeResult
@@ -347,8 +388,10 @@ class RawDCodec : public ActivationCodec
     EncodedTensor
     encode(const TensorI16 &t) const override
     {
-        BitWriter bw;
+        const std::size_t group = static_cast<std::size_t>(groupSize_);
+        BitWriter bw(scratchAlloc<std::uint8_t>());
         std::vector<BitRange> headers;
+        headers.reserve((t.size() + group - 1) / group);
         const std::int16_t *data = t.data();
         for (std::size_t start = 0; start < t.size();
              start += static_cast<std::size_t>(groupSize_)) {
@@ -360,7 +403,8 @@ class RawDCodec : public ActivationCodec
             for (std::size_t i = 0; i < len; ++i)
                 bw.writeSigned(data[start + i], bits);
         }
-        return {t.shape(), bw.bitCount(), bw.bytes(), std::move(headers)};
+        return {t.shape(), bw.bitCount(), std::move(bw).bytes(),
+                std::move(headers)};
     }
 
     DecodeResult
@@ -440,7 +484,7 @@ class DeltaDCodec : public ActivationCodec
     {
         // Delta stream in row-major within each (channel, row);
         // anchors carry the raw value.
-        std::vector<std::int32_t> stream;
+        AlignedVec<std::int32_t> stream(scratchAlloc<std::int32_t>());
         stream.reserve(t.size());
         for (int c = 0; c < t.channels(); ++c) {
             for (int y = 0; y < t.height(); ++y) {
@@ -452,8 +496,10 @@ class DeltaDCodec : public ActivationCodec
                 }
             }
         }
-        BitWriter bw;
+        const std::size_t group = static_cast<std::size_t>(groupSize_);
+        BitWriter bw(scratchAlloc<std::uint8_t>());
         std::vector<BitRange> headers;
+        headers.reserve((stream.size() + group - 1) / group);
         const simd::KernelTable &kt = simd::kernels();
         for (std::size_t start = 0; start < stream.size();
              start += static_cast<std::size_t>(groupSize_)) {
@@ -469,7 +515,8 @@ class DeltaDCodec : public ActivationCodec
             for (std::size_t i = 0; i < len; ++i)
                 bw.writeSigned(stream[start + i], bits);
         }
-        return {t.shape(), bw.bitCount(), bw.bytes(), std::move(headers)};
+        return {t.shape(), bw.bitCount(), std::move(bw).bytes(),
+                std::move(headers)};
     }
 
     DecodeResult
@@ -478,7 +525,8 @@ class DeltaDCodec : public ActivationCodec
         DecodeResult r;
         if (!checkShape(enc.shape, r))
             return r;
-        std::vector<std::int32_t> stream(Shape3(enc.shape).volume());
+        AlignedVec<std::int32_t> stream(Shape3(enc.shape).volume(),
+                                        scratchAlloc<std::int32_t>());
         BitReader br(enc.bytes);
         for (std::size_t start = 0; start < stream.size();
              start += static_cast<std::size_t>(groupSize_)) {
@@ -494,10 +542,8 @@ class DeltaDCodec : public ActivationCodec
                 // past 17 cannot come from our encoder and must be
                 // rejected rather than trusted.
                 r.status = DecodeStatus::BadHeader;
-                r.message = "DeltaD group declares " +
-                            std::to_string(bits) +
-                            " bits (legal max " +
-                            std::to_string(kMaxFieldBits) + ")";
+                r.message =
+                    badHeaderMessage("DeltaD", bits, kMaxFieldBits);
                 r.errorBit = br.bitPosition() - 5;
                 r.valuesDecoded = start;
                 return r;

@@ -64,7 +64,9 @@ struct EncodedTensor
 {
     Shape3 shape;
     std::size_t bits = 0; ///< exact payload+metadata size in bits
-    std::vector<std::uint8_t> bytes;
+    /// Payload bytes. A ByteVec so encoders can move an arena-backed
+    /// BitWriter buffer in without a heap copy (common/pool.hh).
+    ByteVec bytes;
     /**
      * Metadata fields of the stream (group-precision headers, RLE run
      * lengths), in stream order. Empty for schemes without metadata.

@@ -56,7 +56,7 @@ namespace
 {
 
 void
-flipBit(std::vector<std::uint8_t> &bytes, std::size_t bit)
+flipBit(ByteVec &bytes, std::size_t bit)
 {
     bytes[bit / 8] ^= static_cast<std::uint8_t>(1u << (bit % 8));
 }
@@ -89,7 +89,7 @@ candidateBits(std::size_t total_bits, const std::vector<BitRange> &headers,
 } // namespace
 
 FaultReport
-FaultInjector::injectIntoBits(std::vector<std::uint8_t> &bytes,
+FaultInjector::injectIntoBits(ByteVec &bytes,
                               std::size_t total_bits,
                               const std::vector<BitRange> &headers,
                               const FaultSpec &spec)
@@ -156,7 +156,7 @@ FaultInjector::inject(TensorI16 &t, const FaultSpec &spec)
     raw_spec.target = FaultTarget::Any; // raw tensors are all payload
     // View the tensor as a little-endian byte buffer, reusing the
     // bitstream path so models behave identically on both.
-    std::vector<std::uint8_t> bytes(t.size() * 2);
+    ByteVec bytes(t.size() * 2, scratchAlloc<std::uint8_t>());
     for (std::size_t i = 0; i < t.size(); ++i) {
         auto u = static_cast<std::uint16_t>(t.data()[i]);
         bytes[2 * i] = static_cast<std::uint8_t>(u & 0xFF);

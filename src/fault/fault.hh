@@ -100,7 +100,7 @@ class FaultInjector
     FaultReport inject(TensorI16 &t, const FaultSpec &spec);
 
   private:
-    FaultReport injectIntoBits(std::vector<std::uint8_t> &bytes,
+    FaultReport injectIntoBits(ByteVec &bytes,
                                std::size_t total_bits,
                                const std::vector<BitRange> &headers,
                                const FaultSpec &spec);

@@ -30,7 +30,8 @@ convolve(const Tensor3<float> &input, const Tensor4<float> &weights,
     const int out_h = (in_h + 2 * pad - eff_k) / stride + 1;
     const int out_w = (in_w + 2 * pad - eff_k) / stride + 1;
 
-    Tensor3<float> out(weights.filters(), out_h, out_w, 0.0f);
+    Tensor3<float> out(weights.filters(), out_h, out_w,
+                       scratchAlloc<float>(), 0.0f);
     for (int f = 0; f < weights.filters(); ++f) {
         float *out_base = out.data() +
                           static_cast<std::size_t>(f) * out_h * out_w;
@@ -83,7 +84,7 @@ maxPool(const Tensor3<float> &input, int factor)
     const int c = input.channels();
     const int out_h = input.height() / factor;
     const int out_w = input.width() / factor;
-    Tensor3<float> out(c, out_h, out_w);
+    Tensor3<float> out(c, out_h, out_w, scratchAlloc<float>());
     for (int ch = 0; ch < c; ++ch) {
         for (int y = 0; y < out_h; ++y) {
             for (int x = 0; x < out_w; ++x) {
@@ -112,7 +113,7 @@ pixelShuffle(const Tensor3<float> &input, int factor)
     const int out_c = input.channels() / r2;
     const int out_h = input.height() * factor;
     const int out_w = input.width() * factor;
-    Tensor3<float> out(out_c, out_h, out_w);
+    Tensor3<float> out(out_c, out_h, out_w, scratchAlloc<float>());
     for (int c = 0; c < out_c; ++c) {
         for (int y = 0; y < out_h; ++y) {
             for (int x = 0; x < out_w; ++x) {
@@ -132,7 +133,8 @@ namespace
 Tensor3<float>
 luminance(const Tensor3<float> &rgb)
 {
-    Tensor3<float> out(1, rgb.height(), rgb.width());
+    Tensor3<float> out(1, rgb.height(), rgb.width(),
+                       scratchAlloc<float>());
     for (int y = 0; y < rgb.height(); ++y) {
         for (int x = 0; x < rgb.width(); ++x) {
             out.at(0, y, x) = 0.299f * rgb.at(0, y, x) +
@@ -149,7 +151,7 @@ bayerPack(const Tensor3<float> &rgb)
 {
     const int h2 = rgb.height() / 2;
     const int w2 = rgb.width() / 2;
-    Tensor3<float> out(4, h2, w2);
+    Tensor3<float> out(4, h2, w2, scratchAlloc<float>());
     for (int y = 0; y < h2; ++y) {
         for (int x = 0; x < w2; ++x) {
             out.at(0, y, x) = rgb.at(0, 2 * y, 2 * x);         // R
@@ -167,7 +169,7 @@ ffdnetPack(const Tensor3<float> &rgb)
 {
     const int h2 = rgb.height() / 2;
     const int w2 = rgb.width() / 2;
-    Tensor3<float> out(15, h2, w2);
+    Tensor3<float> out(15, h2, w2, scratchAlloc<float>());
     for (int c = 0; c < 3; ++c) {
         for (int y = 0; y < h2; ++y) {
             for (int x = 0; x < w2; ++x) {
@@ -207,7 +209,8 @@ adaptToLayer(Tensor3<float> t, int cur_divisor, const ConvLayerSpec &next)
         // remainder is handled by the channel adapter below.
         int usable = (t.channels() / r2) * r2;
         if (usable > 0) {
-            Tensor3<float> head(usable, t.height(), t.width());
+            Tensor3<float> head(usable, t.height(), t.width(),
+                                scratchAlloc<float>());
             for (int c = 0; c < usable; ++c) {
                 for (int y = 0; y < t.height(); ++y) {
                     for (int x = 0; x < t.width(); ++x)
@@ -221,7 +224,8 @@ adaptToLayer(Tensor3<float> t, int cur_divisor, const ConvLayerSpec &next)
         // Structural adapter for concatenation-style inputs (e.g.
         // JointNet appends mosaic channels after the pixel shuffle):
         // replicate existing channels with decaying gain, or truncate.
-        Tensor3<float> adapted(next.inChannels, t.height(), t.width());
+        Tensor3<float> adapted(next.inChannels, t.height(), t.width(),
+                               scratchAlloc<float>());
         for (int c = 0; c < next.inChannels; ++c) {
             int src = c % t.channels();
             float gain = c < t.channels() ? 1.0f : 0.7f;
@@ -267,7 +271,7 @@ quantizeTensor(const Tensor3<float> &t, double rel_error,
         if (frac_quality < frac)
             frac = frac_quality < 0 ? 0 : frac_quality;
     }
-    TensorI16 out(t.shape());
+    TensorI16 out(t.shape(), scratchAlloc<std::int16_t>());
     std::int16_t *od = out.data();
     const double scale = static_cast<double>(std::int64_t{1} << frac);
     for (std::size_t i = 0; i < t.size(); ++i) {
@@ -361,7 +365,9 @@ buildNetworkInput(const NetworkSpec &net, const Tensor3<float> &rgb)
         return ffdnetPack(rgb);
     if (net.name == "JointNet")
         return bayerPack(rgb);
-    return rgb;
+    // Identity nets still copy: the running activation is a per-frame
+    // transient, so the copy lands on the ambient scratch resource.
+    return Tensor3<float>(rgb, scratchAlloc<float>());
 }
 
 FilterBankI16
@@ -443,7 +449,10 @@ runNetwork(const NetworkSpec &net, const Tensor3<float> &rgb,
 
         LayerTrace lt;
         lt.spec = layer;
-        lt.weights = pw.quantized;
+        // Allocator-extended copy: the memoized bank stays heap-owned
+        // while the per-frame trace copy rides the scratch resource.
+        lt.weights = FilterBankI16(pw.quantized,
+                                   scratchAlloc<std::int16_t>());
         lt.weightFracBits = pw.fracBits;
         lt.imap = quantizeTensor(activ, opts.activationRelError,
                                  &lt.imapFracBits);

@@ -1,0 +1,35 @@
+/**
+ * @file
+ * Publishes the BufferPool process-wide tallies (common/pool.hh) as
+ * obs gauges. The pool itself lives in the leaf common layer and
+ * cannot see obs, so the orchestrators that own pools (StreamServer,
+ * SweepScheduler) call this after each batch / at sweep end.
+ *
+ *  - pool.bytes_in_use        — heap bytes owned by all live pools
+ *  - pool.allocs_steady_state — heap fetches made after a pool was
+ *    markSteadyState()'d; the zero-allocation steady-state gate
+ *    asserts this reads 0 after warmup.
+ */
+
+#ifndef DIFFY_OBS_POOL_GAUGES_HH
+#define DIFFY_OBS_POOL_GAUGES_HH
+
+#include "common/pool.hh"
+#include "obs/metrics.hh"
+
+namespace diffy::obs
+{
+
+inline void
+publishPoolGauges()
+{
+    MetricsRegistry &reg = MetricsRegistry::instance();
+    reg.gauge("pool.bytes_in_use")
+        .set(static_cast<double>(BufferPool::globalBytesInUse()));
+    reg.gauge("pool.allocs_steady_state")
+        .set(static_cast<double>(BufferPool::globalSteadyFetches()));
+}
+
+} // namespace diffy::obs
+
+#endif // DIFFY_OBS_POOL_GAUGES_HH

@@ -130,6 +130,71 @@ runSaturation(const SaturationOptions &opts)
     return curve;
 }
 
+AllocationGateReport
+runAllocationGate(const ServeOptions &serve, int warmupRounds,
+                  int steadyRounds,
+                  const std::function<void()> &onSteadyStart)
+{
+    if (warmupRounds < 1 || steadyRounds < 1)
+        throw std::invalid_argument(
+            "runAllocationGate: warmup and steady rounds must be >= 1");
+
+    StreamServer server(serve);
+    auto roundRobinRound = [&] {
+        for (int k = 0; k < serve.streams; ++k)
+            server.offer(k);
+        server.drainAll();
+    };
+
+    for (int r = 0; r < warmupRounds; ++r)
+        roundRobinRound();
+
+    server.markSteadyState();
+    const std::uint64_t servedBefore = server.totals().sum.served;
+    if (onSteadyStart)
+        onSteadyStart();
+
+    for (int r = 0; r < steadyRounds; ++r)
+        roundRobinRound();
+
+    const BufferPool::Stats stats = server.bufferPool().stats();
+    AllocationGateReport report;
+    report.warmupRounds = warmupRounds;
+    report.steadyRounds = steadyRounds;
+    report.steadyPoolFetches = stats.steadyFetches;
+    report.poolHeapFetches = stats.heapFetches;
+    report.poolReuses = stats.reuses;
+    report.poolBytesInUse = stats.bytesInUse;
+    report.steadyServed = server.totals().sum.served - servedBefore;
+    return report;
+}
+
+void
+writeAllocationGateJson(const AllocationGateReport &report,
+                        const ServeOptions &serve, std::ostream &os)
+{
+    os << "{\n  \"config\": {\n";
+    os << "    \"network\": \"" << serve.network << "\",\n";
+    os << "    \"streams\": " << serve.streams << ",\n";
+    os << "    \"threads\": "
+       << SweepScheduler::resolveThreadCount(serve.threads) << ",\n";
+    os << "    \"frameHeight\": " << serve.frameHeight << ",\n";
+    os << "    \"frameWidth\": " << serve.frameWidth << ",\n";
+    os << "    \"reanchorInterval\": " << serve.reanchorInterval << ",\n";
+    os << "    \"warmupRounds\": " << report.warmupRounds << ",\n";
+    os << "    \"steadyRounds\": " << report.steadyRounds << "\n";
+    os << "  },\n";
+    os << "  \"steadyPoolFetches\": " << report.steadyPoolFetches << ",\n";
+    os << "  \"poolHeapFetches\": " << report.poolHeapFetches << ",\n";
+    os << "  \"poolReuses\": " << report.poolReuses << ",\n";
+    os << "  \"poolBytesInUse\": " << report.poolBytesInUse << ",\n";
+    os << "  \"steadyServed\": " << report.steadyServed << ",\n";
+    os << "  \"opNewCalls\": " << report.opNewCalls << ",\n";
+    os << "  \"opNewBytes\": " << report.opNewBytes << ",\n";
+    os << "  \"passed\": " << (report.passed() ? "true" : "false") << "\n";
+    os << "}\n";
+}
+
 void
 writeSaturationJson(const SaturationCurve &curve, std::ostream &os)
 {

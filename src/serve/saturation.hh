@@ -23,6 +23,7 @@
 #define DIFFY_SERVE_SATURATION_HH
 
 #include <cstdint>
+#include <functional>
 #include <iosfwd>
 #include <vector>
 
@@ -105,6 +106,57 @@ SaturationCurve runSaturation(const SaturationOptions &opts);
  * `points` array with per-stream latency records — the CI artifact.
  */
 void writeSaturationJson(const SaturationCurve &curve, std::ostream &os);
+
+/**
+ * Result of the steady-state allocation gate (DESIGN.md §16).
+ *
+ * The gate's pass/fail signal is steadyPoolFetches — buffer-pool heap
+ * fetches after markSteadyState() — which is exactly what the
+ * `pool.allocs_steady_state` gauge reports. The operator-new tallies
+ * are *observational*: the bench fills them from its counting shim so
+ * the JSON artifact tracks total steady-state heap traffic over time,
+ * but they include allocator noise the gate does not own (stdio,
+ * metrics registry growth) and therefore never decide pass/fail.
+ */
+struct AllocationGateReport
+{
+    int warmupRounds = 0;
+    int steadyRounds = 0;
+    /** Pool heap fetches after warmup — must be 0 (the gate). */
+    std::uint64_t steadyPoolFetches = 0;
+    /** Pool heap fetches over the whole run (warmup included). */
+    std::uint64_t poolHeapFetches = 0;
+    /** Pool buffer reuses over the whole run. */
+    std::uint64_t poolReuses = 0;
+    /** Bytes parked in the server's pool at the end of the run. */
+    std::uint64_t poolBytesInUse = 0;
+    /** Frames served in the steady phase (sanity: gate did real work). */
+    std::uint64_t steadyServed = 0;
+    /** Bench-filled operator-new tallies for the steady phase (JSON). */
+    std::uint64_t opNewCalls = 0;
+    std::uint64_t opNewBytes = 0;
+
+    bool passed() const { return steadyPoolFetches == 0; }
+};
+
+/**
+ * Drive a fresh StreamServer through @p warmupRounds round-robin
+ * inject-then-drain rounds (every stream offered once per round, so
+ * each arena and pool bucket sees its worst-case demand), call
+ * markSteadyState() and @p onSteadyStart (the bench's shim toggle),
+ * then run @p steadyRounds more rounds and report the pool counters.
+ * Round-robin rather than the seeded arrival process: warmup must
+ * visit *every* stream, or an unlucky arrival draw would leave a cold
+ * arena to fetch its first slab inside the steady window.
+ */
+AllocationGateReport
+runAllocationGate(const ServeOptions &serve, int warmupRounds,
+                  int steadyRounds,
+                  const std::function<void()> &onSteadyStart = {});
+
+/** Serialize the gate report as a JSON object — the CI artifact. */
+void writeAllocationGateJson(const AllocationGateReport &report,
+                             const ServeOptions &serve, std::ostream &os);
 
 } // namespace diffy
 

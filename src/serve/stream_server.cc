@@ -6,6 +6,7 @@
 
 #include "nn/models.hh"
 #include "obs/metrics.hh"
+#include "obs/pool_gauges.hh"
 #include "runtime/sweep.hh"
 
 namespace diffy
@@ -73,8 +74,18 @@ struct StreamServer::Stream
     StreamCounters counters;
     /** Per-stream latency histogram handle (stable for the process). */
     obs::LatencyHistogram *latency = nullptr;
+    /**
+     * Per-stream frame arena, rewound at the start of each job. Safe
+     * because runBatch() never picks two requests of one stream, so at
+     * most one worker touches this arena at a time, and nothing
+     * arena-backed survives the job: cross-frame state (prevImap /
+     * prevOmap) is copy-assigned, which keeps its heap storage.
+     */
+    FrameArena arena;
 
-    explicit Stream(const SequenceParams &p) : seq(p) {}
+    Stream(const SequenceParams &p, BufferPool &pool)
+        : seq(p), arena(pool)
+    {}
 };
 
 StreamServer::StreamServer(const ServeOptions &opts)
@@ -96,7 +107,8 @@ StreamServer::StreamServer(const ServeOptions &opts)
         p.motionSeed = SweepScheduler::jobSeed(
             opts_.seed ^ 0xD1FF5EEDULL, static_cast<std::size_t>(k));
         // One-time construction, not the steady-state serve path.
-        auto s = std::make_unique<Stream>(p); // diffy-lint: allow(R9)
+        auto s = std::make_unique<Stream>( // diffy-lint: allow(R9)
+            p, buffers_);
         s->latency = &obs::MetricsRegistry::instance().histogram(
             "serve.frame_seconds:s" +
             std::to_string(k)); // diffy-lint: allow(R9)
@@ -168,6 +180,11 @@ StreamServer::runBatch()
     auto body = [this](const Request &req, JobResult &out) {
         Stream &s = *streams_[static_cast<std::size_t>(req.stream)];
         obs::ScopedLatency timer(*s.latency);
+        // Recycle the previous frame's scratch storage and make the
+        // arena ambient for everything this job allocates. JobResult
+        // carries no tensors, so nothing arena-backed escapes.
+        s.arena.rewind();
+        ArenaScope scope(s.arena);
         try {
             const Tensor3<float> rgb = s.seq.frame(req.frame);
             const NetworkTrace trace = runNetwork(net_, rgb, opts_.exec);
@@ -237,6 +254,7 @@ StreamServer::runBatch()
                 .counter("serve.errors." + // diffy-lint: allow(R9)
                          to_string(static_cast<FailureKind>(k)))
                 .add(failedDelta[k]);
+    obs::publishPoolGauges();
     return static_cast<int>(batch.size());
 }
 

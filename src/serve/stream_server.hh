@@ -54,6 +54,7 @@
 #include <string>
 #include <vector>
 
+#include "common/pool.hh"
 #include "core/temporal.hh"
 #include "image/sequence.hh"
 #include "nn/executor.hh"
@@ -168,6 +169,15 @@ class StreamServer
     /** Sum over streams plus the failure-kind breakdown. */
     ServeTotals totals() const;
 
+    /**
+     * Declare warmup over: any later pool heap fetch counts into the
+     * pool.allocs_steady_state gauge (the zero-allocation gate).
+     */
+    void markSteadyState() { buffers_.markSteadyState(); }
+
+    /** The server-owned buffer pool (stats inspection). */
+    const BufferPool &bufferPool() const { return buffers_; }
+
   private:
     struct Stream;
     struct Request
@@ -181,6 +191,12 @@ class StreamServer
     ServeOptions opts_;
     int threads_ = 1;
     NetworkSpec net_;
+    /**
+     * Recycled frame buffers. Declared before streams_: each Stream
+     * owns a FrameArena leasing slabs from this pool, and members
+     * destroy in reverse order, so every arena dies first.
+     */
+    BufferPool buffers_;
     std::vector<std::unique_ptr<Stream>> streams_;
     std::deque<Request> pending_;
     std::unique_ptr<ThreadPool> pool_; ///< null when threads_ == 1

@@ -8,7 +8,7 @@ namespace diffy
 TensorI16
 xDeltas(const TensorI16 &t)
 {
-    TensorI16 out(t.shape());
+    TensorI16 out(t.shape(), scratchAlloc<std::int16_t>());
     for (int c = 0; c < t.channels(); ++c) {
         for (int y = 0; y < t.height(); ++y) {
             std::int16_t prev = 0;
@@ -35,7 +35,7 @@ xDeltas(const TensorI16 &t)
 TensorI16
 xDeltasInverse(const TensorI16 &deltas)
 {
-    TensorI16 out(deltas.shape());
+    TensorI16 out(deltas.shape(), scratchAlloc<std::int16_t>());
     for (int c = 0; c < deltas.channels(); ++c) {
         for (int y = 0; y < deltas.height(); ++y) {
             std::int32_t acc = 0;

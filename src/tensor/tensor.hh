@@ -45,6 +45,8 @@ template <typename T>
 class Tensor3
 {
   public:
+    using allocator_type = AlignedAllocator<T>;
+
     Tensor3() = default;
 
     explicit Tensor3(Shape3 shape, T fill = T{})
@@ -54,6 +56,26 @@ class Tensor3
     Tensor3(int c, int h, int w, T fill = T{})
         : Tensor3(Shape3{c, h, w}, fill)
     {}
+
+    /** Allocator-aware construction (e.g. scratchAlloc<T>()). */
+    Tensor3(Shape3 shape, const allocator_type &alloc, T fill = T{})
+        : shape_(shape), data_(shape.volume(), fill, alloc)
+    {}
+
+    Tensor3(int c, int h, int w, const allocator_type &alloc,
+            T fill = T{})
+        : Tensor3(Shape3{c, h, w}, alloc, fill)
+    {}
+
+    /** Allocator-extended copy: same contents, chosen resource. */
+    Tensor3(const Tensor3 &o, const allocator_type &alloc)
+        : shape_(o.shape_), data_(o.data_, alloc)
+    {}
+
+    Tensor3(const Tensor3 &) = default;
+    Tensor3(Tensor3 &&) = default;
+    Tensor3 &operator=(const Tensor3 &) = default;
+    Tensor3 &operator=(Tensor3 &&) = default;
 
     const Shape3 &shape() const { return shape_; }
     int channels() const { return shape_.c; }
@@ -95,7 +117,9 @@ class Tensor3
     {
         assert(y0 >= 0 && x0 >= 0 && y0 + h <= shape_.h &&
                x0 + w <= shape_.w);
-        Tensor3<T> out(shape_.c, h, w);
+        // Crops are per-frame transients: route through the ambient
+        // scratch resource (heap when no ArenaScope is active).
+        Tensor3<T> out(shape_.c, h, w, scratchAlloc<T>());
         for (int c = 0; c < shape_.c; ++c) {
             for (int y = 0; y < h; ++y) {
                 for (int x = 0; x < w; ++x)
@@ -141,6 +165,8 @@ template <typename T>
 class Tensor4
 {
   public:
+    using allocator_type = AlignedAllocator<T>;
+
     Tensor4() = default;
 
     explicit Tensor4(Shape4 shape, T fill = T{})
@@ -150,6 +176,21 @@ class Tensor4
     Tensor4(int k, int c, int h, int w, T fill = T{})
         : Tensor4(Shape4{k, c, h, w}, fill)
     {}
+
+    /** Allocator-aware construction (e.g. scratchAlloc<T>()). */
+    Tensor4(Shape4 shape, const allocator_type &alloc, T fill = T{})
+        : shape_(shape), data_(shape.volume(), fill, alloc)
+    {}
+
+    /** Allocator-extended copy: same contents, chosen resource. */
+    Tensor4(const Tensor4 &o, const allocator_type &alloc)
+        : shape_(o.shape_), data_(o.data_, alloc)
+    {}
+
+    Tensor4(const Tensor4 &) = default;
+    Tensor4(Tensor4 &&) = default;
+    Tensor4 &operator=(const Tensor4 &) = default;
+    Tensor4 &operator=(Tensor4 &&) = default;
 
     const Shape4 &shape() const { return shape_; }
     int filters() const { return shape_.k; }

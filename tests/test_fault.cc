@@ -134,7 +134,7 @@ TEST(FaultInjector, HeaderTargetIsNoOpWithoutHeaders)
 {
     auto codec = makeNoCompressionCodec();
     EncodedTensor enc = codec->encode(smoothTensor(5));
-    std::vector<std::uint8_t> before = enc.bytes;
+    ByteVec before = enc.bytes;
     FaultSpec spec;
     spec.target = FaultTarget::Header;
     FaultInjector inj(17);

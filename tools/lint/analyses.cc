@@ -464,7 +464,11 @@ ruleR9(const FileModel &model, std::vector<Finding> &out)
         } else if (g.kind == "push_back" || g.kind == "emplace_back") {
             // The pre-sized-append pattern is sanctioned: growth into
             // capacity reserved at loop depth 0 never reallocates.
-            if (model.presized.count(g.what) > 0)
+            // Arena-backed containers (constructed with a
+            // scratchAlloc() allocator) are sanctioned too: their
+            // growth bumps the frame arena, which rewind() recycles.
+            if (model.presized.count(g.what) > 0 ||
+                model.arenaBacked.count(g.what) > 0)
                 continue;
             message = "'" + g.what + "." + g.kind +
                       "' inside a loop without a loop-external "
@@ -472,6 +476,8 @@ ruleR9(const FileModel &model, std::vector<Finding> &out)
                       "'; pre-size the container outside the loop so "
                       "iterations never reallocate";
         } else if (g.kind == "resize" || g.kind == "reserve") {
+            if (model.arenaBacked.count(g.what) > 0)
+                continue;
             message = "'" + g.what + "." + g.kind +
                       "' inside a loop body reallocates per "
                       "iteration; hoist the sizing out of the loop "

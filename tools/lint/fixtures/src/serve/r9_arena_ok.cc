@@ -1,0 +1,19 @@
+// R9 fixture: arena-backed growth in a hot loop must NOT fire.
+// Containers constructed with a scratchAlloc() allocator draw from
+// the ambient frame arena (common/pool.hh); per-iteration growth
+// bumps the arena, which rewind() recycles, so no heap traffic.
+
+void
+serveFrames(int frames)
+{
+    for (int f = 0; f < frames; ++f) {
+        ByteVec payload(scratchAlloc<unsigned char>());
+        for (int i = 0; i < 64; ++i)
+            payload.push_back(static_cast<unsigned char>(i));
+
+        AlignedVec<int> stream(scratchAlloc<int>());
+        stream.reserve(64);
+        for (int i = 0; i < 64; ++i)
+            stream.push_back(i);
+    }
+}

@@ -44,6 +44,11 @@ harvestGrowth(const std::vector<std::string> &lines, FileModel &model)
     static const std::regex toString(R"(\bto_string\s*\()");
     static const std::regex sstreamDecl(
         R"(\b[io]?stringstream\s+([A-Za-z_]\w*))");
+    // `ByteVec buf(scratchAlloc<..>())`, `stream = TensorI32(...,
+    // scratchAlloc<..>())`: the object named left of the initializer
+    // draws from the frame arena, exempting it from R9.
+    static const std::regex arenaDecl(
+        R"(\b([A-Za-z_]\w*)\s*(?:\(|\{|=)[^;]*scratchAlloc)");
 
     LoopTracker tracker;
     for (std::size_t li = 0; li < lines.size(); ++li) {
@@ -83,6 +88,14 @@ harvestGrowth(const std::vector<std::string> &lines, FileModel &model)
                     GrowthSite{lineNo, kind, std::move(what), d});
             }
         };
+        // Arena-backed objects are harvested at *any* depth: a
+        // scratch-allocated buffer rebuilt per iteration still
+        // recycles arena storage rather than hitting the heap.
+        for (auto it = std::sregex_iterator(line.begin(), line.end(),
+                                            arenaDecl);
+             it != std::sregex_iterator(); ++it)
+            model.arenaBacked.insert((*it)[1].str());
+
         scanSimple(newExpr, "new", -1);
         scanSimple(makeX, "make_unique", 1);
         scanSimple(toString, "to_string", -1);

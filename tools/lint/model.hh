@@ -77,6 +77,11 @@ struct FileModel
     /// Objects `.reserve()`d / `.resize()`d at loop depth 0 somewhere
     /// in the file — the pre-sized-append exemption for R9.
     std::set<std::string> presized;
+    /// Objects constructed/assigned with a scratchAlloc() allocator
+    /// anywhere in the file. Their growth draws from the ambient
+    /// frame arena (common/pool.hh) — recycled by rewind(), not a
+    /// per-iteration heap allocation — so R9 exempts them.
+    std::set<std::string> arenaBacked;
     std::vector<LockOrderEdge> lockEdges;
     std::vector<BlockingSite> blocking;
     /// Every distinct normalized mutex name acquired in this file.
